@@ -1,0 +1,105 @@
+"""Ablations of the framework's design choices (DESIGN.md §5).
+
+Covers the knobs the paper motivates but does not sweep exhaustively:
+Bloom-filter sizing vs its hash-collision FP rate, the baseline window
+size (the "command-response cycle" claim), and the dynamic-k extension
+from the paper's future-work list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit_report
+from repro.baselines import WindowedBloomDetector, make_package_windows, window_label
+from repro.core.bloom import BloomFilter
+from repro.core.dynamic_k import DynamicKPolicy, rank_of
+from repro.core.metrics import evaluate_detection
+from repro.core.signatures import signature_of
+from repro.experiments.pipeline import run_pipeline
+
+
+def test_ablation_bloom_sizing(benchmark):
+    """Bits-per-element vs realized hash-collision false positives."""
+
+    def sweep():
+        rows = []
+        keys = [f"signature-{i}" for i in range(2000)]
+        probes = [f"other-{i}" for i in range(20000)]
+        for target_fpr in (0.1, 0.01, 0.001):
+            bloom = BloomFilter.for_capacity(len(keys), target_fpr)
+            bloom.update(keys)
+            measured = sum(1 for p in probes if p in bloom) / len(probes)
+            rows.append(
+                f"target_fpr={target_fpr:<7} bits={bloom.num_bits:<8} "
+                f"hashes={bloom.num_hashes:<3} measured_fpr={measured:.4f} "
+                f"memory_kb={bloom.memory_bytes() / 1024:.1f}"
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit_report("ablation_bloom_sizing", "\n".join(rows))
+
+
+def test_ablation_window_size(benchmark, profile):
+    """The 4-package cycle is the natural window for the BF baseline."""
+    pipeline = run_pipeline(profile)
+    dataset = pipeline.dataset
+
+    def sweep():
+        rows = []
+        for size in (2, 4, 8):
+            train = [
+                w
+                for f in dataset.train_fragments
+                for w in make_package_windows(f, size)
+            ]
+            test = make_package_windows(dataset.test_packages, size)
+            labels = np.array([window_label(w) for w in test])
+            detector = WindowedBloomDetector(rng=pipeline.profile.seed)
+            detector.fit(train)
+            metrics = evaluate_detection(labels, detector.predict(test))
+            rows.append((size, metrics))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"window={size}:  {metrics}" for size, metrics in rows
+    ]
+    emit_report("ablation_window_size", "\n".join(lines))
+
+
+def test_ablation_dynamic_k(benchmark, profile):
+    """Future-work extension: adapt k online from prediction ranks."""
+    pipeline = run_pipeline(profile)
+    detector = pipeline.detector
+    vocabulary = detector.vocabulary
+    discretizer = detector.discretizer
+    validation = pipeline.dataset.validation_fragments[:20]
+
+    def run_policy():
+        policy = DynamicKPolicy(initial_k=detector.k)
+        ks = []
+        for fragment in validation:
+            codes = discretizer.transform_sequence(fragment)
+            state = detector.timeseries.new_stream()
+            for vector in codes:
+                if state.last_probs is not None:
+                    identifier = vocabulary.id_of(signature_of(vector))
+                    rank = (
+                        None
+                        if identifier is None
+                        else rank_of(state.last_probs, identifier)
+                    )
+                    ks.append(policy.observe_rank(rank))
+                _, state = detector.timeseries.observe(vector, state)
+        return np.array(ks)
+
+    ks = benchmark.pedantic(run_policy, rounds=1, iterations=1)
+    lines = [
+        f"fixed k (validation-chosen): {pipeline.artifacts.chosen_k}",
+        f"dynamic k: mean={ks.mean():.2f}  min={ks.min()}  max={ks.max()}  "
+        f"final={ks[-1]}",
+    ]
+    emit_report("ablation_dynamic_k", "\n".join(lines))
+    assert ks.min() >= 1

@@ -1,0 +1,61 @@
+"""Regenerates paper Fig. 4: histograms of the continuous features.
+
+Paper claim: the time interval and crc rate exhibit natural clusters
+(two groups each), while pressure measurement and setpoint spread over
+their ranges without natural clusters — which motivates k-means for the
+former and even-interval partitioning for the latter (Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit_report
+from repro.experiments.figures import fig4_histograms
+from repro.experiments.pipeline import run_pipeline
+
+
+def _bimodality(counts: np.ndarray) -> float:
+    """Mass fraction in the two dominant non-adjacent histogram regions."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    occupied = counts > 0
+    # Count contiguous occupied runs; clustered features have few runs
+    # holding nearly all mass.
+    runs = []
+    current = 0.0
+    for count, busy in zip(counts, occupied):
+        if busy:
+            current += count
+        elif current:
+            runs.append(current)
+            current = 0.0
+    if current:
+        runs.append(current)
+    runs.sort(reverse=True)
+    return float(sum(runs[:2]) / total)
+
+
+def test_fig4_feature_histograms(benchmark, profile):
+    pipeline = run_pipeline(profile)
+    histograms = benchmark.pedantic(
+        lambda: fig4_histograms(pipeline.dataset), rounds=1, iterations=1
+    )
+
+    lines = []
+    for name, (counts, edges) in histograms.items():
+        occupied = int(np.sum(counts > 0))
+        top2 = _bimodality(counts)
+        lines.append(
+            f"{name:<24} range=[{edges[0]:.4f}, {edges[-1]:.4f}]  "
+            f"occupied_bins={occupied}/200  top2_cluster_mass={top2:.3f}"
+        )
+    emit_report("fig4_histograms", "\n".join(lines))
+
+    # Interval and crc rate: two tight clusters hold ~all the mass.
+    assert _bimodality(histograms["time_interval"][0]) > 0.95
+    assert _bimodality(histograms["crc_rate"][0]) > 0.90
+    # Pressure spreads widely (no two clusters capture it).
+    pressure_counts = histograms["pressure_measurement"][0]
+    assert int(np.sum(pressure_counts > 0)) > 40

@@ -1,0 +1,50 @@
+"""Regenerates paper Fig. 5: validation error vs discretization granularity.
+
+Paper claim: the validation error (share of clean validation packages
+whose signature is missing from the training database) grows with the
+granularity of the pressure/setpoint partitions; the chosen granularity
+is the finest whose error stays below θ = 0.03, and the paper settles on
+20 pressure bins and 10 setpoint bins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit_report
+from repro.experiments.figures import fig5_granularity
+from repro.experiments.pipeline import run_pipeline
+
+
+def test_fig5_granularity_search(benchmark, profile):
+    pipeline = run_pipeline(profile)
+    result = benchmark.pedantic(
+        lambda: fig5_granularity(pipeline.dataset, rng=pipeline.profile.seed),
+        rounds=1,
+        iterations=1,
+    )
+
+    corner = "pressure\\setpoint"
+    lines = [
+        f"theta = {result.theta}   chosen: pressure_bins="
+        f"{result.best_pressure_bins}, setpoint_bins={result.best_setpoint_bins}",
+        f"{corner:<18}" + "".join(f"{s:>8}" for s in result.setpoint_grid),
+    ]
+    for i, pressure_bins in enumerate(result.pressure_grid):
+        row = f"{pressure_bins:<18}" + "".join(
+            f"{result.errors[i, j]:>8.4f}" for j in range(len(result.setpoint_grid))
+        )
+        lines.append(row)
+    emit_report("fig5_granularity", "\n".join(lines))
+
+    errors = result.errors
+    # Validation error grows (weakly) with granularity along both axes.
+    row_means = errors.mean(axis=1)
+    col_means = errors.mean(axis=0)
+    assert row_means[-1] >= row_means[0] - 1e-9
+    assert col_means[-1] >= col_means[0] - 1e-9
+    # The coarsest granularity must be feasible, and the chosen point's
+    # error must respect theta whenever any grid point does.
+    if np.any(errors < result.theta):
+        chosen = result.error_at(result.best_pressure_bins, result.best_setpoint_bins)
+        assert chosen < result.theta

@@ -1,0 +1,57 @@
+"""Regenerates paper Fig. 6: top-k error with/without probabilistic noise.
+
+Paper claims: err_k converges quickly to ~0 as k grows on both training
+and validation data; the noise-trained model's curve is close to the
+noise-free one (the network is trainable to be robust to noisy input);
+and the chosen k (smallest with validation err_k < θ = 0.05, paper k=4)
+sits where the curve flattens.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.core.combined import choose_k_from_curve
+from repro.experiments.figures import fig6_topk_curves
+from repro.experiments.pipeline import run_pipeline
+from repro.experiments.reporting import format_curve
+
+
+def test_fig6_topk_error_curves(benchmark, profile):
+    pipeline = run_pipeline(profile)
+    curves = benchmark.pedantic(
+        lambda: fig6_topk_curves(pipeline), rounds=1, iterations=1
+    )
+
+    theta = pipeline.profile.detector.theta_timeseries
+    chosen = choose_k_from_curve(curves.validation_with_noise, theta)
+    lines = [
+        format_curve("train (with noise)", curves.train_with_noise),
+        format_curve("validation (with noise)", curves.validation_with_noise),
+        format_curve("train (no noise)", curves.train_without_noise),
+        format_curve("validation (no noise)", curves.validation_without_noise),
+        f"theta={theta}  chosen k={chosen}  (paper: k=4 at theta=0.05)",
+    ]
+    emit_report("fig6_topk", "\n".join(lines))
+
+    if profile == "ci":
+        return  # shape assertions need at least the default scale
+
+    for curve in (
+        curves.train_with_noise,
+        curves.validation_with_noise,
+        curves.train_without_noise,
+        curves.validation_without_noise,
+    ):
+        ks = sorted(curve)
+        # err_k decreases monotonically in k ...
+        assert all(curve[a] >= curve[b] - 1e-9 for a, b in zip(ks, ks[1:]))
+        # ... and drops substantially from k=1 to k=max.
+        assert curve[ks[-1]] <= curve[ks[0]]
+    # Training error at large k is small (the model fits its data).
+    assert curves.train_with_noise[max(curves.ks)] < 0.15
+    # Noise-trained and noise-free validation curves stay comparable.
+    gap = abs(
+        curves.validation_with_noise[max(curves.ks)]
+        - curves.validation_without_noise[max(curves.ks)]
+    )
+    assert gap < 0.1

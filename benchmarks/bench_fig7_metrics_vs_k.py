@@ -1,0 +1,47 @@
+"""Regenerates paper Fig. 7: framework metrics against the choice of k.
+
+Paper claims: recall falls as k grows (mimicry attacks hide inside a
+larger top-k set) while precision rises; the F1-optimal k sits near the
+k chosen purely from clean validation data — evidence the paper's
+tuning procedure is effective.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.experiments.figures import fig7_metrics_vs_k
+from repro.experiments.pipeline import run_pipeline
+
+
+def test_fig7_metrics_vs_k(benchmark, profile):
+    pipeline = run_pipeline(profile)
+    sweep = benchmark.pedantic(
+        lambda: fig7_metrics_vs_k(pipeline), rounds=1, iterations=1
+    )
+
+    lines = [f"{'k':>3}{'precision':>11}{'recall':>9}{'accuracy':>10}{'f1':>7}"]
+    for k, metrics in zip(sweep.ks, sweep.metrics):
+        lines.append(
+            f"{k:>3}{metrics.precision:>11.3f}{metrics.recall:>9.3f}"
+            f"{metrics.accuracy:>10.3f}{metrics.f1_score:>7.3f}"
+        )
+    lines.append(f"chosen k from validation: {pipeline.artifacts.chosen_k}")
+    emit_report("fig7_metrics_vs_k", "\n".join(lines))
+
+    if profile == "ci":
+        return  # shape assertions need at least the default scale
+
+    recalls = sweep.series("recall")
+    precisions = sweep.series("precision")
+    f1s = sweep.series("f1_score")
+    # Recall decreases in k; precision increases (weak monotonicity).
+    assert recalls[0] >= recalls[-1] - 1e-9
+    assert precisions[-1] >= precisions[0] - 1e-9
+    # The validation-chosen k performs near the best sweep F1.
+    chosen = pipeline.artifacts.chosen_k
+    chosen_f1 = None
+    for k, f1 in zip(sweep.ks, f1s):
+        if k == chosen:
+            chosen_f1 = f1
+    if chosen_f1 is not None:
+        assert chosen_f1 >= max(f1s) - 0.08

@@ -1,0 +1,39 @@
+"""Regenerates paper Table V: detected ratio per attack type per model.
+
+Paper shape: the framework leads in almost every attack category; MFCI
+and Recon are caught perfectly by all signature-based models; CMRI (the
+stealthy state-hiding attack) has the lowest framework recall; the
+framework's biggest edge over BF is on command-content attacks
+(MSCI/MPCI).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.experiments.comparison import run_comparison
+from repro.experiments.reporting import format_table_v
+from repro.ics.attacks import CMRI, MFCI, MPCI, MSCI, RECON
+
+
+def test_table_v_per_attack_recall(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: run_comparison(profile), rounds=1, iterations=1
+    )
+    emit_report("table_v", format_table_v(result.attack_recalls))
+
+    if profile == "ci":
+        return  # shape assertions need at least the default scale
+
+    ours = result.attack_recalls["Our framework"]
+    bf = result.attack_recalls["BF"]
+
+    # MFCI and Recon are trivially visible to signature models.
+    assert ours[MFCI] >= 0.99
+    assert ours[RECON] >= 0.99
+    assert bf[MFCI] >= 0.99
+    assert bf[RECON] >= 0.99
+    # CMRI (stealthy replay) is the hardest attack for the framework.
+    assert ours[CMRI] == min(ours.values())
+    # The framework beats the window Bloom filter on command attacks.
+    assert ours[MSCI] >= bf[MSCI] - 0.05
+    assert ours[MPCI] >= bf[MPCI] - 0.05

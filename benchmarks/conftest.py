@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+``REPRO_PROFILE`` selects the experiment size (``ci`` / ``default`` /
+``paper``); the default profile reproduces every table and figure at a
+scale that runs on a laptop in minutes.  Each benchmark prints its
+paper-vs-measured table and also writes it to ``reports/`` so the
+output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).resolve().parent.parent / "reports"
+
+
+def profile_name() -> str:
+    """The experiment profile benchmarks run under."""
+    return os.environ.get("REPRO_PROFILE", "default")
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report table and persist it under ``reports/``."""
+    print(f"\n=== {name} ===\n{text}\n")
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    return profile_name()

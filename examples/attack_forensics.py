@@ -1,0 +1,73 @@
+"""Attack forensics: which attacks hide from which detection level?
+
+Reproduces the paper's §VIII-D analysis: physical-process attacks (CMRI,
+MSCI, MPCI) partly disappear into natural process noise, while protocol
+attacks (MFCI, Recon) die at the signature level.  For every attack type
+the script shows how detections split between the Bloom filter (unknown
+signature) and the LSTM (unexpected signature-in-context) — and what a
+coarser discretization does to that split.
+
+Run:  python examples/attack_forensics.py
+"""
+
+import numpy as np
+
+from repro import (
+    CombinedDetector,
+    DatasetConfig,
+    DetectorConfig,
+    DiscretizationConfig,
+    TimeSeriesDetectorConfig,
+    generate_dataset,
+)
+from repro.core.combined import LEVEL_PACKAGE, LEVEL_TIMESERIES
+from repro.ics import ATTACK_NAMES
+
+
+def analyse(name: str, discretization: DiscretizationConfig, dataset) -> None:
+    config = DetectorConfig(
+        discretization=discretization,
+        timeseries=TimeSeriesDetectorConfig(hidden_sizes=(48,), epochs=12),
+    )
+    detector, artifacts = CombinedDetector.train(
+        dataset.train_fragments, dataset.validation_fragments, config, rng=3
+    )
+    result = detector.detect(dataset.test_packages)
+    labels = np.array([p.label for p in dataset.test_packages])
+
+    print(f"\n--- {name} ---")
+    print(
+        f"signatures={artifacts.vocabulary_size}  "
+        f"package-level validation error={artifacts.package_validation_error:.4f}  "
+        f"k={artifacts.chosen_k}"
+    )
+    print(f"{'attack':<8}{'packages':>9}{'caught':>8}{'by bloom':>10}{'by lstm':>9}")
+    for attack_id in sorted(set(labels) - {0}):
+        mask = labels == attack_id
+        caught = result.is_anomaly & mask
+        bloom = int(((result.level == LEVEL_PACKAGE) & mask).sum())
+        lstm = int(((result.level == LEVEL_TIMESERIES) & mask).sum())
+        print(
+            f"{ATTACK_NAMES[attack_id]:<8}{int(mask.sum()):>9}"
+            f"{int(caught.sum()):>8}{bloom:>10}{lstm:>9}"
+        )
+
+
+def main() -> None:
+    dataset = generate_dataset(DatasetConfig(num_cycles=4000), seed=3)
+    print("dataset:", dataset.summary())
+
+    # The paper's Table-III granularity ...
+    analyse("Table III granularity (20/10)", DiscretizationConfig(), dataset)
+    # ... versus a deliberately coarse one: fewer false positives, but
+    # the content-level detector goes blind to parameter manipulation —
+    # exactly the trade-off of paper §IV-B.
+    analyse(
+        "coarse granularity (5/3)",
+        DiscretizationConfig(pressure_bins=5, setpoint_bins=3),
+        dataset,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Online monitoring: classify live SCADA traffic one package at a time.
+
+Deployment-shaped usage: a trained detector is attached to a live
+package stream via ``detector.stream()`` and raises alerts as packages
+arrive — the streaming path is bit-identical to batch detection, and the
+monitor reports which level (Bloom filter / LSTM) fired.
+
+Run:  python examples/online_monitoring.py
+"""
+
+import time
+
+from repro import (
+    CombinedDetector,
+    DatasetConfig,
+    DetectorConfig,
+    TimeSeriesDetectorConfig,
+    generate_dataset,
+)
+from repro.core.combined import LEVEL_NAMES
+from repro.ics import ATTACK_NAMES
+
+
+def main() -> None:
+    dataset = generate_dataset(DatasetConfig(num_cycles=3000), seed=7)
+    detector, _ = CombinedDetector.train(
+        dataset.train_fragments,
+        dataset.validation_fragments,
+        DetectorConfig(timeseries=TimeSeriesDetectorConfig(hidden_sizes=(48,), epochs=12)),
+        rng=7,
+    )
+
+    monitor = detector.stream()
+    alerts = 0
+    started = time.perf_counter()
+    live_traffic = dataset.test_packages[:2000]
+
+    for index, package in enumerate(live_traffic):
+        is_anomaly, level = monitor.observe(package)
+        if is_anomaly and alerts < 12:
+            truth = ATTACK_NAMES[package.label]
+            print(
+                f"t={package.time:10.2f}s  pkg #{index:<5} ALERT "
+                f"({LEVEL_NAMES[level]:<11}) ground truth: {truth}"
+            )
+        alerts += int(is_anomaly)
+
+    elapsed = time.perf_counter() - started
+    per_package_ms = 1000.0 * elapsed / len(live_traffic)
+    print(
+        f"\n{alerts} alerts over {len(live_traffic)} packages; "
+        f"{per_package_ms:.3f} ms per classification "
+        f"(paper reports 0.03 ms on its workstation)"
+    )
+    print(f"model memory: {detector.memory_bytes() / 1024:.0f} KB (paper: 684 KB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — Multi-level anomaly detection in industrial control systems.
+
+A complete, from-scratch reproduction of Feng, Li & Chana, *"Multi-level
+Anomaly Detection in Industrial Control Systems via Package Signatures
+and LSTM networks"* (DSN 2017):
+
+- :mod:`repro.core` — the two-level detection framework: package
+  signatures, Bloom-filter package-level detection, stacked-LSTM
+  time-series detection, the combined framework, tuning and metrics.
+- :mod:`repro.ics` — the gas pipeline SCADA substrate: plant physics,
+  PID control, Modbus framing, the 4-package polling loop, the seven
+  attack types and ARFF dataset assembly.
+- :mod:`repro.nn` — a pure-numpy neural substrate (LSTM + BPTT, Adam).
+- :mod:`repro.baselines` — the Table-IV comparators (BF, BN, SVDD, IF,
+  GMM, PCA-SVD) on 4-package command-response windows.
+- :mod:`repro.experiments` — harnesses regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import CombinedDetector, DetectorConfig, generate_dataset
+
+    dataset = generate_dataset(seed=0)
+    detector, artifacts = CombinedDetector.train(
+        dataset.train_fragments, dataset.validation_fragments
+    )
+    result = detector.detect(dataset.test_packages)
+"""
+
+from repro.core import (
+    BloomFilter,
+    CombinedDetector,
+    DetectionMetrics,
+    DetectorConfig,
+    DiscretizationConfig,
+    FeatureDiscretizer,
+    PackageLevelDetector,
+    SignatureVocabulary,
+    TimeSeriesDetector,
+    TimeSeriesDetectorConfig,
+    choose_k,
+    evaluate_detection,
+    granularity_search,
+    per_attack_recall,
+    signature_of,
+)
+from repro.ics import (
+    ATTACK_NAMES,
+    AttackConfig,
+    DatasetConfig,
+    GasPipelineDataset,
+    Package,
+    ScadaConfig,
+    ScadaSimulator,
+    generate_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BloomFilter",
+    "CombinedDetector",
+    "DetectionMetrics",
+    "DetectorConfig",
+    "DiscretizationConfig",
+    "FeatureDiscretizer",
+    "PackageLevelDetector",
+    "SignatureVocabulary",
+    "TimeSeriesDetector",
+    "TimeSeriesDetectorConfig",
+    "choose_k",
+    "evaluate_detection",
+    "granularity_search",
+    "per_attack_recall",
+    "signature_of",
+    "ATTACK_NAMES",
+    "AttackConfig",
+    "DatasetConfig",
+    "GasPipelineDataset",
+    "Package",
+    "ScadaConfig",
+    "ScadaSimulator",
+    "generate_dataset",
+    "__version__",
+]

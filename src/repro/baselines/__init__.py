@@ -1,0 +1,54 @@
+"""Baseline anomaly detectors compared against the framework (Table IV).
+
+The paper compares against six models.  "In order to make these models
+also consider time-series behaviour, we combine four consecutive
+packages, representing a complete command response cycle in the gas
+pipeline dataset, as a single data sample" (§VIII-C) — so every baseline
+here operates on 4-package windows:
+
+- :mod:`repro.baselines.bloom_window` — Bloom filter over windowed
+  signatures (the "BF" row; distinct from the package-level detector),
+- :mod:`repro.baselines.bayes_net` — discrete Bayesian network with
+  Chow–Liu structure learning (the "BN" row),
+- :mod:`repro.baselines.svdd` — support vector data description via
+  kernel minimum enclosing ball (the "SVDD" row),
+- :mod:`repro.baselines.isolation_forest` — isolation forest (the "IF"
+  row),
+- :mod:`repro.baselines.gmm` — Gaussian mixture model, unsupervised (the
+  "GMM" row, per Shirazi et al. [52]),
+- :mod:`repro.baselines.pca_svd` — PCA/SVD reconstruction error, also
+  unsupervised (the "PCA-SVD" row).
+
+The first four train on anomaly-free windows with thresholds tuned on
+clean validation data; the last two are unsupervised (trained on the
+unlabelled test data itself, as in [52]).
+"""
+
+from repro.baselines.base import UnsupervisedWindowDetector, WindowDetector
+from repro.baselines.bayes_net import BayesianNetworkDetector
+from repro.baselines.bloom_window import WindowedBloomDetector
+from repro.baselines.gmm import GaussianMixtureDetector
+from repro.baselines.isolation_forest import IsolationForestDetector
+from repro.baselines.pca_svd import PcaSvdDetector
+from repro.baselines.svdd import SvddDetector
+from repro.baselines.windows import (
+    PackageWindow,
+    make_package_windows,
+    window_label,
+    window_matrix,
+)
+
+__all__ = [
+    "UnsupervisedWindowDetector",
+    "WindowDetector",
+    "BayesianNetworkDetector",
+    "WindowedBloomDetector",
+    "GaussianMixtureDetector",
+    "IsolationForestDetector",
+    "PcaSvdDetector",
+    "SvddDetector",
+    "PackageWindow",
+    "make_package_windows",
+    "window_label",
+    "window_matrix",
+]

@@ -1,0 +1,100 @@
+"""Shared interface and threshold tuning for the baseline detectors.
+
+Score-based baselines assign each window an anomaly score; the decision
+threshold is tuned on *clean validation windows* so the expected false
+positive rate stays below a target — the same philosophy the framework
+uses for its own θ parameters (the paper tunes every comparator's
+hyper-parameters for best F1 with accuracy above 0.7; tuning thresholds
+on clean data is the part that needs no labels).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.windows import PackageWindow
+
+
+class WindowDetector:
+    """Base class: fit on normal windows, score, threshold, predict."""
+
+    #: Display name used in the Table-IV harness.
+    name = "base"
+
+    def __init__(self, target_false_positive_rate: float = 0.05) -> None:
+        if not 0.0 < target_false_positive_rate < 1.0:
+            raise ValueError(
+                "target_false_positive_rate must be in (0, 1), got "
+                f"{target_false_positive_rate}"
+            )
+        self.target_false_positive_rate = target_false_positive_rate
+        self.threshold_: float | None = None
+
+    # -- subclass API ------------------------------------------------------
+
+    def fit(self, windows: Sequence[PackageWindow]) -> "WindowDetector":
+        """Learn the normal profile from anomaly-free windows."""
+        raise NotImplementedError
+
+    def score(self, windows: Sequence[PackageWindow]) -> np.ndarray:
+        """Anomaly score per window; larger = more anomalous."""
+        raise NotImplementedError
+
+    # -- common plumbing ------------------------------------------------------
+
+    def tune_threshold(self, validation_windows: Sequence[PackageWindow]) -> float:
+        """Set the threshold at the (1 - target FP) quantile of clean scores."""
+        if not validation_windows:
+            raise ValueError("no validation windows supplied")
+        scores = self.score(validation_windows)
+        self.threshold_ = float(
+            np.quantile(scores, 1.0 - self.target_false_positive_rate)
+        )
+        return self.threshold_
+
+    def predict(self, windows: Sequence[PackageWindow]) -> np.ndarray:
+        """Boolean anomaly verdict per window."""
+        if self.threshold_ is None:
+            raise RuntimeError(
+                f"{type(self).__name__}: call tune_threshold() before predict()"
+            )
+        return self.score(windows) > self.threshold_
+
+
+class UnsupervisedWindowDetector(WindowDetector):
+    """Baselines trained without labels on the evaluation data itself.
+
+    GMM and PCA-SVD follow Shirazi et al. [52]: the model is fitted on
+    the raw (contaminated) stream and flags the lowest-likelihood /
+    worst-reconstructed fraction, sized by an assumed contamination rate.
+    """
+
+    def __init__(self, contamination: float = 0.2) -> None:
+        super().__init__(target_false_positive_rate=0.05)
+        if not 0.0 < contamination < 1.0:
+            raise ValueError(f"contamination must be in (0, 1), got {contamination}")
+        self.contamination = contamination
+
+    def fit_predict(self, windows: Sequence[PackageWindow]) -> np.ndarray:
+        """Fit on the contaminated windows and flag the top fraction."""
+        self.fit(windows)
+        scores = self.score(windows)
+        self.threshold_ = float(np.quantile(scores, 1.0 - self.contamination))
+        return scores > self.threshold_
+
+
+def standardize_fit(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Column means and (floored) standard deviations for scaling."""
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std = np.where(std > 1e-9, std, 1.0)
+    return mean, std
+
+
+def standardize_apply(
+    matrix: np.ndarray, mean: np.ndarray, std: np.ndarray
+) -> np.ndarray:
+    """Apply precomputed scaling."""
+    return (matrix - mean) / std

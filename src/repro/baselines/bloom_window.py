@@ -1,0 +1,70 @@
+"""The "BF" baseline: a Bloom filter over windowed signatures.
+
+Each 4-package window is reduced to the concatenation of its packages'
+signatures; the filter stores every windowed signature observed in
+clean training traffic.  This is the paper's Bloom-filter *baseline* —
+distinct from the package-level detector inside the framework, which
+works on single packages.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import WindowDetector
+from repro.baselines.windows import PackageWindow
+from repro.core.bloom import BloomFilter
+from repro.core.discretization import DiscretizationConfig, FeatureDiscretizer
+from repro.core.signatures import signature_of
+from repro.utils.rng import SeedLike
+
+#: Joins the four package signatures of one window.
+_WINDOW_SEPARATOR = "||"
+
+
+class WindowedBloomDetector(WindowDetector):
+    """Membership test on 4-package window signatures."""
+
+    name = "BF"
+
+    def __init__(
+        self,
+        discretization: DiscretizationConfig | None = None,
+        bloom_false_positive_rate: float = 1e-3,
+        rng: SeedLike = 0,
+    ) -> None:
+        super().__init__(target_false_positive_rate=0.05)
+        self.discretizer = FeatureDiscretizer(discretization, rng=rng)
+        self.bloom_false_positive_rate = bloom_false_positive_rate
+        self.bloom: BloomFilter | None = None
+
+    def _window_signature(self, window: PackageWindow) -> str:
+        codes = self.discretizer.transform_sequence(window)
+        return _WINDOW_SEPARATOR.join(signature_of(c) for c in codes)
+
+    def fit(self, windows: Sequence[PackageWindow]) -> "WindowedBloomDetector":
+        if not windows:
+            raise ValueError("no training windows supplied")
+        self.discretizer.fit(windows)
+        signatures = {self._window_signature(w) for w in windows}
+        self.bloom = BloomFilter.for_capacity(
+            max(len(signatures), 1), self.bloom_false_positive_rate
+        )
+        self.bloom.update(signatures)
+        # Membership is a hard decision — no threshold needed.
+        self.threshold_ = 0.5
+        return self
+
+    def score(self, windows: Sequence[PackageWindow]) -> np.ndarray:
+        if self.bloom is None:
+            raise RuntimeError("WindowedBloomDetector is not fitted")
+        return np.array(
+            [0.0 if self._window_signature(w) in self.bloom else 1.0 for w in windows]
+        )
+
+    def tune_threshold(self, validation_windows: Sequence[PackageWindow]) -> float:
+        """Membership is binary; the threshold is fixed at 0.5."""
+        self.threshold_ = 0.5
+        return self.threshold_

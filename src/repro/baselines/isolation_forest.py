@@ -1,0 +1,121 @@
+"""The "IF" baseline: isolation forest (Liu, Ting & Zhou [55]).
+
+Anomalies are easier to isolate with random axis-aligned splits, so
+their expected path length in random trees is shorter.  The standard
+formulation: trees built on subsamples of 256 points, depth-capped at
+``ceil(log2(256))``, score ``2^(-E[h(x)] / c(n))``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import WindowDetector
+from repro.baselines.windows import PackageWindow, window_matrix
+from repro.utils.rng import SeedLike, as_generator
+
+
+def average_path_length(n: int) -> float:
+    """``c(n)``: average BST unsuccessful-search path length."""
+    if n <= 1:
+        return 0.0
+    harmonic = math.log(n - 1) + 0.5772156649015329
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    size: int = 0  # leaf size (for path-length correction)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _build_tree(
+    data: np.ndarray, depth: int, max_depth: int, rng: np.random.Generator
+) -> _Node:
+    n = data.shape[0]
+    if depth >= max_depth or n <= 1:
+        return _Node(size=n)
+    # Pick a feature with spread; fall back to a leaf when all constant.
+    spreads = data.max(axis=0) - data.min(axis=0)
+    candidates = np.where(spreads > 0)[0]
+    if candidates.size == 0:
+        return _Node(size=n)
+    feature = int(rng.choice(candidates))
+    low = float(data[:, feature].min())
+    high = float(data[:, feature].max())
+    threshold = float(rng.uniform(low, high))
+    mask = data[:, feature] < threshold
+    if not mask.any() or mask.all():
+        return _Node(size=n)
+    return _Node(
+        feature=feature,
+        threshold=threshold,
+        left=_build_tree(data[mask], depth + 1, max_depth, rng),
+        right=_build_tree(data[~mask], depth + 1, max_depth, rng),
+    )
+
+
+def _path_length(node: _Node, row: np.ndarray, depth: int = 0) -> float:
+    while not node.is_leaf:
+        node = node.left if row[node.feature] < node.threshold else node.right  # type: ignore[assignment]
+        depth += 1
+    return depth + average_path_length(node.size)
+
+
+class IsolationForestDetector(WindowDetector):
+    """From-scratch isolation forest over window feature vectors."""
+
+    name = "IF"
+
+    def __init__(
+        self,
+        num_trees: int = 100,
+        subsample_size: int = 256,
+        rng: SeedLike = 0,
+    ) -> None:
+        super().__init__(target_false_positive_rate=0.05)
+        if num_trees < 1:
+            raise ValueError(f"num_trees must be >= 1, got {num_trees}")
+        if subsample_size < 2:
+            raise ValueError(f"subsample_size must be >= 2, got {subsample_size}")
+        self.num_trees = num_trees
+        self.subsample_size = subsample_size
+        self._rng = as_generator(rng)
+        self.trees_: list[_Node] = []
+        self._c_norm = 1.0
+
+    def fit(self, windows: Sequence[PackageWindow]) -> "IsolationForestDetector":
+        if not windows:
+            raise ValueError("no training windows supplied")
+        data = window_matrix(windows)
+        sample_size = min(self.subsample_size, data.shape[0])
+        max_depth = math.ceil(math.log2(max(sample_size, 2)))
+        self.trees_ = []
+        for _ in range(self.num_trees):
+            chosen = self._rng.choice(data.shape[0], size=sample_size, replace=False)
+            self.trees_.append(_build_tree(data[chosen], 0, max_depth, self._rng))
+        self._c_norm = average_path_length(sample_size)
+        return self
+
+    def score(self, windows: Sequence[PackageWindow]) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("IsolationForestDetector is not fitted")
+        data = window_matrix(windows)
+        scores = np.empty(data.shape[0])
+        for i, row in enumerate(data):
+            mean_path = float(
+                np.mean([_path_length(tree, row) for tree in self.trees_])
+            )
+            scores[i] = 2.0 ** (-mean_path / max(self._c_norm, 1e-9))
+        return scores

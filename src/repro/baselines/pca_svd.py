@@ -1,0 +1,70 @@
+"""The "PCA-SVD" baseline: principal-component reconstruction error.
+
+Following Shirazi et al. [52]: fit a PCA (via singular value
+decomposition) on the evaluation stream unsupervised, project windows
+onto the dominant subspace, and flag those with the largest
+reconstruction error — anomalies do not conform to the correlation
+structure of the bulk of the traffic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import (
+    UnsupervisedWindowDetector,
+    standardize_apply,
+    standardize_fit,
+)
+from repro.baselines.windows import PackageWindow, window_matrix
+
+
+class PcaSvdDetector(UnsupervisedWindowDetector):
+    """SVD subspace model; anomaly score = residual norm."""
+
+    name = "PCA-SVD"
+
+    def __init__(
+        self,
+        explained_variance: float = 0.90,
+        max_components: int | None = None,
+        contamination: float = 0.2,
+    ) -> None:
+        super().__init__(contamination=contamination)
+        if not 0.0 < explained_variance <= 1.0:
+            raise ValueError(
+                f"explained_variance must be in (0, 1], got {explained_variance}"
+            )
+        self.explained_variance = explained_variance
+        self.max_components = max_components
+        self.components_: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, windows: Sequence[PackageWindow]) -> "PcaSvdDetector":
+        if not windows:
+            raise ValueError("no windows supplied")
+        matrix = window_matrix(windows)
+        self._mean, self._std = standardize_fit(matrix)
+        data = standardize_apply(matrix, self._mean, self._std)
+        _, singular_values, vt = np.linalg.svd(data, full_matrices=False)
+        energy = singular_values**2
+        ratios = np.cumsum(energy) / max(float(energy.sum()), 1e-12)
+        num_components = int(np.searchsorted(ratios, self.explained_variance) + 1)
+        if self.max_components is not None:
+            num_components = min(num_components, self.max_components)
+        num_components = max(1, min(num_components, vt.shape[0]))
+        self.components_ = vt[:num_components]
+        return self
+
+    def score(self, windows: Sequence[PackageWindow]) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PcaSvdDetector is not fitted")
+        matrix = window_matrix(windows)
+        data = standardize_apply(matrix, self._mean, self._std)
+        projected = data @ self.components_.T
+        reconstructed = projected @ self.components_
+        residual = data - reconstructed
+        return np.sqrt(np.sum(residual * residual, axis=1))

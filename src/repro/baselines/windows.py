@@ -1,0 +1,84 @@
+"""4-package command-response windows for the baseline detectors.
+
+One window = one complete polling cycle (write command, write response,
+read command, read response).  A window is labelled with the first
+non-zero attack label among its packages.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ics.features import FEATURE_NAMES, Package
+
+#: Packages per window — the gas pipeline command-response cycle.
+WINDOW_SIZE = 4
+
+PackageWindow = list[Package]
+
+
+def make_package_windows(
+    packages: Sequence[Package], window_size: int = WINDOW_SIZE
+) -> list[PackageWindow]:
+    """Chop a stream into consecutive non-overlapping windows.
+
+    A trailing remainder shorter than ``window_size`` is dropped.
+    """
+    if window_size < 1:
+        raise ValueError(f"window_size must be >= 1, got {window_size}")
+    windows = []
+    for start in range(0, len(packages) - window_size + 1, window_size):
+        windows.append(list(packages[start : start + window_size]))
+    return windows
+
+
+def window_label(window: PackageWindow) -> int:
+    """First non-zero attack label in the window (0 if fully normal)."""
+    for package in window:
+        if package.label != 0:
+            return package.label
+    return 0
+
+
+#: Numeric features per package for the vector-space baselines
+#: (time is replaced by the interval to the previous package).
+_NUMERIC_FEATURES = tuple(name for name in FEATURE_NAMES if name != "time")
+
+
+def _package_vector(package: Package, interval: float) -> list[float]:
+    row = []
+    for name in _NUMERIC_FEATURES:
+        value = package.feature(name)
+        row.append(math.nan if value is None else float(value))
+    row.append(interval)
+    return row
+
+
+def window_matrix(
+    windows: Sequence[PackageWindow], fill_value: float = -1.0
+) -> np.ndarray:
+    """Vectorize windows for SVDD / IF / GMM / PCA-SVD.
+
+    Each window becomes the concatenation of its packages' numeric
+    features plus inter-arrival intervals; missing fields become
+    ``fill_value`` (the models treat "not present" as just another
+    coordinate, as the paper's hybrid-data discussion implies).
+    """
+    if not windows:
+        return np.empty((0, 0))
+    dim = len(_NUMERIC_FEATURES) + 1
+    out = np.empty((len(windows), dim * len(windows[0])))
+    for i, window in enumerate(windows):
+        row: list[float] = []
+        previous_time: float | None = None
+        for package in window:
+            interval = 0.0 if previous_time is None else package.time - previous_time
+            previous_time = package.time
+            row.extend(_package_vector(package, interval))
+        if len(row) != out.shape[1]:
+            raise ValueError("all windows must have the same size")
+        out[i] = row
+    return np.where(np.isnan(out), fill_value, out)

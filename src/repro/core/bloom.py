@@ -1,0 +1,133 @@
+"""The Bloom filter storing the signature database (paper Section IV-C).
+
+A probabilistic membership structure: an ``m``-bit vector and ``k`` hash
+functions.  Insertion sets ``k`` positions; lookup checks them.  False
+positives are possible (tunable via ``m``/``k``), false negatives are
+not — which is exactly the property the package-level detector needs:
+a signature in the database is never flagged, so the detector's false
+positive rate is controlled purely by the discretization granularity.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.utils.hashing import DoubleHasher
+
+
+class BloomFilter:
+    """Bit-vector Bloom filter with double-hashed probe positions."""
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits < 8:
+            raise ValueError(f"num_bits must be >= 8, got {num_bits}")
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+        self._hasher = DoubleHasher(self.num_hashes, self.num_bits)
+        self._count = 0
+
+    # -- sizing ------------------------------------------------------------
+
+    @classmethod
+    def for_capacity(cls, capacity: int, false_positive_rate: float = 0.001) -> "BloomFilter":
+        """Optimally sized filter for ``capacity`` distinct elements.
+
+        Uses the classic formulas ``m = -n ln p / (ln 2)²`` and
+        ``k = (m / n) ln 2``.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError(
+                f"false_positive_rate must be in (0, 1), got {false_positive_rate}"
+            )
+        num_bits = max(8, math.ceil(-capacity * math.log(false_positive_rate) / math.log(2) ** 2))
+        num_hashes = max(1, round(num_bits / capacity * math.log(2)))
+        return cls(num_bits, num_hashes)
+
+    # -- core operations ------------------------------------------------------
+
+    def add(self, key: str) -> None:
+        """Insert a signature."""
+        for position in self._hasher.positions(key.encode("utf-8")):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self._count += 1
+
+    def update(self, keys: Iterable[str]) -> None:
+        """Insert many signatures."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: str) -> bool:
+        return all(
+            self._bits[position >> 3] & (1 << (position & 7))
+            for position in self._hasher.positions(key.encode("utf-8"))
+        )
+
+    def __len__(self) -> int:
+        """Number of insertions performed (not distinct elements)."""
+        return self._count
+
+    # -- diagnostics ------------------------------------------------------------
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set."""
+        set_bits = int(np.unpackbits(self._bits)[: self.num_bits].sum())
+        return set_bits / self.num_bits
+
+    def estimated_false_positive_rate(self) -> float:
+        """``(fill_ratio)^k`` — the lookup FP probability right now."""
+        return self.fill_ratio**self.num_hashes
+
+    def memory_bytes(self) -> int:
+        """Size of the bit vector (the paper reports model memory cost)."""
+        return int(self._bits.nbytes)
+
+    # -- set algebra ------------------------------------------------------------
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Filter containing both filters' elements (parameters must match)."""
+        if (self.num_bits, self.num_hashes) != (other.num_bits, other.num_hashes):
+            raise ValueError("can only union filters with identical parameters")
+        merged = BloomFilter(self.num_bits, self.num_hashes)
+        merged._bits = self._bits | other._bits
+        merged._count = self._count + other._count
+        return merged
+
+    # -- serialization ------------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist to ``.npz``."""
+        np.savez_compressed(
+            path,
+            bits=self._bits,
+            num_bits=np.array(self.num_bits),
+            num_hashes=np.array(self.num_hashes),
+            count=np.array(self._count),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "BloomFilter":
+        """Restore a filter saved with :meth:`save`."""
+        with np.load(path) as archive:
+            bloom = cls(int(archive["num_bits"]), int(archive["num_hashes"]))
+            bits = archive["bits"]
+            if bits.shape != bloom._bits.shape:
+                raise ValueError("corrupt archive: bit vector size mismatch")
+            bloom._bits = bits.astype(np.uint8)
+            bloom._count = int(archive["count"])
+        return bloom
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomFilter(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "
+            f"insertions={self._count})"
+        )

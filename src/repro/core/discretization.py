@@ -1,0 +1,510 @@
+"""Feature discretization: from raw packages to the vector ``c(t)``.
+
+Paper Section IV-A transforms the original feature vector ``x(t)`` into
+an ``o``-dimensional discretized vector ``c(t)`` where each element is a
+discrete feature, or the discretized representation of one or several
+continuous features.  Table III fixes the strategy for the gas pipeline:
+
+=====================  ==========================  ==============
+feature                method                      values
+=====================  ==========================  ==============
+time interval          k-means clustering          2 + 1
+crc rate               k-means clustering          2 + 1
+pressure measurement   even interval partition     20 + 1
+setpoint               even interval partition     10 + 1
+PID parameters (×5)    k-means clustering, joint   32 + 1
+=====================  ==========================  ==============
+
+The "+1" is the additional value for observations "that cannot be
+assigned to any of the clusters or intervals" — crucial for making the
+models generalize to out-of-range attack values.  We add one further
+reserved value per channel for *missing* fields (``'?'`` in the ARFF
+data), which the paper's dataset also contains.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kmeans import assign_clusters, kmeans
+from repro.ics.features import PID_PARAMETER_NAMES, Package
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+class DiscretizerNotFitted(RuntimeError):
+    """Raised when ``transform`` is called before ``fit``."""
+
+
+class _BaseDiscretizer:
+    """Shared plumbing: every discretizer maps raw value(s) → int code.
+
+    Codes ``0 .. num_regular - 1`` are regular buckets, ``num_regular``
+    is the out-of-range value and ``num_regular + 1`` the missing value.
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def num_regular(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def num_values(self) -> int:
+        """Total code count: regular buckets + out-of-range + missing."""
+        return self.num_regular + 2
+
+    @property
+    def out_of_range_code(self) -> int:
+        return self.num_regular
+
+    @property
+    def missing_code(self) -> int:
+        return self.num_regular + 1
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise DiscretizerNotFitted(f"{type(self).__name__} is not fitted")
+
+
+class KMeans1DDiscretizer(_BaseDiscretizer):
+    """Cluster a scalar feature with k-means (time interval, crc rate).
+
+    A value farther from its nearest centroid than any training member
+    of that cluster (with a small tolerance margin) is out-of-range.
+    """
+
+    def __init__(self, num_clusters: int, margin: float = 1.25, rng: SeedLike = None) -> None:
+        super().__init__()
+        if num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+        if margin < 1.0:
+            raise ValueError(f"margin must be >= 1, got {margin}")
+        self.num_clusters = num_clusters
+        self.margin = margin
+        self._rng = rng
+        self.centroids_: np.ndarray | None = None
+        self.radii_: np.ndarray | None = None
+
+    @property
+    def num_regular(self) -> int:
+        if self.centroids_ is not None:
+            return int(self.centroids_.shape[0])
+        return self.num_clusters
+
+    def fit(self, values: Sequence[float]) -> "KMeans1DDiscretizer":
+        data = np.asarray([v for v in values if v is not None], dtype=np.float64)
+        data = data[np.isfinite(data)]
+        if data.size == 0:
+            raise ValueError("no finite values to fit")
+        result = kmeans(data, self.num_clusters, rng=self._rng)
+        self.centroids_ = result.centroids[:, 0]
+        # Per-cluster radius: max training distance, floored at 5% of the
+        # global std so singleton clusters keep a sane acceptance band.
+        floor = 0.05 * float(data.std()) + 1e-12
+        radii = np.full(self.centroids_.shape[0], floor)
+        distances = np.abs(data - self.centroids_[result.assignments])
+        for j in range(self.centroids_.shape[0]):
+            member_distances = distances[result.assignments == j]
+            if member_distances.size:
+                radii[j] = max(floor, float(member_distances.max()))
+        self.radii_ = radii
+        self._fitted = True
+        return self
+
+    def transform(self, value: float | None) -> int:
+        self._require_fitted()
+        if value is None or not np.isfinite(value):
+            return self.missing_code
+        assert self.centroids_ is not None and self.radii_ is not None
+        distances = np.abs(self.centroids_ - value)
+        nearest = int(np.argmin(distances))
+        if distances[nearest] > self.margin * self.radii_[nearest]:
+            return self.out_of_range_code
+        return nearest
+
+    def transform_many(self, values: Sequence[float | None]) -> np.ndarray:
+        """Vectorized :meth:`transform` over a column."""
+        self._require_fitted()
+        assert self.centroids_ is not None and self.radii_ is not None
+        out = np.full(len(values), self.missing_code, dtype=np.int64)
+        raw = np.array(
+            [np.nan if v is None else float(v) for v in values], dtype=np.float64
+        )
+        present = np.isfinite(raw)
+        if present.any():
+            distances = np.abs(raw[present, None] - self.centroids_[None, :])
+            nearest = np.argmin(distances, axis=1)
+            nearest_distance = distances[np.arange(nearest.size), nearest]
+            codes = nearest.copy()
+            codes[nearest_distance > self.margin * self.radii_[nearest]] = (
+                self.out_of_range_code
+            )
+            out[present] = codes
+        return out
+
+
+class KMeansNDDiscretizer(_BaseDiscretizer):
+    """Jointly cluster a vector feature (the five PID parameters).
+
+    Features are standardized before clustering so parameters with
+    larger numeric ranges do not dominate the distance.
+    """
+
+    def __init__(self, num_clusters: int, margin: float = 1.25, rng: SeedLike = None) -> None:
+        super().__init__()
+        if num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+        if margin < 1.0:
+            raise ValueError(f"margin must be >= 1, got {margin}")
+        self.num_clusters = num_clusters
+        self.margin = margin
+        self._rng = rng
+        self.centroids_: np.ndarray | None = None
+        self.radii_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    @property
+    def num_regular(self) -> int:
+        if self.centroids_ is not None:
+            return int(self.centroids_.shape[0])
+        return self.num_clusters
+
+    def _standardize(self, data: np.ndarray) -> np.ndarray:
+        assert self.mean_ is not None and self.scale_ is not None
+        return (data - self.mean_) / self.scale_
+
+    def fit(self, rows: Sequence[Sequence[float] | None]) -> "KMeansNDDiscretizer":
+        complete = [row for row in rows if row is not None and all(v is not None for v in row)]
+        if not complete:
+            raise ValueError("no complete rows to fit")
+        data = np.asarray(complete, dtype=np.float64)
+        if not np.all(np.isfinite(data)):
+            raise ValueError("rows contain non-finite values")
+        self.mean_ = data.mean(axis=0)
+        self.scale_ = np.where(data.std(axis=0) > 1e-12, data.std(axis=0), 1.0)
+        standardized = (data - self.mean_) / self.scale_
+        result = kmeans(standardized, self.num_clusters, rng=self._rng)
+        self.centroids_ = result.centroids
+        floor = 0.05 * float(np.sqrt(standardized.shape[1])) + 1e-12
+        radii = np.full(self.centroids_.shape[0], floor)
+        deltas = standardized - self.centroids_[result.assignments]
+        distances = np.sqrt(np.sum(deltas * deltas, axis=1))
+        for j in range(self.centroids_.shape[0]):
+            member_distances = distances[result.assignments == j]
+            if member_distances.size:
+                radii[j] = max(floor, float(member_distances.max()))
+        self.radii_ = radii
+        self._fitted = True
+        return self
+
+    def transform(self, row: Sequence[float] | None) -> int:
+        self._require_fitted()
+        if row is None or any(v is None or not np.isfinite(v) for v in row):
+            return self.missing_code
+        assert self.centroids_ is not None and self.radii_ is not None
+        point = self._standardize(np.asarray(row, dtype=np.float64))[None, :]
+        deltas = self.centroids_ - point
+        distances = np.sqrt(np.sum(deltas * deltas, axis=1))
+        nearest = int(np.argmin(distances))
+        if distances[nearest] > self.margin * self.radii_[nearest]:
+            return self.out_of_range_code
+        return nearest
+
+    def transform_many(self, rows: Sequence[Sequence[float] | None]) -> np.ndarray:
+        self._require_fitted()
+        return np.array([self.transform(row) for row in rows], dtype=np.int64)
+
+
+class EvenIntervalDiscretizer(_BaseDiscretizer):
+    """Evenly partition the observed training range into ``n`` intervals.
+
+    Used for features without natural clusters (pressure measurement,
+    setpoint).  Values outside the training ``[min, max]`` map to the
+    out-of-range code — this is what makes the Fig.-5 validation error
+    rise with finer granularity.
+    """
+
+    def __init__(self, num_bins: int) -> None:
+        super().__init__()
+        if num_bins < 1:
+            raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+        self.num_bins = num_bins
+        self.low_: float | None = None
+        self.high_: float | None = None
+
+    @property
+    def num_regular(self) -> int:
+        return self.num_bins
+
+    def fit(self, values: Sequence[float]) -> "EvenIntervalDiscretizer":
+        data = np.asarray([v for v in values if v is not None], dtype=np.float64)
+        data = data[np.isfinite(data)]
+        if data.size == 0:
+            raise ValueError("no finite values to fit")
+        self.low_ = float(data.min())
+        self.high_ = float(data.max())
+        self._fitted = True
+        return self
+
+    def transform(self, value: float | None) -> int:
+        self._require_fitted()
+        if value is None or not np.isfinite(value):
+            return self.missing_code
+        assert self.low_ is not None and self.high_ is not None
+        if value < self.low_ or value > self.high_:
+            return self.out_of_range_code
+        if self.high_ == self.low_:
+            return 0
+        position = (value - self.low_) / (self.high_ - self.low_)
+        return min(self.num_bins - 1, int(position * self.num_bins))
+
+    def transform_many(self, values: Sequence[float | None]) -> np.ndarray:
+        self._require_fitted()
+        assert self.low_ is not None and self.high_ is not None
+        out = np.full(len(values), self.missing_code, dtype=np.int64)
+        raw = np.array(
+            [np.nan if v is None else float(v) for v in values], dtype=np.float64
+        )
+        present = np.isfinite(raw)
+        if present.any():
+            vals = raw[present]
+            if self.high_ == self.low_:
+                codes = np.zeros(vals.size, dtype=np.int64)
+            else:
+                position = (vals - self.low_) / (self.high_ - self.low_)
+                codes = np.minimum(
+                    self.num_bins - 1, (position * self.num_bins).astype(np.int64)
+                )
+            codes[(vals < self.low_) | (vals > self.high_)] = self.out_of_range_code
+            out[present] = codes
+        return out
+
+
+class IdentityDiscretizer(_BaseDiscretizer):
+    """Pass discrete features through, indexing the observed vocabulary.
+
+    Unseen values at transform time map to the out-of-range code — so
+    e.g. a Recon scan of an unknown station address or an MFCI function
+    code immediately yields a signature outside the database while the
+    LSTM's one-hot width stays fixed.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.mapping_: dict[float, int] = {}
+
+    @property
+    def num_regular(self) -> int:
+        return len(self.mapping_)
+
+    def fit(self, values: Sequence[float]) -> "IdentityDiscretizer":
+        observed = sorted(
+            {float(v) for v in values if v is not None and np.isfinite(v)}
+        )
+        if not observed:
+            raise ValueError("no values to fit")
+        self.mapping_ = {value: index for index, value in enumerate(observed)}
+        self._fitted = True
+        return self
+
+    def transform(self, value: float | None) -> int:
+        self._require_fitted()
+        if value is None or (isinstance(value, float) and not np.isfinite(value)):
+            return self.missing_code
+        code = self.mapping_.get(float(value))
+        return self.out_of_range_code if code is None else code
+
+    def transform_many(self, values: Sequence[float | None]) -> np.ndarray:
+        return np.array([self.transform(v) for v in values], dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# full-package discretization pipeline
+# ----------------------------------------------------------------------
+
+#: Discrete Table-I features passed through the identity discretizer.
+DISCRETE_FEATURES: tuple[str, ...] = (
+    "address",
+    "function",
+    "length",
+    "system_mode",
+    "control_scheme",
+    "pump",
+    "solenoid",
+    "command_response",
+)
+
+#: Channel order of the discretized vector c(t).
+CHANNEL_ORDER: tuple[str, ...] = DISCRETE_FEATURES + (
+    "interval",
+    "crc_rate",
+    "setpoint",
+    "pressure",
+    "pid",
+)
+
+
+@dataclass(frozen=True)
+class DiscretizationConfig:
+    """Granularities per Table III (defaults are the paper's choices)."""
+
+    interval_clusters: int = 2
+    crc_clusters: int = 2
+    setpoint_bins: int = 10
+    pressure_bins: int = 20
+    pid_clusters: int = 32
+    kmeans_margin: float = 1.25
+
+    def validate(self) -> "DiscretizationConfig":
+        for name in (
+            "interval_clusters",
+            "crc_clusters",
+            "setpoint_bins",
+            "pressure_bins",
+            "pid_clusters",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.kmeans_margin < 1.0:
+            raise ValueError(f"kmeans_margin must be >= 1, got {self.kmeans_margin}")
+        return self
+
+
+def intervals_of(packages: Sequence[Package], prev_time: float | None = None) -> list[float | None]:
+    """Time interval between consecutive packages.
+
+    The first package's interval is measured against ``prev_time`` when
+    given, otherwise it is missing (fragment boundaries have no
+    predecessor).
+    """
+    intervals: list[float | None] = []
+    last = prev_time
+    for package in packages:
+        intervals.append(None if last is None else package.time - last)
+        last = package.time
+    return intervals
+
+
+class FeatureDiscretizer:
+    """Discretize packages into ``c(t)`` tuples per the paper's strategy.
+
+    Channels (in :data:`CHANNEL_ORDER`): the eight discrete Table-I
+    features, then time interval, crc rate, setpoint, pressure, and the
+    jointly clustered PID parameter block.
+    """
+
+    def __init__(self, config: DiscretizationConfig | None = None, rng: SeedLike = 0) -> None:
+        self.config = (config or DiscretizationConfig()).validate()
+        interval_rng, crc_rng, pid_rng = spawn_generators(rng, 3)
+        cfg = self.config
+        self._channels: dict[str, _BaseDiscretizer] = {
+            name: IdentityDiscretizer() for name in DISCRETE_FEATURES
+        }
+        self._channels["interval"] = KMeans1DDiscretizer(
+            cfg.interval_clusters, cfg.kmeans_margin, rng=interval_rng
+        )
+        self._channels["crc_rate"] = KMeans1DDiscretizer(
+            cfg.crc_clusters, cfg.kmeans_margin, rng=crc_rng
+        )
+        self._channels["setpoint"] = EvenIntervalDiscretizer(cfg.setpoint_bins)
+        self._channels["pressure"] = EvenIntervalDiscretizer(cfg.pressure_bins)
+        self._channels["pid"] = KMeansNDDiscretizer(
+            cfg.pid_clusters, cfg.kmeans_margin, rng=pid_rng
+        )
+        self._fitted = False
+
+    # -- raw column extraction -----------------------------------------
+
+    @staticmethod
+    def _raw_columns(
+        packages: Sequence[Package], prev_time: float | None
+    ) -> dict[str, list]:
+        columns: dict[str, list] = {
+            name: [p.feature(name) for p in packages] for name in DISCRETE_FEATURES
+        }
+        columns["interval"] = intervals_of(packages, prev_time)
+        columns["crc_rate"] = [p.crc_rate for p in packages]
+        columns["setpoint"] = [p.setpoint for p in packages]
+        columns["pressure"] = [p.pressure_measurement for p in packages]
+        columns["pid"] = [
+            (
+                None
+                if any(p.feature(name) is None for name in PID_PARAMETER_NAMES)
+                else tuple(p.feature(name) for name in PID_PARAMETER_NAMES)
+            )
+            for p in packages
+        ]
+        return columns
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit(self, fragments: Sequence[Sequence[Package]]) -> "FeatureDiscretizer":
+        """Fit every channel on anomaly-free training fragments."""
+        if not fragments or all(len(f) == 0 for f in fragments):
+            raise ValueError("no training packages supplied")
+        merged: dict[str, list] = {name: [] for name in CHANNEL_ORDER}
+        for fragment in fragments:
+            columns = self._raw_columns(fragment, prev_time=None)
+            for name in CHANNEL_ORDER:
+                merged[name].extend(columns[name])
+        for name, channel in self._channels.items():
+            values = [v for v in merged[name] if v is not None]
+            if not values:
+                raise ValueError(f"channel {name!r} has no observed values")
+            channel.fit(values)
+        self._fitted = True
+        return self
+
+    # -- transforming ------------------------------------------------------
+
+    @property
+    def channel_names(self) -> tuple[str, ...]:
+        return CHANNEL_ORDER
+
+    @property
+    def cardinalities(self) -> tuple[int, ...]:
+        """Number of codes per channel (buckets + out-of-range + missing)."""
+        self._require_fitted()
+        return tuple(self._channels[name].num_values for name in CHANNEL_ORDER)
+
+    @property
+    def num_channels(self) -> int:
+        return len(CHANNEL_ORDER)
+
+    def channel(self, name: str) -> _BaseDiscretizer:
+        """Access one fitted channel (used by granularity search)."""
+        return self._channels[name]
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise DiscretizerNotFitted("FeatureDiscretizer is not fitted")
+
+    def transform_columns(
+        self, packages: Sequence[Package], prev_time: float | None = None
+    ) -> dict[str, np.ndarray]:
+        """Discretize a package sequence column-wise (fast path)."""
+        self._require_fitted()
+        raw = self._raw_columns(packages, prev_time)
+        return {
+            name: self._channels[name].transform_many(raw[name])
+            for name in CHANNEL_ORDER
+        }
+
+    def transform_sequence(
+        self, packages: Sequence[Package], prev_time: float | None = None
+    ) -> list[tuple[int, ...]]:
+        """Discretize a package sequence into ``c(t)`` tuples."""
+        columns = self.transform_columns(packages, prev_time)
+        stacked = np.stack([columns[name] for name in CHANNEL_ORDER], axis=1)
+        return [tuple(int(v) for v in row) for row in stacked]
+
+    def transform_package(
+        self, package: Package, prev_time: float | None = None
+    ) -> tuple[int, ...]:
+        """Discretize one package (streaming use)."""
+        return self.transform_sequence([package], prev_time)[0]

@@ -1,0 +1,121 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+The paper discretizes naturally clustered continuous features — the time
+interval between consecutive packages, the CRC rate, and the five PID
+parameters jointly — "using Kmeans clustering" (§VIII-A1, Table III).
+Implemented from scratch so the library has no clustering dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class KMeansResult:
+    """Fitted clustering.
+
+    Attributes
+    ----------
+    centroids:
+        ``(k, d)`` cluster centres.
+    assignments:
+        ``(n,)`` index of the nearest centroid for each training point.
+    inertia:
+        Sum of squared distances to assigned centroids.
+    """
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _plus_plus_init(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D² sampling."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]))
+    centroids[0] = data[rng.integers(0, n)]
+    closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centroids.
+            centroids[i:] = centroids[0]
+            return centroids
+        probs = closest_sq / total
+        centroids[i] = data[rng.choice(n, p=probs)]
+        closest_sq = np.minimum(
+            closest_sq, np.sum((data - centroids[i]) ** 2, axis=1)
+        )
+    return centroids
+
+
+def assign_clusters(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of the nearest centroid for every row of ``data``."""
+    # (n, k) squared distances via the expansion ||x||² - 2x·c + ||c||².
+    cross = data @ centroids.T
+    sq_data = np.sum(data * data, axis=1)[:, None]
+    sq_cent = np.sum(centroids * centroids, axis=1)[None, :]
+    return np.argmin(sq_data - 2.0 * cross + sq_cent, axis=1)
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: SeedLike = None,
+    max_iters: int = 50,
+    tol: float = 1e-8,
+) -> KMeansResult:
+    """Cluster ``data`` (``(n, d)`` or ``(n,)``) into ``k`` groups.
+
+    If fewer than ``k`` distinct points exist, the effective cluster
+    count is reduced to the number of distinct points (the paper's
+    "number of discretized values" then saturates).  Empty clusters are
+    reseeded to the point farthest from its centroid.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 1:
+        data = data[:, None]
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError(f"data must be a non-empty (n, d) array, got {data.shape}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not np.all(np.isfinite(data)):
+        raise ValueError("data contains non-finite values")
+
+    distinct = np.unique(data, axis=0)
+    k = min(k, distinct.shape[0])
+    generator = as_generator(rng)
+
+    centroids = _plus_plus_init(data, k, generator)
+    assignments = assign_clusters(data, centroids)
+    for _ in range(max_iters):
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = data[assignments == j]
+            if members.shape[0] == 0:
+                # Reseed an empty cluster at the worst-served point.
+                distances = np.sum(
+                    (data - centroids[assignments]) ** 2, axis=1
+                )
+                new_centroids[j] = data[int(np.argmax(distances))]
+            else:
+                new_centroids[j] = members.mean(axis=0)
+        shift = float(np.max(np.abs(new_centroids - centroids)))
+        centroids = new_centroids
+        assignments = assign_clusters(data, centroids)
+        if shift < tol:
+            break
+
+    inertia = float(
+        np.sum((data - centroids[assignments]) ** 2)
+    )
+    return KMeansResult(centroids=centroids, assignments=assignments, inertia=inertia)

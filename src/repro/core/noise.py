@@ -1,0 +1,107 @@
+"""Probabilistic noise for robust LSTM training (paper Section V-3).
+
+During training, each package used as time-series input is corrupted
+with probability ``p = λ / (λ + #(s(x)))`` — rare signatures are noised
+more often because they resemble real anomalies.  Corruption changes
+``d ∈ [1, l]`` randomly chosen features to different values, and an
+additional indicator feature ``c_{o+1}`` is set to 1 on noisy packages
+(at detection time the same bit carries the detector's own verdict on
+the previous package).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.signatures import SignatureVocabulary, signature_of
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+class ProbabilisticNoiser:
+    """Implements the paper's noise schedule and corruption rule.
+
+    Parameters
+    ----------
+    vocabulary:
+        Signature database with training counts ``#(s)``.
+    cardinalities:
+        Number of codes per discretized channel, bounding the corrupted
+        values.
+    lam:
+        The ``λ`` of the schedule — the expected anomaly frequency.  The
+        paper uses 10 for its experiments and notes real deployments
+        should use much smaller values.
+    max_corrupted:
+        The ``l`` bound on how many features one corruption changes
+        (must be < number of channels).
+    """
+
+    def __init__(
+        self,
+        vocabulary: SignatureVocabulary,
+        cardinalities: Sequence[int],
+        lam: float = 10.0,
+        max_corrupted: int = 3,
+        rng: SeedLike = None,
+    ) -> None:
+        check_positive("lam", lam)
+        if not 1 <= max_corrupted < len(cardinalities):
+            raise ValueError(
+                f"max_corrupted must be in [1, {len(cardinalities) - 1}], "
+                f"got {max_corrupted}"
+            )
+        if any(c < 2 for c in cardinalities):
+            raise ValueError("every channel needs >= 2 possible codes")
+        self.vocabulary = vocabulary
+        self.cardinalities = tuple(int(c) for c in cardinalities)
+        self.lam = float(lam)
+        self.max_corrupted = int(max_corrupted)
+        self._rng = as_generator(rng)
+
+    def noise_probability(self, codes: Sequence[int]) -> float:
+        """``p = λ / (λ + #(s))`` for the signature of ``codes``."""
+        count = self.vocabulary.count(signature_of(codes))
+        return self.lam / (self.lam + count)
+
+    def corrupt(self, codes: Sequence[int]) -> tuple[int, ...]:
+        """Change ``d ∈ [1, l]`` random features to different values."""
+        codes = list(int(c) for c in codes)
+        num_channels = len(self.cardinalities)
+        if len(codes) != num_channels:
+            raise ValueError(
+                f"code vector has {len(codes)} channels, expected {num_channels}"
+            )
+        d = int(self._rng.integers(1, self.max_corrupted + 1))
+        positions = self._rng.choice(num_channels, size=d, replace=False)
+        for position in positions:
+            cardinality = self.cardinalities[position]
+            shift = int(self._rng.integers(1, cardinality))
+            codes[position] = (codes[position] + shift) % cardinality
+        return tuple(codes)
+
+    def apply(
+        self, codes: Sequence[int]
+    ) -> tuple[tuple[int, ...], bool]:
+        """Maybe corrupt one package; returns ``(codes, was_noised)``."""
+        if self._rng.random() < self.noise_probability(codes):
+            return self.corrupt(codes), True
+        return tuple(int(c) for c in codes), False
+
+    def apply_sequence(
+        self, code_sequence: Sequence[Sequence[int]]
+    ) -> tuple[list[tuple[int, ...]], np.ndarray]:
+        """Apply the schedule to a whole fragment.
+
+        Returns the (possibly corrupted) code tuples and the boolean
+        noise-indicator column.
+        """
+        noised: list[tuple[int, ...]] = []
+        flags = np.zeros(len(code_sequence), dtype=bool)
+        for i, codes in enumerate(code_sequence):
+            new_codes, was_noised = self.apply(codes)
+            noised.append(new_codes)
+            flags[i] = was_noised
+        return noised, flags

@@ -1,0 +1,102 @@
+"""Package content level anomaly detection ``F_p`` (paper Section IV).
+
+``F_p(x) = 1`` iff the signature of ``x`` is not found in the Bloom
+filter holding the signature database of normal traffic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.discretization import FeatureDiscretizer
+from repro.core.signatures import SignatureVocabulary, signature_of
+from repro.ics.features import Package
+
+
+class PackageLevelDetector:
+    """Bloom-filter backed signature membership detector.
+
+    Parameters
+    ----------
+    discretizer:
+        A fitted :class:`FeatureDiscretizer` (shared with the
+        time-series detector so both levels see identical ``c(t)``).
+    bloom_false_positive_rate:
+        Target *hash-collision* FP rate of the Bloom filter itself; the
+        paper's detection-level false positives come from discretization
+        granularity, not from the filter.
+    """
+
+    def __init__(
+        self,
+        discretizer: FeatureDiscretizer,
+        bloom_false_positive_rate: float = 1e-3,
+    ) -> None:
+        self.discretizer = discretizer
+        self.bloom_false_positive_rate = bloom_false_positive_rate
+        self.bloom: BloomFilter | None = None
+        self.vocabulary: SignatureVocabulary | None = None
+
+    def fit(self, fragments: Sequence[Sequence[Package]]) -> "PackageLevelDetector":
+        """Build the signature database from anomaly-free fragments."""
+        if not fragments:
+            raise ValueError("no training fragments supplied")
+        vocabulary = SignatureVocabulary()
+        for fragment in fragments:
+            for codes in self.discretizer.transform_sequence(fragment):
+                vocabulary.add(signature_of(codes))
+        bloom = BloomFilter.for_capacity(
+            max(len(vocabulary), 1), self.bloom_false_positive_rate
+        )
+        bloom.update(vocabulary.signatures)
+        self.vocabulary = vocabulary
+        self.bloom = bloom
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.bloom is None:
+            raise RuntimeError("PackageLevelDetector is not fitted")
+
+    # -- detection ------------------------------------------------------------
+
+    def is_anomalous_codes(self, codes: Sequence[int]) -> bool:
+        """``F_p`` on an already-discretized vector."""
+        self._require_fitted()
+        assert self.bloom is not None
+        return signature_of(codes) not in self.bloom
+
+    def classify_sequence(
+        self, packages: Sequence[Package], prev_time: float | None = None
+    ) -> np.ndarray:
+        """``F_p`` for each package of a contiguous stream.
+
+        Returns a boolean array; ``True`` marks anomalies.
+        """
+        self._require_fitted()
+        assert self.bloom is not None
+        codes = self.discretizer.transform_sequence(packages, prev_time)
+        return np.array(
+            [signature_of(c) not in self.bloom for c in codes], dtype=bool
+        )
+
+    def validation_error(
+        self, fragments: Sequence[Sequence[Package]]
+    ) -> float:
+        """Proportion of clean packages flagged — the Fig.-5 metric."""
+        self._require_fitted()
+        flagged = 0
+        total = 0
+        for fragment in fragments:
+            marks = self.classify_sequence(fragment)
+            flagged += int(marks.sum())
+            total += len(marks)
+        return flagged / total if total else 0.0
+
+    def memory_bytes(self) -> int:
+        """Bloom filter memory footprint."""
+        self._require_fitted()
+        assert self.bloom is not None
+        return self.bloom.memory_bytes()

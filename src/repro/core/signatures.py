@@ -1,0 +1,109 @@
+"""Package signatures and the signature vocabulary.
+
+The signature of a package is ``s(x(t)) = g(c1, ..., co)`` where ``g`` is
+any injective generating function of the discretized features.  As the
+paper notes, "the simplest way to define g(·) is to concatenate the
+parameters to a string with a special character as the separator" — which
+is exactly what :func:`signature_of` does.
+
+:class:`SignatureVocabulary` is the signature database ``S`` built from
+anomaly-free traffic, with the occurrence counts ``#(s)`` the
+probabilistic-noise schedule needs (paper Section V-3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+#: Separator for the concatenating generating function.  Discretized
+#: features are non-negative integers, so any non-digit separator makes
+#: the concatenation injective.
+SEPARATOR = "|"
+
+
+def signature_of(code_vector: Sequence[int]) -> str:
+    """The generating function ``g(·)``: injective on integer tuples."""
+    return SEPARATOR.join(str(int(code)) for code in code_vector)
+
+
+def codes_of(signature: str) -> tuple[int, ...]:
+    """Inverse of :func:`signature_of` (handy for inspection/debugging)."""
+    if signature == "":
+        raise ValueError("empty signature")
+    return tuple(int(part) for part in signature.split(SEPARATOR))
+
+
+class SignatureVocabulary:
+    """The signature database ``S`` with ids, counts and lookups.
+
+    Signatures are assigned dense integer ids in first-seen order; ids
+    index the LSTM softmax output layer, so the vocabulary must be built
+    before the network (``num_classes = len(vocabulary)``).
+    """
+
+    def __init__(self) -> None:
+        self._id_of: dict[str, int] = {}
+        self._signatures: list[str] = []
+        self._counts: Counter[str] = Counter()
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, signature: str) -> int:
+        """Insert one occurrence; returns the signature id."""
+        existing = self._id_of.get(signature)
+        if existing is None:
+            existing = len(self._signatures)
+            self._id_of[signature] = existing
+            self._signatures.append(signature)
+        self._counts[signature] += 1
+        return existing
+
+    @classmethod
+    def from_code_vectors(
+        cls, code_vectors: Iterable[Sequence[int]]
+    ) -> "SignatureVocabulary":
+        """Build the database from discretized training vectors."""
+        vocabulary = cls()
+        for codes in code_vectors:
+            vocabulary.add(signature_of(codes))
+        return vocabulary
+
+    # -- lookups ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._id_of
+
+    def id_of(self, signature: str) -> int | None:
+        """Dense id of ``signature`` or ``None`` when unseen."""
+        return self._id_of.get(signature)
+
+    def signature_at(self, index: int) -> str:
+        """Signature string for id ``index``."""
+        return self._signatures[index]
+
+    def count(self, signature: str) -> int:
+        """Training occurrences ``#(s)`` (0 for unseen)."""
+        return self._counts.get(signature, 0)
+
+    def count_by_id(self, index: int) -> int:
+        return self._counts[self._signatures[index]]
+
+    @property
+    def signatures(self) -> list[str]:
+        """All signatures in id order (copy)."""
+        return list(self._signatures)
+
+    @property
+    def total_occurrences(self) -> int:
+        """Total training packages behind the database."""
+        return sum(self._counts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SignatureVocabulary(size={len(self)}, "
+            f"occurrences={self.total_occurrences})"
+        )

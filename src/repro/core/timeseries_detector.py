@@ -1,0 +1,316 @@
+"""Time-series level anomaly detection ``F_t`` (paper Section V).
+
+A stacked LSTM softmax classifier predicts the distribution over the
+next package's signature given the discretized history.  A package whose
+signature is not among the top-``k`` predicted signatures is flagged.
+Training can inject probabilistic noise (Section V-3) so the model stays
+robust when anomalies contaminate its input history; inputs carry an
+extra indicator bit that is 1 on noised training packages and, at
+detection time, on packages the framework itself classified anomalous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.signatures import SignatureVocabulary, signature_of
+from repro.nn.losses import top_k_sets
+from repro.nn.lstm import LSTMState
+from repro.nn.network import NetworkConfig, StackedLSTMClassifier, TrainingHistory
+from repro.nn.optimizers import Adam
+from repro.core.noise import ProbabilisticNoiser
+from repro.utils.rng import SeedLike, spawn_generators
+
+CodeVector = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TimeSeriesDetectorConfig:
+    """Architecture and training schedule of the ``F_t`` detector."""
+
+    hidden_sizes: tuple[int, ...] = (64, 64)
+    epochs: int = 20
+    batch_size: int = 8
+    bptt_len: int = 20
+    learning_rate: float = 0.01
+    k: int = 4
+    use_noise: bool = True
+    lam: float = 10.0
+    max_corrupted: int = 3
+
+    def validate(self) -> "TimeSeriesDetectorConfig":
+        if not self.hidden_sizes or any(h < 1 for h in self.hidden_sizes):
+            raise ValueError(f"bad hidden_sizes: {self.hidden_sizes}")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.lam <= 0:
+            raise ValueError(f"lam must be > 0, got {self.lam}")
+        return self
+
+
+@dataclass
+class StreamState:
+    """Recurrent context of one monitored package stream."""
+
+    lstm_states: list[LSTMState]
+    last_probs: np.ndarray | None = None
+    packages_seen: int = 0
+
+
+@dataclass
+class TimeSeriesTrainingReport:
+    """Diagnostics from :meth:`TimeSeriesDetector.fit`."""
+
+    history: TrainingHistory = field(default_factory=TrainingHistory)
+    input_size: int = 0
+    num_classes: int = 0
+
+
+class CodeEncoder:
+    """One-hot encoding of discretized vectors plus the noise bit."""
+
+    def __init__(self, cardinalities: Sequence[int]) -> None:
+        if not cardinalities:
+            raise ValueError("cardinalities must be non-empty")
+        self.cardinalities = tuple(int(c) for c in cardinalities)
+        self._offsets = np.concatenate([[0], np.cumsum(self.cardinalities[:-1])])
+        self.input_size = int(sum(self.cardinalities)) + 1  # + noise bit
+
+    def encode_sequence(
+        self, codes: Sequence[CodeVector], noise_flags: Sequence[bool] | None = None
+    ) -> np.ndarray:
+        """Encode a fragment into a ``(T, D)`` float matrix."""
+        count = len(codes)
+        out = np.zeros((count, self.input_size))
+        if count == 0:
+            return out
+        matrix = np.asarray(codes, dtype=np.int64)
+        if matrix.shape[1] != len(self.cardinalities):
+            raise ValueError(
+                f"code vectors have {matrix.shape[1]} channels, expected "
+                f"{len(self.cardinalities)}"
+            )
+        if np.any(matrix < 0) or np.any(matrix >= np.asarray(self.cardinalities)):
+            raise ValueError("code out of range for channel cardinality")
+        positions = matrix + self._offsets[None, :]
+        rows = np.repeat(np.arange(count), matrix.shape[1])
+        out[rows, positions.reshape(-1)] = 1.0
+        if noise_flags is not None:
+            out[:, -1] = np.asarray(noise_flags, dtype=np.float64)
+        return out
+
+    def encode_one(self, codes: CodeVector, noise_flag: bool) -> np.ndarray:
+        """Encode a single package vector (streaming use)."""
+        return self.encode_sequence([codes], [noise_flag])[0]
+
+
+class TimeSeriesDetector:
+    """The stacked-LSTM top-k detector over signature streams.
+
+    Operates on *discretized* code vectors; pair it with a
+    :class:`~repro.core.discretization.FeatureDiscretizer` (the combined
+    framework does this wiring).
+    """
+
+    def __init__(
+        self,
+        vocabulary: SignatureVocabulary,
+        cardinalities: Sequence[int],
+        config: TimeSeriesDetectorConfig | None = None,
+        rng: SeedLike = 0,
+    ) -> None:
+        if len(vocabulary) < 2:
+            raise ValueError(
+                f"vocabulary must contain >= 2 signatures, got {len(vocabulary)}"
+            )
+        self.config = (config or TimeSeriesDetectorConfig()).validate()
+        self.vocabulary = vocabulary
+        self.encoder = CodeEncoder(cardinalities)
+        model_rng, self._noise_rng, self._train_rng = spawn_generators(rng, 3)
+        self.model = StackedLSTMClassifier(
+            NetworkConfig(
+                input_size=self.encoder.input_size,
+                hidden_sizes=self.config.hidden_sizes,
+                num_classes=len(vocabulary),
+            ),
+            rng=model_rng,
+        )
+        self.k = self.config.k
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+
+    def _target_ids(self, codes: Sequence[CodeVector]) -> np.ndarray:
+        ids = []
+        for vector in codes:
+            identifier = self.vocabulary.id_of(signature_of(vector))
+            if identifier is None:
+                raise ValueError(
+                    "training fragment contains a signature outside the "
+                    "vocabulary; build the vocabulary from the same data"
+                )
+            ids.append(identifier)
+        return np.asarray(ids, dtype=np.int64)
+
+    def _encode_fragment(
+        self, codes: Sequence[CodeVector], noiser: ProbabilisticNoiser | None
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Build one supervised fragment: inputs 0..T-2 predict 1..T-1."""
+        if len(codes) < 2:
+            return None
+        targets = self._target_ids(codes)[1:]
+        if noiser is None:
+            inputs = self.encoder.encode_sequence(
+                codes[:-1], np.zeros(len(codes) - 1, dtype=bool)
+            )
+        else:
+            noised, flags = noiser.apply_sequence(codes[:-1])
+            inputs = self.encoder.encode_sequence(noised, flags)
+        return inputs, targets
+
+    def fit(
+        self,
+        fragments: Sequence[Sequence[CodeVector]],
+        verbose: bool = False,
+    ) -> TimeSeriesTrainingReport:
+        """Train on anomaly-free discretized fragments.
+
+        Noise (when enabled) is re-sampled every epoch, so across the
+        run the model sees many corruption patterns per package.
+        """
+        usable = [f for f in fragments if len(f) >= 2]
+        if not usable:
+            raise ValueError("no fragments with >= 2 packages supplied")
+        noiser = None
+        if self.config.use_noise:
+            noiser = ProbabilisticNoiser(
+                self.vocabulary,
+                self.encoder.cardinalities,
+                lam=self.config.lam,
+                max_corrupted=self.config.max_corrupted,
+                rng=self._noise_rng,
+            )
+        optimizer = Adam(learning_rate=self.config.learning_rate)
+        report = TimeSeriesTrainingReport(
+            input_size=self.encoder.input_size, num_classes=len(self.vocabulary)
+        )
+        for epoch in range(self.config.epochs):
+            encoded = []
+            for fragment in usable:
+                pair = self._encode_fragment(fragment, noiser)
+                if pair is not None:
+                    encoded.append(pair)
+            history = self.model.fit(
+                encoded,
+                epochs=1,
+                batch_size=self.config.batch_size,
+                bptt_len=self.config.bptt_len,
+                optimizer=optimizer,
+                rng=self._train_rng,
+            )
+            report.history.losses.extend(history.losses)
+            if verbose:  # pragma: no cover - console output
+                print(
+                    f"[ts-detector] epoch {epoch + 1}/{self.config.epochs} "
+                    f"loss={history.losses[-1]:.4f}"
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    # offline evaluation (used to choose k)
+    # ------------------------------------------------------------------
+
+    def top_k_errors(
+        self, fragments: Sequence[Sequence[CodeVector]], ks: Sequence[int]
+    ) -> dict[int, float]:
+        """``err_k`` for every ``k`` over clean fragments.
+
+        Signatures absent from the vocabulary can never be in the top-k
+        set, so they count as misses — matching ``F_t`` behaviour.
+        """
+        if any(k < 1 for k in ks):
+            raise ValueError("all ks must be >= 1")
+        misses = {k: 0 for k in ks}
+        total = 0
+        for fragment in fragments:
+            if len(fragment) < 2:
+                continue
+            inputs = self.encoder.encode_sequence(
+                fragment[:-1], np.zeros(len(fragment) - 1, dtype=bool)
+            )
+            probs = self.model.predict_proba(inputs)
+            target_ids = np.array(
+                [
+                    -1
+                    if (i := self.vocabulary.id_of(signature_of(v))) is None
+                    else i
+                    for v in fragment[1:]
+                ]
+            )
+            total += len(target_ids)
+            for k in ks:
+                sets = top_k_sets(probs, k)
+                hits = (sets == target_ids[:, None]).any(axis=1)
+                misses[k] += int((~hits).sum())
+        if total == 0:
+            return {k: 0.0 for k in ks}
+        return {k: misses[k] / total for k in ks}
+
+    # ------------------------------------------------------------------
+    # streaming detection
+    # ------------------------------------------------------------------
+
+    def new_stream(self) -> StreamState:
+        """Fresh recurrent state for one monitored stream."""
+        return StreamState(lstm_states=self.model.init_state(1))
+
+    def observe(
+        self,
+        codes: CodeVector,
+        state: StreamState,
+        forced_verdict: bool | None = None,
+    ) -> tuple[bool, StreamState]:
+        """Process one package; returns ``(is_anomalous, new_state)``.
+
+        ``F_t`` cannot judge the very first package of a stream (no
+        history), so it passes.  ``forced_verdict`` lets the combined
+        framework feed the Bloom filter's verdict into the noise bit
+        without re-running the top-k check.
+        """
+        if forced_verdict is None:
+            if state.last_probs is None:
+                verdict = False
+            else:
+                identifier = self.vocabulary.id_of(signature_of(codes))
+                if identifier is None:
+                    verdict = True
+                else:
+                    top = top_k_sets(state.last_probs[None, :], self.k)[0]
+                    verdict = identifier not in top
+        else:
+            verdict = forced_verdict
+        x = self.encoder.encode_one(codes, noise_flag=verdict)
+        probs, lstm_states = self.model.step(x, state.lstm_states)
+        return verdict, StreamState(
+            lstm_states=lstm_states,
+            last_probs=probs,
+            packages_seen=state.packages_seen + 1,
+        )
+
+    def classify_sequence(self, codes: Sequence[CodeVector]) -> np.ndarray:
+        """Run streaming detection over a whole code sequence."""
+        state = self.new_stream()
+        verdicts = np.zeros(len(codes), dtype=bool)
+        for i, vector in enumerate(codes):
+            verdicts[i], state = self.observe(vector, state)
+        return verdicts
+
+    def memory_bytes(self) -> int:
+        """Model parameter memory (for the paper's cost accounting)."""
+        return self.model.memory_bytes()

@@ -1,0 +1,30 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+Each table/figure of the evaluation maps to one harness function (see
+DESIGN.md's per-experiment index) and one benchmark under
+``benchmarks/`` that runs it and prints paper-vs-measured rows.
+"""
+
+from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.experiments.figures import (
+    fig4_histograms,
+    fig5_granularity,
+    fig6_topk_curves,
+    fig7_metrics_vs_k,
+)
+from repro.experiments.pipeline import PipelineResult, run_pipeline
+from repro.experiments.profiles import PROFILES, Profile, get_profile
+
+__all__ = [
+    "ComparisonResult",
+    "run_comparison",
+    "fig4_histograms",
+    "fig5_granularity",
+    "fig6_topk_curves",
+    "fig7_metrics_vs_k",
+    "PipelineResult",
+    "run_pipeline",
+    "PROFILES",
+    "Profile",
+    "get_profile",
+]

@@ -1,0 +1,104 @@
+"""The model comparison behind Tables IV and V.
+
+Runs the combined framework (package level) and all six baselines
+(4-package window level, as in §VIII-C) on one dataset, collecting the
+four headline metrics and the per-attack detected ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.baselines import (
+    BayesianNetworkDetector,
+    GaussianMixtureDetector,
+    IsolationForestDetector,
+    PcaSvdDetector,
+    SvddDetector,
+    WindowedBloomDetector,
+    make_package_windows,
+    window_label,
+)
+from repro.core.metrics import DetectionMetrics, evaluate_detection, per_attack_recall
+from repro.experiments.pipeline import PipelineResult, run_pipeline
+
+#: Model display order, matching paper Table IV.
+MODEL_ORDER = ("Our framework", "BF", "BN", "SVDD", "IF", "GMM", "PCA-SVD")
+
+
+@dataclass
+class ComparisonResult:
+    """Metrics and per-attack recalls for every model (Tables IV + V)."""
+
+    pipeline: PipelineResult
+    metrics: dict[str, DetectionMetrics]
+    attack_recalls: dict[str, dict[int, float]]
+
+
+def _windowize(pipeline: PipelineResult):
+    dataset = pipeline.dataset
+    train = [w for f in dataset.train_fragments for w in make_package_windows(f)]
+    validation = [
+        w for f in dataset.validation_fragments for w in make_package_windows(f)
+    ]
+    test = make_package_windows(dataset.test_packages)
+    labels = np.array([window_label(w) for w in test])
+    return train, validation, test, labels
+
+
+def run_comparison(
+    profile: str = "default", seed: int | None = None
+) -> ComparisonResult:
+    """Evaluate the framework and all baselines on one profile."""
+    if seed is None:
+        return _run_comparison_cached(profile)
+    return _run_comparison(profile, seed)
+
+
+@lru_cache(maxsize=2)
+def _run_comparison_cached(profile: str) -> ComparisonResult:
+    return _run_comparison(profile, None)
+
+
+def _run_comparison(profile: str, seed: int | None) -> ComparisonResult:
+    pipeline = run_pipeline(profile, seed=seed)
+    train_w, val_w, test_w, window_labels = _windowize(pipeline)
+    base_seed = pipeline.profile.seed
+
+    metrics: dict[str, DetectionMetrics] = {
+        "Our framework": pipeline.metrics
+    }
+    recalls: dict[str, dict[int, float]] = {
+        "Our framework": pipeline.attack_recalls
+    }
+
+    supervised = [
+        WindowedBloomDetector(rng=base_seed),
+        BayesianNetworkDetector(rng=base_seed),
+        SvddDetector(rng=base_seed),
+        IsolationForestDetector(rng=base_seed),
+    ]
+    for detector in supervised:
+        detector.fit(train_w)
+        detector.tune_threshold(val_w)
+        predictions = detector.predict(test_w)
+        metrics[detector.name] = evaluate_detection(window_labels, predictions)
+        recalls[detector.name] = per_attack_recall(window_labels, predictions)
+
+    unsupervised = [
+        GaussianMixtureDetector(rng=base_seed),
+        PcaSvdDetector(),
+    ]
+    for detector in unsupervised:
+        predictions = detector.fit_predict(test_w)
+        metrics[detector.name] = evaluate_detection(window_labels, predictions)
+        recalls[detector.name] = per_attack_recall(window_labels, predictions)
+
+    ordered_metrics = {name: metrics[name] for name in MODEL_ORDER}
+    ordered_recalls = {name: recalls[name] for name in MODEL_ORDER}
+    return ComparisonResult(
+        pipeline=pipeline, metrics=ordered_metrics, attack_recalls=ordered_recalls
+    )

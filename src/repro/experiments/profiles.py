@@ -1,0 +1,64 @@
+"""Experiment size profiles.
+
+The paper trains a 2×256 LSTM for 50 epochs on ~275k packages (35 min on
+a 3.4 GHz workstation).  Our substrate is a pure-numpy LSTM, so the
+default experiment profile is scaled down while preserving every
+structural property the evaluation tests; the ``paper`` profile matches
+the original scale for anyone willing to wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.combined import DetectorConfig
+from repro.core.timeseries_detector import TimeSeriesDetectorConfig
+from repro.ics.dataset import DatasetConfig
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One named experiment size."""
+
+    name: str
+    dataset: DatasetConfig
+    detector: DetectorConfig
+    seed: int = 7
+
+    def with_seed(self, seed: int) -> "Profile":
+        return replace(self, seed=seed)
+
+
+PROFILES: dict[str, Profile] = {
+    "ci": Profile(
+        name="ci",
+        dataset=DatasetConfig(num_cycles=900),
+        detector=DetectorConfig(
+            timeseries=TimeSeriesDetectorConfig(hidden_sizes=(24,), epochs=6)
+        ),
+    ),
+    "default": Profile(
+        name="default",
+        dataset=DatasetConfig(num_cycles=10_000),
+        detector=DetectorConfig(
+            timeseries=TimeSeriesDetectorConfig(hidden_sizes=(64, 64), epochs=30)
+        ),
+    ),
+    "paper": Profile(
+        name="paper",
+        dataset=DatasetConfig(num_cycles=68_000),
+        detector=DetectorConfig(
+            timeseries=TimeSeriesDetectorConfig(hidden_sizes=(256, 256), epochs=50)
+        ),
+    ),
+}
+
+
+def get_profile(name: str) -> Profile:
+    """Look up a profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

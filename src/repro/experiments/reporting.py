@@ -1,0 +1,93 @@
+"""Paper reference values and paper-vs-measured rendering.
+
+The constants below are transcribed from the paper's Tables IV and V and
+the §VIII-A2 cost figures, so every benchmark can print the published
+number next to the measured one.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import DetectionMetrics
+from repro.ics.attacks import ATTACK_NAMES
+
+#: Paper Table IV: (precision, recall, accuracy, F1) per model.
+PAPER_TABLE_IV: dict[str, tuple[float, float, float, float]] = {
+    "Our framework": (0.94, 0.78, 0.92, 0.85),
+    "BF": (0.97, 0.59, 0.87, 0.73),
+    "BN": (0.97, 0.59, 0.87, 0.73),
+    "SVDD": (0.95, 0.21, 0.76, 0.34),
+    "IF": (0.51, 0.13, 0.70, 0.20),
+    "GMM": (0.79, 0.44, 0.45, 0.59),
+    "PCA-SVD": (0.65, 0.28, 0.17, 0.27),
+}
+
+#: Paper Table V: detected ratio per attack type per model.
+PAPER_TABLE_V: dict[str, dict[int, float]] = {
+    "Our framework": {1: 0.88, 2: 0.67, 3: 0.62, 4: 0.80, 5: 1.00, 6: 0.94, 7: 1.00},
+    "BF": {1: 0.77, 2: 0.53, 3: 0.18, 4: 0.49, 5: 1.00, 6: 0.93, 7: 1.00},
+    "BN": {1: 0.77, 2: 0.53, 3: 0.53, 4: 0.34, 5: 1.00, 6: 0.93, 7: 1.00},
+    "SVDD": {1: 0.01, 2: 0.02, 3: 0.19, 4: 0.26, 5: 1.00, 6: 0.40, 7: 1.00},
+    "IF": {1: 0.13, 2: 0.08, 3: 0.46, 4: 0.08, 5: 0.00, 6: 0.12, 7: 0.12},
+    "GMM": {1: 0.31, 2: 0.33, 3: 0.66, 4: 0.64, 5: 0.32, 6: 0.15, 7: 0.72},
+    "PCA-SVD": {1: 0.45, 2: 0.19, 3: 0.62, 4: 0.66, 5: 0.54, 6: 0.58, 7: 0.54},
+}
+
+#: §VIII-A2 cost figures on the authors' workstation.
+PAPER_COSTS = {
+    "training_minutes": 35.0,
+    "classification_ms": 0.03,
+    "model_memory_kb": 684.0,
+    "signature_database_size": 613,
+    "chosen_k": 4,
+    "package_theta": 0.03,
+    "timeseries_theta": 0.05,
+}
+
+
+def format_table_iv(measured: dict[str, DetectionMetrics]) -> str:
+    """Table IV with paper values beside measured ones."""
+    header = (
+        f"{'Model':<16}{'P(paper)':>9}{'P':>6}{'R(paper)':>9}{'R':>6}"
+        f"{'Acc(paper)':>11}{'Acc':>6}{'F1(paper)':>10}{'F1':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for model, metrics in measured.items():
+        paper = PAPER_TABLE_IV.get(model)
+        paper_cells = (
+            [f"{v:.2f}" for v in paper] if paper else ["-"] * 4
+        )
+        lines.append(
+            f"{model:<16}"
+            f"{paper_cells[0]:>9}{metrics.precision:>6.2f}"
+            f"{paper_cells[1]:>9}{metrics.recall:>6.2f}"
+            f"{paper_cells[2]:>11}{metrics.accuracy:>6.2f}"
+            f"{paper_cells[3]:>10}{metrics.f1_score:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table_v(measured: dict[str, dict[int, float]]) -> str:
+    """Table V (per-attack detected ratio), paper value in parentheses."""
+    models = list(measured)
+    attack_ids = sorted(
+        {a for ratios in measured.values() for a in ratios}
+    )
+    header = f"{'Attack':<8}" + "".join(f"{m:>22}" for m in models)
+    lines = [header, "-" * len(header)]
+    for attack_id in attack_ids:
+        name = ATTACK_NAMES.get(attack_id, str(attack_id))
+        row = f"{name:<8}"
+        for model in models:
+            value = measured[model].get(attack_id)
+            paper = PAPER_TABLE_V.get(model, {}).get(attack_id)
+            cell = "-" if value is None else f"{value:.2f}"
+            paper_cell = "-" if paper is None else f"{paper:.2f}"
+            row += f"{cell + ' (' + paper_cell + ')':>22}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_curve(name: str, curve: dict[int, float]) -> str:
+    """One top-k error curve as a compact row."""
+    cells = "  ".join(f"k={k}:{v:.3f}" for k, v in sorted(curve.items()))
+    return f"{name:<28} {cells}"

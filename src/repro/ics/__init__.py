@@ -1,0 +1,51 @@
+"""Gas pipeline SCADA substrate.
+
+The paper evaluates on the Morris et al. gas pipeline dataset [23]: network
+traffic captured from a laboratory-scale testbed in which a SCADA master
+polls a PLC over Modbus while a PID loop maintains pipeline air pressure,
+and an AutoIt script injects seven categories of cyber attacks.  The
+original capture is not redistributable offline, so this subpackage is a
+full generative reimplementation of that testbed:
+
+- :mod:`repro.ics.pid` — the PID control scheme (gain, reset rate, rate,
+  deadband, cycle time),
+- :mod:`repro.ics.plant` — pipeline pressure physics (compressor, leak,
+  solenoid relief valve, process noise),
+- :mod:`repro.ics.modbus` — Modbus RTU framing with CRC-16/MODBUS,
+- :mod:`repro.ics.features` — the 17 ARFF features of paper Table I,
+- :mod:`repro.ics.scada` — the master/slave polling loop that emits
+  4-package command-response cycles,
+- :mod:`repro.ics.attacks` — the 7 attack types of paper Table II,
+- :mod:`repro.ics.arff` — ARFF serialization matching the original schema,
+- :mod:`repro.ics.dataset` — train/validation/test assembly with anomaly
+  removal and fragment extraction, as in paper Section VIII.
+"""
+
+from repro.ics.arff import read_arff, write_arff
+from repro.ics.attacks import ATTACK_NAMES, AttackConfig, AttackInjector
+from repro.ics.dataset import DatasetConfig, GasPipelineDataset, generate_dataset
+from repro.ics.features import FEATURE_NAMES, Package
+from repro.ics.modbus import ModbusFrame, crc16_modbus
+from repro.ics.pid import PIDController
+from repro.ics.plant import GasPipelinePlant, PlantConfig
+from repro.ics.scada import ScadaConfig, ScadaSimulator
+
+__all__ = [
+    "read_arff",
+    "write_arff",
+    "ATTACK_NAMES",
+    "AttackConfig",
+    "AttackInjector",
+    "DatasetConfig",
+    "GasPipelineDataset",
+    "generate_dataset",
+    "FEATURE_NAMES",
+    "Package",
+    "ModbusFrame",
+    "crc16_modbus",
+    "PIDController",
+    "GasPipelinePlant",
+    "PlantConfig",
+    "ScadaConfig",
+    "ScadaSimulator",
+]

@@ -1,0 +1,124 @@
+"""ARFF serialization for the gas pipeline schema.
+
+The original dataset ships as Attribute-Relation File Format with one row
+per network package, ``'?'`` marking inapplicable fields, and a nominal
+class label.  This module writes and reads that exact shape so externally
+produced captures can flow into the detectors and our simulated captures
+can be archived for inspection.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Iterable
+
+from repro.ics.attacks import ATTACK_NAMES
+from repro.ics.features import FEATURE_NAMES, Package
+
+_RELATION = "gas_pipeline"
+
+#: Attribute declarations: (name, arff type string).
+_NUMERIC = "numeric"
+_ATTRIBUTES: list[tuple[str, str]] = [(name, _NUMERIC) for name in FEATURE_NAMES] + [
+    ("label", "{" + ",".join(str(i) for i in sorted(ATTACK_NAMES)) + "}")
+]
+
+
+def write_arff(packages: Iterable[Package], path: str | os.PathLike) -> None:
+    """Write packages to ``path`` in ARFF format (one row per package)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"@relation {_RELATION}\n\n")
+        for name, type_decl in _ATTRIBUTES:
+            handle.write(f"@attribute {name} {type_decl}\n")
+        handle.write("\n@data\n")
+        for package in packages:
+            cells = []
+            for value in package.to_row():
+                if isinstance(value, float) and math.isnan(value):
+                    cells.append("?")
+                elif float(value).is_integer():
+                    cells.append(str(int(value)))
+                else:
+                    cells.append(f"{value:.6f}")
+            cells.append(str(package.label))
+            handle.write(",".join(cells) + "\n")
+
+
+class ArffFormatError(ValueError):
+    """Raised when an ARFF file does not match the gas pipeline schema."""
+
+
+def read_arff(path: str | os.PathLike) -> list[Package]:
+    """Read packages from an ARFF file written by :func:`write_arff`.
+
+    Validates the header against the expected schema and raises
+    :class:`ArffFormatError` with the offending line number on malformed
+    rows, rather than silently skipping data.
+    """
+    packages: list[Package] = []
+    expected_names = [name for name, _ in _ATTRIBUTES]
+    declared: list[str] = []
+    in_data = False
+    with open(path, encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("%"):
+                continue
+            lowered = line.lower()
+            if not in_data:
+                if lowered.startswith("@relation"):
+                    continue
+                if lowered.startswith("@attribute"):
+                    parts = line.split(None, 2)
+                    if len(parts) < 3:
+                        raise ArffFormatError(
+                            f"line {line_number}: malformed @attribute: {line!r}"
+                        )
+                    declared.append(parts[1])
+                    continue
+                if lowered.startswith("@data"):
+                    if declared != expected_names:
+                        raise ArffFormatError(
+                            "attribute list does not match the gas pipeline "
+                            f"schema: got {declared}"
+                        )
+                    in_data = True
+                    continue
+                raise ArffFormatError(f"line {line_number}: unexpected header line {line!r}")
+            packages.append(_parse_data_row(line, line_number))
+    if not in_data:
+        raise ArffFormatError("no @data section found")
+    return packages
+
+
+def _parse_data_row(line: str, line_number: int) -> Package:
+    cells = [cell.strip() for cell in line.split(",")]
+    if len(cells) != len(_ATTRIBUTES):
+        raise ArffFormatError(
+            f"line {line_number}: expected {len(_ATTRIBUTES)} cells, got {len(cells)}"
+        )
+    row: list[float] = []
+    for name, cell in zip(FEATURE_NAMES, cells):
+        if cell == "?":
+            row.append(math.nan)
+        else:
+            try:
+                row.append(float(cell))
+            except ValueError as exc:
+                raise ArffFormatError(
+                    f"line {line_number}: bad numeric value {cell!r} for {name}"
+                ) from exc
+    label_cell = cells[-1]
+    try:
+        label = int(label_cell)
+    except ValueError as exc:
+        raise ArffFormatError(
+            f"line {line_number}: bad label {label_cell!r}"
+        ) from exc
+    if label not in ATTACK_NAMES:
+        raise ArffFormatError(f"line {line_number}: unknown label {label}")
+    try:
+        return Package.from_row(row, label=label)
+    except (TypeError, ValueError) as exc:
+        raise ArffFormatError(f"line {line_number}: {exc}") from exc

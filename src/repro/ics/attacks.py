@@ -1,0 +1,391 @@
+"""The seven attack types of paper Table II.
+
+The original testbed used an AutoIt script that "randomly chooses to send
+legal commands or launch cyber attacks" able to "inject, delay, drop and
+alter network traffic".  :class:`AttackInjector` plays that role: it
+drives a :class:`~repro.ics.scada.ScadaSimulator` and interleaves attack
+episodes with normal polling cycles.
+
+Each attack type reproduces the *detectable structure* of its real
+counterpart:
+
+===  =====  ================================================================
+id   name   behaviour
+===  =====  ================================================================
+1    NMRI   naive malicious response injection — fabricated read responses
+            with random pressure values (often outside the trained range)
+2    CMRI   complex malicious response injection — replayed stale state
+            snapshots that hide the real process state; individually
+            plausible, contextually wrong
+3    MSCI   malicious state command injection — the cycle's write command
+            is altered in flight to flip system mode / pump / solenoid
+            (and the altered command really executes on the PLC)
+4    MPCI   malicious parameter command injection — the write command is
+            altered to carry randomized setpoint / PID parameters
+            (really executes)
+5    MFCI   malicious function code injection — the command/response pair
+            is rewritten with function codes the master never uses
+6    DoS    flood of malformed rapid commands that also delays the
+            legitimate cycle and can drop its response; the first delayed
+            package after the flood is attack-labelled (its timing is the
+            direct effect of the flood)
+7    Recon  scans of other station addresses to enumerate devices
+===  =====  ================================================================
+
+Injected packages (and the slave acknowledgements they provoke) carry the
+attack id in :attr:`Package.label`; everything else stays label 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ics import modbus
+from repro.ics.features import COMMAND, MODE_MANUAL, MODE_OFF, RESPONSE, Package
+from repro.ics.modbus import FunctionCode
+from repro.ics.scada import ScadaSimulator
+from repro.utils.rng import SeedLike, as_generator
+
+#: Attack id → canonical name (0 is normal traffic).
+ATTACK_NAMES: dict[int, str] = {
+    0: "Normal",
+    1: "NMRI",
+    2: "CMRI",
+    3: "MSCI",
+    4: "MPCI",
+    5: "MFCI",
+    6: "DoS",
+    7: "Recon",
+}
+
+NMRI, CMRI, MSCI, MPCI, MFCI, DOS, RECON = 1, 2, 3, 4, 5, 6, 7
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Scheduling and intensity of attack episodes."""
+
+    p_episode_start: float = 0.10  # per cycle, when idle
+    episode_cycles_mean: float = 8.0
+    enabled_types: tuple[int, ...] = (NMRI, CMRI, MSCI, MPCI, MFCI, DOS, RECON)
+
+    dos_flood_min: int = 6
+    dos_flood_max: int = 14
+    dos_drop_response_p: float = 0.5
+    recon_scan_min: int = 2
+    recon_scan_max: int = 5
+
+    def validate(self) -> "AttackConfig":
+        if not 0.0 <= self.p_episode_start <= 1.0:
+            raise ValueError(
+                f"p_episode_start must be in [0, 1], got {self.p_episode_start}"
+            )
+        if self.episode_cycles_mean <= 0:
+            raise ValueError(
+                f"episode_cycles_mean must be > 0, got {self.episode_cycles_mean}"
+            )
+        if not self.enabled_types:
+            raise ValueError("at least one attack type must be enabled")
+        invalid = set(self.enabled_types) - (set(ATTACK_NAMES) - {0})
+        if invalid:
+            raise ValueError(f"invalid attack types: {sorted(invalid)}")
+        if self.dos_flood_min < 1 or self.dos_flood_max < self.dos_flood_min:
+            raise ValueError("invalid DoS flood bounds")
+        if self.recon_scan_min < 1 or self.recon_scan_max < self.recon_scan_min:
+            raise ValueError("invalid recon scan bounds")
+        return self
+
+
+class AttackInjector:
+    """Drives a simulator, interleaving normal cycles and attack episodes."""
+
+    def __init__(
+        self,
+        simulator: ScadaSimulator,
+        config: AttackConfig | None = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self.sim = simulator
+        self.config = (config or AttackConfig()).validate()
+        self._rng = as_generator(rng)
+        self._episode_type = 0
+        self._episode_left = 0
+        self._stale_snapshot: Package | None = None
+        self._last_read_response: Package | None = None
+        self._label_next_package = False
+
+    # ------------------------------------------------------------------
+
+    def run(self, num_cycles: int) -> list[Package]:
+        """Produce ``num_cycles`` polling cycles with attacks interleaved."""
+        if num_cycles < 0:
+            raise ValueError(f"num_cycles must be >= 0, got {num_cycles}")
+        stream: list[Package] = []
+        for _ in range(num_cycles):
+            if self._episode_left <= 0 and self._rng.random() < self.config.p_episode_start:
+                self._start_episode()
+            if self._episode_left > 0:
+                packages = self._attack_cycle(self._episode_type)
+                self._episode_left -= 1
+            else:
+                packages = self._normal_cycle()
+            if self._label_next_package and packages:
+                # The first package after a DoS flood arrives with timing
+                # the flood directly caused; the capture labels it.
+                packages[0] = packages[0].replace(
+                    label=packages[0].label or DOS
+                )
+                self._label_next_package = False
+            stream.extend(packages)
+        return stream
+
+    def _start_episode(self) -> None:
+        types = self.config.enabled_types
+        self._episode_type = int(types[self._rng.integers(0, len(types))])
+        self._episode_left = max(
+            1, int(self._rng.poisson(self.config.episode_cycles_mean))
+        )
+        # CMRI replays the state observed just before the episode began.
+        self._stale_snapshot = self._last_read_response
+
+    def _normal_cycle(self) -> list[Package]:
+        packages = self.sim.run_cycle()
+        self._last_read_response = packages[-1]
+        return packages
+
+    # ------------------------------------------------------------------
+    # per-type attack cycles
+    # ------------------------------------------------------------------
+
+    def _attack_cycle(self, attack_type: int) -> list[Package]:
+        handler = {
+            NMRI: self._cycle_nmri,
+            CMRI: self._cycle_cmri,
+            MSCI: self._cycle_msci,
+            MPCI: self._cycle_mpci,
+            MFCI: self._cycle_mfci,
+            DOS: self._cycle_dos,
+            RECON: self._cycle_recon,
+        }[attack_type]
+        return handler()
+
+    # -- NMRI -----------------------------------------------------------
+
+    def _cycle_nmri(self) -> list[Package]:
+        """Replace the genuine read response with a random fabrication."""
+        rng = self._rng
+
+        def forge(genuine: Package) -> Package:
+            changes: dict[str, float | int | None] = {
+                "pressure_measurement": float(
+                    rng.uniform(0.0, 1.2 * self.sim.plant.config.max_pressure)
+                ),
+                "label": NMRI,
+            }
+            if rng.random() < 0.3:
+                # The naive injector also garbles reported actuator state.
+                changes["pump"] = int(rng.integers(0, 2))
+                changes["solenoid"] = int(rng.integers(0, 2))
+            return genuine.replace(**changes)
+
+        return self.sim.run_cycle(alter_read_response=forge)
+
+    # -- CMRI -----------------------------------------------------------
+
+    def _cycle_cmri(self) -> list[Package]:
+        """Hide the real process state behind stale or synthetic responses."""
+        rng = self._rng
+
+        def forge(genuine: Package) -> Package:
+            snapshot = self._stale_snapshot or genuine
+            if rng.random() < 0.45:
+                # Pure replay: the stale snapshot, fresh timestamps.  Each
+                # field is individually normal; only context gives it away.
+                return snapshot.replace(
+                    time=genuine.time,
+                    crc_rate=genuine.crc_rate,
+                    pressure_measurement=(
+                        None
+                        if snapshot.pressure_measurement is None
+                        else float(
+                            snapshot.pressure_measurement + rng.normal(0.0, 0.02)
+                        )
+                    ),
+                    label=CMRI,
+                )
+            # Sloppier forgery: plausible-looking numbers, impossible combo.
+            return genuine.replace(
+                pressure_measurement=float(
+                    rng.uniform(0.0, 1.1 * self.sim.plant.config.max_pressure)
+                ),
+                system_mode=MODE_OFF if rng.random() < 0.5 else genuine.system_mode,
+                pump=1,
+                solenoid=int(rng.integers(0, 2)),
+                label=CMRI,
+            )
+
+        return self.sim.run_cycle(alter_read_response=forge)
+
+    # -- command alterations ----------------------------------------------
+
+    def _cycle_msci(self) -> list[Package]:
+        """Alter the cycle's write command to flip plant state (executes)."""
+        rng = self._rng
+
+        def alter(genuine: Package) -> Package:
+            roll = rng.random()
+            if roll < 0.45:
+                return genuine.replace(
+                    system_mode=MODE_MANUAL,
+                    pump=int(rng.integers(0, 2)),
+                    solenoid=int(rng.integers(0, 2)),
+                    label=MSCI,
+                )
+            if roll < 0.8:
+                return genuine.replace(
+                    system_mode=MODE_OFF, pump=0, solenoid=0, label=MSCI
+                )
+            # Physically impossible combination never seen in training.
+            return genuine.replace(
+                system_mode=MODE_OFF, pump=1, solenoid=1, label=MSCI
+            )
+
+        return self.sim.run_cycle(alter_command=alter)
+
+    def _cycle_mpci(self) -> list[Package]:
+        """Alter the write command's setpoint / PID parameters (executes)."""
+        rng = self._rng
+
+        def alter(genuine: Package) -> Package:
+            changes: dict[str, float | int | None] = {
+                "setpoint": float(rng.uniform(0.0, 25.0)),
+                "label": MPCI,
+            }
+            if rng.random() < 0.5:
+                changes.update(
+                    gain=float(rng.uniform(0.0, 5.0)),
+                    reset_rate=float(rng.uniform(0.0, 2.0)),
+                    deadband=float(rng.uniform(0.0, 3.0)),
+                    cycle_time=float(rng.uniform(0.25, 4.0)),
+                    rate=float(rng.uniform(0.0, 1.0)),
+                )
+            return genuine.replace(**changes)
+
+        return self.sim.run_cycle(alter_command=alter)
+
+    def _cycle_mfci(self) -> list[Package]:
+        """Rewrite the command/response pair with illegal function codes."""
+        rng = self._rng
+        code = int(
+            rng.choice(
+                [
+                    int(FunctionCode.READ_EXCEPTION_STATUS),
+                    int(FunctionCode.DIAGNOSTICS),
+                    int(FunctionCode.ENCAPSULATED_TRANSPORT),
+                ]
+            )
+        )
+        frame = modbus.ModbusFrame(self.sim.config.station_address, code, b"\x00\x00")
+
+        def alter_command(genuine: Package) -> Package:
+            return genuine.replace(
+                function=code,
+                length=frame.length,
+                setpoint=None,
+                gain=None,
+                reset_rate=None,
+                deadband=None,
+                cycle_time=None,
+                rate=None,
+                system_mode=None,
+                control_scheme=None,
+                pump=None,
+                solenoid=None,
+                label=MFCI,
+            )
+
+        def alter_response(genuine: Package) -> Package:
+            return genuine.replace(function=code, length=frame.length, label=MFCI)
+
+        return self.sim.run_cycle(
+            alter_command=alter_command, alter_write_response=alter_response
+        )
+
+    # -- DoS --------------------------------------------------------------
+
+    def _cycle_dos(self) -> list[Package]:
+        """Flood the link with malformed rapid frames and delay the cycle."""
+        rng = self._rng
+        cfg = self.config
+        packages = self.sim.run_cycle()
+        if rng.random() < cfg.dos_drop_response_p:
+            # The flood drowns out the slave's read response.
+            packages = packages[:-1]
+        else:
+            self._last_read_response = packages[-1]
+
+        flood_size = int(rng.integers(cfg.dos_flood_min, cfg.dos_flood_max + 1))
+        t = packages[-1].time
+        template = self.sim.make_read_command(t)
+        flood: list[Package] = []
+        for _ in range(flood_size):
+            t += float(rng.uniform(5e-5, 4e-4))
+            corrupted_length = template.length
+            if rng.random() < 0.5:
+                corrupted_length = int(template.length - rng.integers(1, 4))
+            flood.append(
+                template.replace(
+                    time=t,
+                    crc_rate=float(max(0.0, rng.normal(2.5, 0.3))),
+                    length=corrupted_length,
+                    label=DOS,
+                )
+            )
+        # The legitimate poll slips while the link is saturated; the first
+        # package that arrives afterwards carries attack-caused timing.
+        self.sim.time += float(rng.uniform(0.5, 2.0))
+        self._label_next_package = True
+        return packages + flood
+
+    # -- Recon -------------------------------------------------------------
+
+    def _injection_slot(self, packages: list[Package]) -> float:
+        """Timestamp just after the cycle's last package."""
+        return packages[-1].time + max(1e-3, float(self._rng.normal(0.08, 0.01)))
+
+    def _cycle_recon(self) -> list[Package]:
+        """Scan other unit ids to enumerate devices on the link."""
+        rng = self._rng
+        cfg = self.config
+        packages = self._normal_cycle()
+        t = self._injection_slot(packages)
+        scan_size = int(rng.integers(cfg.recon_scan_min, cfg.recon_scan_max + 1))
+        known = self.sim.config.station_address
+        candidates = [a for a in range(1, 12) if a != known]
+        for _ in range(scan_size):
+            address = int(candidates[rng.integers(0, len(candidates))])
+            frame = modbus.build_read_request(address)
+            packages.append(
+                Package(
+                    address=address,
+                    crc_rate=float(abs(rng.normal(0.0, self.sim.config.crc_noise_low))),
+                    function=int(FunctionCode.READ_HOLDING_REGISTERS),
+                    length=frame.length,
+                    setpoint=None,
+                    gain=None,
+                    reset_rate=None,
+                    deadband=None,
+                    cycle_time=None,
+                    rate=None,
+                    system_mode=None,
+                    control_scheme=None,
+                    pump=None,
+                    solenoid=None,
+                    pressure_measurement=None,
+                    command_response=COMMAND,
+                    time=t,
+                    label=RECON,
+                )
+            )
+            t += float(rng.uniform(0.01, 0.05))
+        return packages

@@ -1,0 +1,162 @@
+"""The network package schema: the 17 ARFF features of paper Table I.
+
+Every Modbus transaction observed on the gas pipeline network is logged
+as one :class:`Package` carrying protocol header fields and — depending
+on direction and function — Modbus payload fields.  Fields that a given
+package does not carry are ``None`` (``'?'`` in ARFF, NaN in vectorized
+form), exactly as in the original dataset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+#: Canonical feature order, matching paper Table I.
+FEATURE_NAMES: tuple[str, ...] = (
+    "address",
+    "crc_rate",
+    "function",
+    "length",
+    "setpoint",
+    "gain",
+    "reset_rate",
+    "deadband",
+    "cycle_time",
+    "rate",
+    "system_mode",
+    "control_scheme",
+    "pump",
+    "solenoid",
+    "pressure_measurement",
+    "command_response",
+    "time",
+)
+
+#: The five PID controller parameters, discretized jointly (paper §VIII-A1).
+PID_PARAMETER_NAMES: tuple[str, ...] = (
+    "gain",
+    "reset_rate",
+    "deadband",
+    "cycle_time",
+    "rate",
+)
+
+#: ``system_mode`` values (Table I).
+MODE_OFF, MODE_MANUAL, MODE_AUTO = 0, 1, 2
+
+#: ``control_scheme`` values (Table I).
+SCHEME_PUMP, SCHEME_SOLENOID = 0, 1
+
+#: ``command_response`` values (Table I).
+RESPONSE, COMMAND = 0, 1
+
+
+@dataclass
+class Package:
+    """One logged network package with the Table-I features plus a label.
+
+    Attributes
+    ----------
+    address:
+        Station address of the Modbus slave device.
+    crc_rate:
+        Cyclic-redundancy-checksum error rate observed on the link.
+    function:
+        Modbus function code of the frame.
+    length:
+        Length of the Modbus packet in bytes.
+    setpoint, gain, reset_rate, deadband, cycle_time, rate:
+        PID configuration carried by write commands (``None`` elsewhere).
+    system_mode, control_scheme, pump, solenoid:
+        Plant state fields: present on write commands (commanded values)
+        and on read responses (reported values).
+    pressure_measurement:
+        Reported pipeline pressure; present on read responses only.
+    command_response:
+        1 for master→slave commands, 0 for slave→master responses.
+    time:
+        Capture timestamp in seconds.
+    label:
+        Ground-truth attack id: 0 = normal, 1..7 per paper Table II.
+        Not a detection feature — used only for evaluation.
+    """
+
+    address: int
+    crc_rate: float
+    function: int
+    length: int
+    setpoint: float | None
+    gain: float | None
+    reset_rate: float | None
+    deadband: float | None
+    cycle_time: float | None
+    rate: float | None
+    system_mode: int | None
+    control_scheme: int | None
+    pump: int | None
+    solenoid: int | None
+    pressure_measurement: float | None
+    command_response: int
+    time: float
+    label: int = 0
+
+    @property
+    def is_command(self) -> bool:
+        """True when the package travels master → slave."""
+        return self.command_response == COMMAND
+
+    @property
+    def is_attack(self) -> bool:
+        """True when ground truth marks this package anomalous."""
+        return self.label != 0
+
+    def feature(self, name: str) -> float | int | None:
+        """Fetch one Table-I feature by name."""
+        if name not in FEATURE_NAMES:
+            raise KeyError(f"unknown feature {name!r}")
+        return getattr(self, name)
+
+    def to_row(self) -> list[float]:
+        """Vectorize to the canonical order with NaN for missing values."""
+        row: list[float] = []
+        for name in FEATURE_NAMES:
+            value = getattr(self, name)
+            row.append(math.nan if value is None else float(value))
+        return row
+
+    @classmethod
+    def from_row(cls, row: list[float], label: int = 0) -> "Package":
+        """Rebuild a package from :meth:`to_row` output."""
+        if len(row) != len(FEATURE_NAMES):
+            raise ValueError(
+                f"row has {len(row)} values, expected {len(FEATURE_NAMES)}"
+            )
+        values: dict[str, float | int | None] = {}
+        for name, value in zip(FEATURE_NAMES, row):
+            if isinstance(value, float) and math.isnan(value):
+                values[name] = None
+            else:
+                values[name] = value
+        for int_name in (
+            "address",
+            "function",
+            "length",
+            "system_mode",
+            "control_scheme",
+            "pump",
+            "solenoid",
+            "command_response",
+        ):
+            if values[int_name] is not None:
+                values[int_name] = int(values[int_name])  # type: ignore[arg-type]
+        return cls(**values, label=label)  # type: ignore[arg-type]
+
+    def replace(self, **changes: float | int | None) -> "Package":
+        """Copy with some fields changed (keyword names are field names)."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        unknown = set(changes) - set(current)
+        if unknown:
+            raise KeyError(f"unknown package fields: {sorted(unknown)}")
+        current.update(changes)
+        return Package(**current)  # type: ignore[arg-type]

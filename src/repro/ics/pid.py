@@ -1,0 +1,100 @@
+"""The PID control scheme of the gas pipeline PLC.
+
+The testbed "attempts to maintain the air pressure in the pipeline using
+a proportional integral derivative (PID) control scheme" (paper §VII),
+parameterized — as in the ARFF schema — by *gain*, *reset rate*
+(integral repeats per unit time), *rate* (derivative time), *deadband*
+and *cycle time*.  The controller output is the compressor duty in
+``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PIDParameters:
+    """The five PID parameters logged in every write command (Table I)."""
+
+    gain: float = 0.3
+    reset_rate: float = 0.15
+    deadband: float = 0.5
+    cycle_time: float = 1.0
+    rate: float = 0.1
+
+    def validate(self) -> "PIDParameters":
+        """Raise ``ValueError`` for physically meaningless settings."""
+        if self.gain < 0:
+            raise ValueError(f"gain must be >= 0, got {self.gain}")
+        if self.reset_rate < 0:
+            raise ValueError(f"reset_rate must be >= 0, got {self.reset_rate}")
+        if self.deadband < 0:
+            raise ValueError(f"deadband must be >= 0, got {self.deadband}")
+        if self.cycle_time <= 0:
+            raise ValueError(f"cycle_time must be > 0, got {self.cycle_time}")
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        return self
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        """``(gain, reset_rate, deadband, cycle_time, rate)`` in ARFF order."""
+        return (self.gain, self.reset_rate, self.deadband, self.cycle_time, self.rate)
+
+
+class PIDController:
+    """Positional-form discrete PID with deadband and output clamping.
+
+    ``update(measurement, setpoint)`` is called once per cycle (every
+    ``cycle_time`` seconds) and returns the compressor duty in [0, 1].
+    Inside the deadband around the setpoint the previous output is held,
+    mirroring PLC behaviour that avoids actuator chatter.
+    """
+
+    def __init__(self, params: PIDParameters | None = None) -> None:
+        self.params = (params or PIDParameters()).validate()
+        self._integral = 0.0
+        self._previous_error: float | None = None
+        self._output = 0.0
+
+    def reset(self) -> None:
+        """Clear integral/derivative memory (e.g., after a mode switch)."""
+        self._integral = 0.0
+        self._previous_error = None
+        self._output = 0.0
+
+    def set_parameters(self, params: PIDParameters) -> None:
+        """Swap parameters live — what a Modbus parameter write does."""
+        self.params = params.validate()
+
+    @property
+    def output(self) -> float:
+        """Most recent commanded duty."""
+        return self._output
+
+    def update(self, measurement: float, setpoint: float) -> float:
+        """One control cycle; returns the new compressor duty in [0, 1]."""
+        params = self.params
+        error = setpoint - measurement
+
+        if abs(error) < params.deadband / 2.0:
+            # Hold inside the deadband: no integration, no output change.
+            self._previous_error = error
+            return self._output
+
+        dt = params.cycle_time
+        self._integral += error * dt
+        # Anti-windup: bound the integral so it cannot dominate forever.
+        integral_limit = 10.0 / max(params.reset_rate, 1e-6)
+        self._integral = max(-integral_limit, min(integral_limit, self._integral))
+
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = (error - self._previous_error) / dt
+        self._previous_error = error
+
+        raw = params.gain * (
+            error + params.reset_rate * self._integral + params.rate * derivative
+        )
+        self._output = max(0.0, min(1.0, raw))
+        return self._output

@@ -1,0 +1,90 @@
+"""Physics of the laboratory gas pipeline.
+
+The testbed (paper §VII) is "a small airtight pipeline connected to a
+compressor, a pressure meter and a solenoid-controlled relief valve".
+We model pipeline gauge pressure ``P`` (PSI) with first-order dynamics:
+
+.. math::
+
+    \\dot P = r_{pump} · duty − r_{leak} · P − r_{relief} · P · open + ε
+
+where ``duty ∈ [0,1]`` is the compressor command, ``open ∈ {0,1}`` the
+solenoid relief valve, ``r_leak`` a slow seal leak that makes the
+compressor work continuously, and ``ε`` Gaussian process noise — the
+"naturally noisy behaviour" of physical process variables the paper
+discusses in §VIII-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class PlantConfig:
+    """Physical constants of the pipeline.
+
+    Defaults produce pressures in the 0–20 PSI band around a 10 PSI
+    setpoint, matching the scale of the original dataset.
+    """
+
+    pump_rate: float = 2.0  # PSI/s added at full compressor duty
+    leak_rate: float = 0.10  # 1/s proportional seal leak
+    relief_rate: float = 0.15  # 1/s proportional drain when solenoid open
+    noise_std: float = 0.06  # PSI/sqrt(s) process noise
+    max_pressure: float = 30.0  # relief burst disc limit
+    initial_pressure: float = 10.0
+
+    def validate(self) -> "PlantConfig":
+        for name in ("pump_rate", "leak_rate", "relief_rate", "max_pressure"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        if self.noise_std < 0:
+            raise ValueError(f"noise_std must be >= 0, got {self.noise_std}")
+        if not 0 <= self.initial_pressure <= self.max_pressure:
+            raise ValueError(
+                f"initial_pressure must be in [0, {self.max_pressure}], "
+                f"got {self.initial_pressure}"
+            )
+        return self
+
+
+class GasPipelinePlant:
+    """Stateful pressure simulation stepped by the SCADA loop.
+
+    The actuators (compressor duty, solenoid state) are *inputs*; the
+    PLC decides them from the PID loop or manual commands.
+    """
+
+    def __init__(self, config: PlantConfig | None = None, rng: SeedLike = None) -> None:
+        self.config = (config or PlantConfig()).validate()
+        self._rng = as_generator(rng)
+        self.pressure = self.config.initial_pressure
+
+    def step(self, duty: float, solenoid_open: bool, dt: float) -> float:
+        """Advance the plant by ``dt`` seconds; returns the new pressure.
+
+        ``duty`` outside [0, 1] is clamped — a PLC would saturate its
+        analog output the same way.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        duty = max(0.0, min(1.0, duty))
+        cfg = self.config
+        inflow = cfg.pump_rate * duty
+        outflow = cfg.leak_rate * self.pressure
+        if solenoid_open:
+            outflow += cfg.relief_rate * self.pressure
+        noise = self._rng.normal(0.0, cfg.noise_std) * dt**0.5
+        self.pressure += (inflow - outflow) * dt + noise
+        self.pressure = max(0.0, min(cfg.max_pressure, self.pressure))
+        return self.pressure
+
+    def measure(self, sensor_noise_std: float = 0.05) -> float:
+        """Read the pressure meter (adds independent sensor noise)."""
+        if sensor_noise_std < 0:
+            raise ValueError(f"sensor_noise_std must be >= 0, got {sensor_noise_std}")
+        reading = self.pressure + self._rng.normal(0.0, sensor_noise_std)
+        return max(0.0, min(self.config.max_pressure, reading))

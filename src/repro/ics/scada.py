@@ -1,0 +1,523 @@
+"""The SCADA master/slave polling loop of the gas pipeline testbed.
+
+Every polling cycle the master (i) writes the full control block —
+setpoint, the five PID parameters, system mode, control scheme and the
+manual pump/solenoid commands — to the PLC and (ii) reads back the whole
+register block including the pressure measurement.  Each cycle therefore
+produces **four packages** — write command, write response, read command,
+read response — the "complete command response cycle" the paper uses as
+the window unit for its baseline models (§VIII-C).
+
+The simulated operator occasionally retunes the setpoint, switches
+between automatic/manual/off modes and toggles actuators in manual mode,
+so the normal traffic contains every behaviour the signature database
+must learn.  All Modbus lengths are computed from real encoded frames
+(:mod:`repro.ics.modbus`), not hard-coded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.ics import modbus
+from repro.ics.features import (
+    COMMAND,
+    MODE_AUTO,
+    MODE_MANUAL,
+    MODE_OFF,
+    RESPONSE,
+    SCHEME_PUMP,
+    SCHEME_SOLENOID,
+    Package,
+)
+from repro.ics.modbus import FunctionCode, Register
+from repro.ics.pid import PIDController, PIDParameters
+from repro.ics.plant import GasPipelinePlant, PlantConfig
+from repro.utils.rng import SeedLike, as_generator
+
+#: Man-in-the-middle alteration hook: genuine package → on-wire package.
+PackageHook = Callable[[Package], Package]
+
+
+@dataclass(frozen=True)
+class ScadaConfig:
+    """Timing, operator-behaviour and link-quality parameters."""
+
+    station_address: int = 4
+    poll_period: float = 1.0  # seconds between cycle starts
+    poll_jitter: float = 0.08  # std of the period (real polls jitter a lot)
+    response_latency: float = 0.03  # mean slave response delay
+    latency_jitter: float = 0.008
+    intra_gap: float = 0.05  # gap between write-response and read command
+    intra_gap_jitter: float = 0.015
+
+    setpoint_mean: float = 10.0
+    setpoint_std: float = 2.0
+    setpoint_min: float = 4.0
+    setpoint_max: float = 16.0
+    setpoint_step: float = 1.0  # operators dial round values
+    p_setpoint_change: float = 0.04  # per cycle
+    num_pid_profiles: int = 4  # preset tuning profiles the operator uses
+
+    p_manual_episode: float = 0.008  # per cycle, from auto
+    manual_cycles_mean: float = 12.0
+    p_off_episode: float = 0.003
+    off_cycles_mean: float = 6.0
+    p_scheme_toggle: float = 0.004
+    p_retune_pid: float = 0.02
+
+    p_noisy_link: float = 0.03  # per cycle: burst of CRC errors
+    crc_noise_low: float = 0.004  # baseline crc-rate scale
+    crc_noise_high_mean: float = 1.0  # noisy-link crc-rate cluster
+    crc_noise_high_std: float = 0.12
+
+    sensor_noise_std: float = 0.05
+
+    def validate(self) -> "ScadaConfig":
+        if not 1 <= self.station_address <= 247:
+            raise ValueError(
+                f"station_address must be a valid Modbus unit id, got {self.station_address}"
+            )
+        if self.poll_period <= 0:
+            raise ValueError(f"poll_period must be > 0, got {self.poll_period}")
+        if self.response_latency <= 0:
+            raise ValueError(
+                f"response_latency must be > 0, got {self.response_latency}"
+            )
+        if self.setpoint_min >= self.setpoint_max:
+            raise ValueError("setpoint_min must be < setpoint_max")
+        if self.setpoint_step <= 0:
+            raise ValueError(f"setpoint_step must be > 0, got {self.setpoint_step}")
+        if self.num_pid_profiles < 1:
+            raise ValueError(
+                f"num_pid_profiles must be >= 1, got {self.num_pid_profiles}"
+            )
+        for name in (
+            "p_setpoint_change",
+            "p_manual_episode",
+            "p_off_episode",
+            "p_scheme_toggle",
+            "p_retune_pid",
+            "p_noisy_link",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        return self
+
+
+class ScadaSimulator:
+    """Stateful simulator of the master/PLC/plant triple.
+
+    The public surface is deliberately fine-grained — :meth:`run_cycle`
+    for normal traffic, plus the ``make_*``/:meth:`apply_write` pieces
+    the attack injector uses to fabricate or actually execute malicious
+    transactions (command-injection attacks in the real testbed *do*
+    reach the PLC and perturb the physics; ours do too).
+    """
+
+    def __init__(
+        self,
+        config: ScadaConfig | None = None,
+        plant_config: PlantConfig | None = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self.config = (config or ScadaConfig()).validate()
+        self._rng = as_generator(rng)
+        self.plant = GasPipelinePlant(plant_config, rng=self._rng)
+        self.pid = PIDController(PIDParameters())
+        self.time = 0.0
+
+        # Preset PID tuning profiles the operator switches between — real
+        # control rooms use a handful of standard tunings, which is what
+        # keeps the signature vocabulary stable over time.
+        base = PIDParameters()
+        self.pid_profiles: list[PIDParameters] = [base]
+        for _ in range(self.config.num_pid_profiles - 1):
+            self.pid_profiles.append(
+                PIDParameters(
+                    gain=round(float(max(0.1, self._rng.normal(base.gain, 0.1))), 2),
+                    reset_rate=round(
+                        float(max(0.02, self._rng.normal(base.reset_rate, 0.04))), 2
+                    ),
+                    deadband=round(
+                        float(max(0.1, self._rng.normal(base.deadband, 0.1))), 2
+                    ),
+                    cycle_time=base.cycle_time,
+                    rate=round(float(max(0.0, self._rng.normal(base.rate, 0.03))), 2),
+                )
+            )
+
+        # Operator intent: what the master writes in every control block.
+        self.setpoint = self.config.setpoint_mean
+        self.intended_pid = PIDParameters()
+        self.system_mode = MODE_AUTO
+        self.control_scheme = SCHEME_PUMP
+        self.manual_pump = 0
+        self.manual_solenoid = 0
+        self._episode_cycles_left = 0
+
+        # PLC register state: what the plant actually obeys.  Injected
+        # malicious writes change these until the next legitimate write
+        # restores the operator's intent — exactly the real testbed's
+        # behaviour under command-injection attacks.
+        self.plc_setpoint = self.setpoint
+        self.plc_mode = self.system_mode
+        self.plc_scheme = self.control_scheme
+        self.plc_pump = 0
+        self.plc_solenoid = 0
+
+        self._duty = 0.0
+        self._solenoid_state = 0
+        self._pump_state = 0
+        self._link_noisy = False
+
+    # ------------------------------------------------------------------
+    # operator behaviour
+    # ------------------------------------------------------------------
+
+    def advance_operator(self) -> None:
+        """One cycle of (legitimate) operator behaviour."""
+        cfg = self.config
+        rng = self._rng
+
+        if self._episode_cycles_left > 0:
+            self._episode_cycles_left -= 1
+            if self._episode_cycles_left == 0:
+                self.system_mode = MODE_AUTO
+                self.pid.reset()
+            elif self.system_mode == MODE_MANUAL:
+                # Operator nudges actuators to hold pressure manually.
+                if self.plant.pressure < self.setpoint - 1.0:
+                    self.manual_pump, self.manual_solenoid = 1, 0
+                elif self.plant.pressure > self.setpoint + 1.0:
+                    self.manual_pump, self.manual_solenoid = 0, 1
+                else:
+                    self.manual_solenoid = 0
+        else:
+            if rng.random() < cfg.p_manual_episode:
+                self.system_mode = MODE_MANUAL
+                self._episode_cycles_left = max(
+                    2, int(rng.poisson(cfg.manual_cycles_mean))
+                )
+                self.manual_pump = 1 if self.plant.pressure < self.setpoint else 0
+                self.manual_solenoid = 0
+            elif rng.random() < cfg.p_off_episode:
+                self.system_mode = MODE_OFF
+                self._episode_cycles_left = max(2, int(rng.poisson(cfg.off_cycles_mean)))
+
+        if rng.random() < cfg.p_setpoint_change:
+            proposal = rng.normal(cfg.setpoint_mean, cfg.setpoint_std)
+            clipped = min(cfg.setpoint_max, max(cfg.setpoint_min, proposal))
+            # Operators dial round values on the HMI.
+            self.setpoint = round(clipped / cfg.setpoint_step) * cfg.setpoint_step
+
+        if rng.random() < cfg.p_scheme_toggle:
+            self.control_scheme = (
+                SCHEME_SOLENOID if self.control_scheme == SCHEME_PUMP else SCHEME_PUMP
+            )
+
+        if rng.random() < cfg.p_retune_pid:
+            self.intended_pid = self.pid_profiles[
+                int(rng.integers(0, len(self.pid_profiles)))
+            ]
+
+        self._link_noisy = rng.random() < cfg.p_noisy_link
+
+    # ------------------------------------------------------------------
+    # control + physics
+    # ------------------------------------------------------------------
+
+    def step_plant(self, dt: float) -> None:
+        """Run the PLC control decision and advance the physics by ``dt``.
+
+        The decision uses the *PLC register state* — normally identical
+        to the operator intent, but divergent while an injected command
+        is in effect.
+        """
+        if self.plc_mode == MODE_AUTO:
+            if self.plc_scheme == SCHEME_PUMP:
+                self._duty = self.pid.update(self.plant.pressure, self.plc_setpoint)
+                self._solenoid_state = int(
+                    self.plant.pressure > 0.9 * self.plant.config.max_pressure
+                )
+                self._pump_state = int(self._duty > 0.05)
+            else:
+                # Solenoid scheme: compressor at fixed duty, bang-bang relief.
+                self._duty = 0.7
+                self._pump_state = 1
+                half_band = self.pid.params.deadband / 2.0
+                if self.plant.pressure > self.plc_setpoint + half_band:
+                    self._solenoid_state = 1
+                elif self.plant.pressure < self.plc_setpoint - half_band:
+                    self._solenoid_state = 0
+        elif self.plc_mode == MODE_MANUAL:
+            self._duty = 0.7 if self.plc_pump else 0.0
+            self._pump_state = self.plc_pump
+            self._solenoid_state = self.plc_solenoid
+        else:  # MODE_OFF
+            self._duty = 0.0
+            self._pump_state = 0
+            self._solenoid_state = 0
+        self.plant.step(self._duty, bool(self._solenoid_state), dt)
+
+    # ------------------------------------------------------------------
+    # package fabrication
+    # ------------------------------------------------------------------
+
+    def _crc_rate(self) -> float:
+        cfg = self.config
+        if self._link_noisy:
+            return float(
+                max(0.0, self._rng.normal(cfg.crc_noise_high_mean, cfg.crc_noise_high_std))
+            )
+        return float(abs(self._rng.normal(0.0, cfg.crc_noise_low)))
+
+    def _intent_block_words(self) -> list[int]:
+        """Encode the operator's intended control registers as words."""
+        params = self.intended_pid
+        pump, solenoid = self._intended_actuators()
+        return [
+            modbus.encode_fixed(self.setpoint),
+            modbus.encode_fixed(params.gain),
+            modbus.encode_fixed(params.reset_rate),
+            modbus.encode_fixed(params.deadband),
+            modbus.encode_fixed(params.cycle_time),
+            modbus.encode_fixed(params.rate),
+            self.system_mode,
+            self.control_scheme,
+            pump,
+            solenoid,
+        ]
+
+    def _intended_actuators(self) -> tuple[int, int]:
+        """Manual actuator commands matter only in manual mode."""
+        if self.system_mode == MODE_MANUAL:
+            return self.manual_pump, self.manual_solenoid
+        return 0, 0
+
+    def make_write_command(self, timestamp: float) -> Package:
+        """Master → PLC: write the operator's intended control block."""
+        frame = modbus.build_write_request(
+            self.config.station_address, Register.SETPOINT, self._intent_block_words()
+        )
+        params = self.intended_pid
+        pump, solenoid = self._intended_actuators()
+        return Package(
+            address=self.config.station_address,
+            crc_rate=self._crc_rate(),
+            function=int(FunctionCode.WRITE_MULTIPLE_REGISTERS),
+            length=frame.length,
+            setpoint=self.setpoint,
+            gain=params.gain,
+            reset_rate=params.reset_rate,
+            deadband=params.deadband,
+            cycle_time=params.cycle_time,
+            rate=params.rate,
+            system_mode=self.system_mode,
+            control_scheme=self.control_scheme,
+            pump=pump,
+            solenoid=solenoid,
+            pressure_measurement=None,
+            command_response=COMMAND,
+            time=timestamp,
+        )
+
+    def make_write_response(self, timestamp: float) -> Package:
+        """PLC → master: acknowledge the control-block write."""
+        frame = modbus.build_write_response(
+            self.config.station_address, Register.SETPOINT, modbus.CONTROL_BLOCK_SIZE
+        )
+        return Package(
+            address=self.config.station_address,
+            crc_rate=self._crc_rate(),
+            function=int(FunctionCode.WRITE_MULTIPLE_REGISTERS),
+            length=frame.length,
+            setpoint=None,
+            gain=None,
+            reset_rate=None,
+            deadband=None,
+            cycle_time=None,
+            rate=None,
+            system_mode=None,
+            control_scheme=None,
+            pump=None,
+            solenoid=None,
+            pressure_measurement=None,
+            command_response=RESPONSE,
+            time=timestamp,
+        )
+
+    def make_read_command(self, timestamp: float) -> Package:
+        """Master → PLC: read the plant state registers."""
+        frame = modbus.build_read_request(
+            self.config.station_address, Register.SYSTEM_MODE, 5
+        )
+        return Package(
+            address=self.config.station_address,
+            crc_rate=self._crc_rate(),
+            function=int(FunctionCode.READ_HOLDING_REGISTERS),
+            length=frame.length,
+            setpoint=None,
+            gain=None,
+            reset_rate=None,
+            deadband=None,
+            cycle_time=None,
+            rate=None,
+            system_mode=None,
+            control_scheme=None,
+            pump=None,
+            solenoid=None,
+            pressure_measurement=None,
+            command_response=COMMAND,
+            time=timestamp,
+        )
+
+    def make_read_response(self, timestamp: float) -> Package:
+        """PLC → master: report the plant state registers and pressure.
+
+        The master's read covers the *state* registers (mode, scheme,
+        actuator states, pressure); the parameter block (setpoint, PID)
+        travels only in write commands — matching the original capture,
+        where those fields are ``'?'`` on response rows.
+        """
+        pressure = self.plant.measure(self.config.sensor_noise_std)
+        words = [
+            self.plc_mode,
+            self.plc_scheme,
+            self._pump_state,
+            self._solenoid_state,
+            modbus.encode_fixed(pressure),
+        ]
+        frame = modbus.build_read_response(self.config.station_address, words)
+        return Package(
+            address=self.config.station_address,
+            crc_rate=self._crc_rate(),
+            function=int(FunctionCode.READ_HOLDING_REGISTERS),
+            length=frame.length,
+            setpoint=None,
+            gain=None,
+            reset_rate=None,
+            deadband=None,
+            cycle_time=None,
+            rate=None,
+            system_mode=self.plc_mode,
+            control_scheme=self.plc_scheme,
+            pump=self._pump_state,
+            solenoid=self._solenoid_state,
+            pressure_measurement=pressure,
+            command_response=RESPONSE,
+            time=timestamp,
+        )
+
+    # ------------------------------------------------------------------
+    # command execution (used by normal cycles AND injected attacks)
+    # ------------------------------------------------------------------
+
+    def apply_write(self, package: Package) -> None:
+        """Execute a write command on the PLC, as the real slave would.
+
+        Updates the PLC register state only — never the operator intent —
+        so malicious injected commands (MSCI / MPCI) genuinely change the
+        control behaviour of the plant until the next legitimate write
+        restores the intent.
+        """
+        if not package.is_command:
+            raise ValueError("apply_write expects a command package")
+        if package.setpoint is not None:
+            self.plc_setpoint = float(package.setpoint)
+        if (
+            package.gain is not None
+            and package.reset_rate is not None
+            and package.deadband is not None
+            and package.cycle_time is not None
+            and package.rate is not None
+        ):
+            try:
+                self.pid.set_parameters(
+                    PIDParameters(
+                        gain=float(package.gain),
+                        reset_rate=float(package.reset_rate),
+                        deadband=float(package.deadband),
+                        cycle_time=float(package.cycle_time),
+                        rate=float(package.rate),
+                    )
+                )
+            except ValueError:
+                # The PLC rejects physically invalid parameter blocks.
+                pass
+        if package.system_mode is not None:
+            self.plc_mode = int(package.system_mode)
+        if package.control_scheme is not None:
+            self.plc_scheme = int(package.control_scheme)
+        if package.pump is not None:
+            self.plc_pump = int(package.pump)
+        if package.solenoid is not None:
+            self.plc_solenoid = int(package.solenoid)
+
+    # ------------------------------------------------------------------
+    # cycle driver
+    # ------------------------------------------------------------------
+
+    def _delay(self, mean: float, jitter: float) -> float:
+        return float(max(1e-4, self._rng.normal(mean, jitter)))
+
+    def run_cycle(
+        self,
+        alter_command: "PackageHook | None" = None,
+        alter_write_response: "PackageHook | None" = None,
+        alter_read_response: "PackageHook | None" = None,
+    ) -> list[Package]:
+        """One 4-package command-response cycle.
+
+        The optional hooks model man-in-the-middle alteration: each
+        receives the genuine package and returns what actually crosses
+        the wire.  An altered command still executes on the PLC — unless
+        its function code is no longer a register write, in which case
+        the PLC rejects it (the MFCI case).
+        """
+        cfg = self.config
+        self.advance_operator()
+
+        packages: list[Package] = []
+        t = self.time
+        write_cmd = self.make_write_command(t)
+        if alter_command is not None:
+            write_cmd = alter_command(write_cmd)
+        packages.append(write_cmd)
+        if (
+            write_cmd.is_command
+            and write_cmd.function == FunctionCode.WRITE_MULTIPLE_REGISTERS
+        ):
+            self.apply_write(write_cmd)
+
+        t += self._delay(cfg.response_latency, cfg.latency_jitter)
+        write_resp = self.make_write_response(t)
+        if alter_write_response is not None:
+            write_resp = alter_write_response(write_resp)
+        packages.append(write_resp)
+
+        t += self._delay(cfg.intra_gap, cfg.intra_gap_jitter)
+        packages.append(self.make_read_command(t))
+
+        # The PLC runs its control loop while the poll is in flight.
+        self.step_plant(cfg.poll_period)
+
+        t += self._delay(cfg.response_latency, cfg.latency_jitter)
+        read_resp = self.make_read_response(t)
+        if alter_read_response is not None:
+            read_resp = alter_read_response(read_resp)
+        packages.append(read_resp)
+
+        self.time += self._delay(cfg.poll_period, cfg.poll_jitter)
+        return packages
+
+    def run(self, num_cycles: int) -> list[Package]:
+        """Generate ``num_cycles`` normal cycles (4 packages each)."""
+        if num_cycles < 0:
+            raise ValueError(f"num_cycles must be >= 0, got {num_cycles}")
+        stream: list[Package] = []
+        for _ in range(num_cycles):
+            stream.extend(self.run_cycle())
+        return stream

@@ -1,0 +1,51 @@
+"""Pure-numpy neural-network substrate.
+
+The paper trains a stacked LSTM softmax classifier (Section V).  Rather
+than depending on an external deep-learning framework, this subpackage
+implements the full substrate from scratch:
+
+- :mod:`repro.nn.initializers` — Glorot/orthogonal weight initialization,
+- :mod:`repro.nn.activations` — sigmoid/tanh/softmax and derivatives,
+- :mod:`repro.nn.lstm` — the LSTM layer with the exact cell equations of
+  the paper's Section V, including backpropagation through time,
+- :mod:`repro.nn.dense` — the affine output layer,
+- :mod:`repro.nn.losses` — softmax cross-entropy (the paper's loss ``L``)
+  and the top-k error ``err_k`` used to choose ``k``,
+- :mod:`repro.nn.optimizers` — SGD/momentum, RMSProp and Adam with global
+  gradient-norm clipping,
+- :mod:`repro.nn.network` — :class:`StackedLSTMClassifier`, the training
+  loop (mini-batched truncated BPTT) and online stepping API,
+- :mod:`repro.nn.data` — fragment windowing, batching and one-hot codecs,
+- :mod:`repro.nn.serialization` — save/load of trained models,
+- :mod:`repro.nn.gradcheck` — numerical gradient checking used in tests.
+"""
+
+from repro.nn.data import SequenceWindow, make_windows, one_hot
+from repro.nn.dense import DenseLayer
+from repro.nn.losses import softmax_cross_entropy, top_k_error, top_k_sets
+from repro.nn.lstm import LSTMLayer, LSTMState
+from repro.nn.network import NetworkConfig, StackedLSTMClassifier, TrainingHistory
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSProp, clip_gradients
+from repro.nn.serialization import load_classifier, save_classifier
+
+__all__ = [
+    "SequenceWindow",
+    "make_windows",
+    "one_hot",
+    "DenseLayer",
+    "softmax_cross_entropy",
+    "top_k_error",
+    "top_k_sets",
+    "LSTMLayer",
+    "LSTMState",
+    "NetworkConfig",
+    "StackedLSTMClassifier",
+    "TrainingHistory",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "RMSProp",
+    "clip_gradients",
+    "load_classifier",
+    "save_classifier",
+]

@@ -1,0 +1,62 @@
+"""Numerically stable activation functions and their derivatives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid ``σ(x) = 1 / (1 + exp(-x))``, overflow-safe.
+
+    Uses the piecewise formulation so ``exp`` is only ever taken of
+    non-positive arguments.
+    """
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    negative = ~positive
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[negative])
+    out[negative] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def sigmoid_grad(y: np.ndarray) -> np.ndarray:
+    """Derivative of the sigmoid *given its output* ``y = σ(x)``."""
+    return y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent — the paper's cell input/output nonlinearity τ."""
+    return np.tanh(x)
+
+
+def tanh_grad(y: np.ndarray) -> np.ndarray:
+    """Derivative of tanh *given its output* ``y = tanh(x)``."""
+    return 1.0 - y * y
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit (provided for completeness; unused by LSTM)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of relu with respect to its *input*."""
+    return (x > 0).astype(np.float64)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``.
+
+    Shifts by the max before exponentiation; output rows sum to one,
+    matching the paper's softmax activation layer definition.
+    """
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable ``log(softmax(x))`` computed without forming the softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))

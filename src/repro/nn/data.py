@@ -1,0 +1,150 @@
+"""Sequence windowing, batching and one-hot encoding.
+
+Training data arrives as *fragments*: contiguous runs of normal packages
+(the paper removes anomalies from the training split, which cuts the
+stream into fragments, and drops fragments shorter than 10 packages).
+Each fragment becomes a supervised next-signature sequence — inputs are
+packages ``0 .. T-2`` and targets are signature ids ``1 .. T-1`` — which
+is then chopped into truncated-BPTT windows and batched with padding
+masks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """One-hot encode an integer array along a new trailing axis.
+
+    ``indices`` outside ``[0, depth)`` raise ``ValueError`` — unseen
+    categories must be mapped to a reserved bucket *before* encoding.
+    """
+    indices = np.asarray(indices)
+    if indices.size and (indices.min() < 0 or indices.max() >= depth):
+        raise ValueError(
+            f"one_hot indices must be in [0, {depth}), got range "
+            f"[{indices.min()}, {indices.max()}]"
+        )
+    out = np.zeros(indices.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+@dataclass
+class SequenceWindow:
+    """One truncated-BPTT window.
+
+    Attributes
+    ----------
+    inputs:
+        ``(L, D)`` float inputs (already encoded).
+    targets:
+        ``(L,)`` integer next-signature ids.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.inputs.ndim != 2:
+            raise ValueError(f"inputs must be (L, D), got {self.inputs.shape}")
+        if self.targets.shape != (self.inputs.shape[0],):
+            raise ValueError(
+                f"targets shape {self.targets.shape} does not match inputs "
+                f"length {self.inputs.shape[0]}"
+            )
+
+    def __len__(self) -> int:
+        return self.inputs.shape[0]
+
+
+def make_windows(
+    fragments: Sequence[tuple[np.ndarray, np.ndarray]],
+    bptt_len: int,
+    min_len: int = 2,
+) -> list[SequenceWindow]:
+    """Chop ``(inputs, targets)`` fragments into windows of ``<= bptt_len``.
+
+    Windows are non-overlapping within a fragment; a trailing remainder
+    shorter than ``min_len`` is dropped (a single package cannot form a
+    prediction task).
+    """
+    if bptt_len < 1:
+        raise ValueError(f"bptt_len must be >= 1, got {bptt_len}")
+    if min_len < 1:
+        raise ValueError(f"min_len must be >= 1, got {min_len}")
+    windows: list[SequenceWindow] = []
+    for inputs, targets in fragments:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        targets = np.asarray(targets)
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError(
+                f"fragment inputs ({inputs.shape[0]}) and targets "
+                f"({targets.shape[0]}) lengths differ"
+            )
+        for start in range(0, inputs.shape[0], bptt_len):
+            stop = min(start + bptt_len, inputs.shape[0])
+            if stop - start >= min_len or (start == 0 and stop - start >= 1):
+                windows.append(SequenceWindow(inputs[start:stop], targets[start:stop]))
+    return windows
+
+
+@dataclass
+class PaddedBatch:
+    """A batch of windows padded to a common length.
+
+    ``inputs`` is time-major ``(L, B, D)``; ``targets`` is ``(L, B)``;
+    ``mask`` is ``(L, B)`` with 1.0 on real positions and 0.0 on padding.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    mask: np.ndarray
+
+
+def pad_batch(windows: Sequence[SequenceWindow]) -> PaddedBatch:
+    """Stack windows into one time-major padded batch."""
+    if not windows:
+        raise ValueError("cannot pad an empty batch")
+    max_len = max(len(w) for w in windows)
+    batch = len(windows)
+    dim = windows[0].inputs.shape[1]
+    inputs = np.zeros((max_len, batch, dim))
+    targets = np.zeros((max_len, batch), dtype=np.int64)
+    mask = np.zeros((max_len, batch))
+    for j, window in enumerate(windows):
+        length = len(window)
+        if window.inputs.shape[1] != dim:
+            raise ValueError("all windows in a batch must share the input dim")
+        inputs[:length, j] = window.inputs
+        targets[:length, j] = window.targets
+        mask[:length, j] = 1.0
+    return PaddedBatch(inputs, targets, mask)
+
+
+def iter_batches(
+    windows: Sequence[SequenceWindow],
+    batch_size: int,
+    shuffle: bool = True,
+    rng: SeedLike = None,
+) -> Iterator[PaddedBatch]:
+    """Yield :class:`PaddedBatch` objects covering every window once.
+
+    Windows are sorted by length inside each shuffled chunk to limit
+    padding waste while keeping epoch-level randomness.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(len(windows))
+    if shuffle:
+        as_generator(rng).shuffle(order)
+    for start in range(0, len(order), batch_size):
+        chunk = [windows[i] for i in order[start : start + batch_size]]
+        chunk.sort(key=len, reverse=True)
+        yield pad_batch(chunk)

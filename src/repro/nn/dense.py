@@ -1,0 +1,61 @@
+"""Affine (fully connected) output layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, zeros
+from repro.utils.rng import SeedLike, as_generator
+
+
+class DenseLayer:
+    """``y = x @ W + b`` applied to the last axis of a time-major batch.
+
+    Used as the projection from the top LSTM layer's hidden vector to the
+    ``|S|`` signature logits ``z`` feeding the softmax activation layer.
+    """
+
+    def __init__(self, input_size: int, output_size: int, rng: SeedLike = None) -> None:
+        if input_size < 1 or output_size < 1:
+            raise ValueError(
+                f"input_size and output_size must be >= 1, got {input_size}, {output_size}"
+            )
+        generator = as_generator(rng)
+        self.input_size = input_size
+        self.output_size = output_size
+        self.params: dict[str, np.ndarray] = {
+            "W": glorot_uniform((input_size, output_size), generator),
+            "b": zeros((output_size,)),
+        }
+        self.grads: dict[str, np.ndarray] = {
+            name: np.zeros_like(value) for name, value in self.params.items()
+        }
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, keep_cache: bool = True) -> np.ndarray:
+        """Apply the affine map; ``x`` may be ``(B, D)`` or ``(T, B, D)``."""
+        if x.shape[-1] != self.input_size:
+            raise ValueError(
+                f"input feature size {x.shape[-1]} != layer input_size {self.input_size}"
+            )
+        self._input = x if keep_cache else None
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, d_out: np.ndarray) -> np.ndarray:
+        """Backprop; ``d_out`` matches the forward output shape."""
+        x = self._input
+        if x is None:
+            raise RuntimeError("backward() called without a cached forward pass")
+        x_flat = x.reshape(-1, self.input_size)
+        d_flat = d_out.reshape(-1, self.output_size)
+        self.grads["W"] = x_flat.T @ d_flat
+        self.grads["b"] = d_flat.sum(axis=0)
+        self._input = None
+        return d_out @ self.params["W"].T
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return sum(int(np.prod(p.shape)) for p in self.params.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DenseLayer(input_size={self.input_size}, output_size={self.output_size})"

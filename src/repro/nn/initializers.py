@@ -1,0 +1,62 @@
+"""Weight initializers for the numpy neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero array; used for biases."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def glorot_uniform(shape: tuple[int, int], rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a 2-D weight matrix.
+
+    Samples from ``U(-limit, limit)`` with ``limit = sqrt(6 / (fan_in +
+    fan_out))``, which keeps activation variance roughly constant across
+    layers with sigmoid/tanh nonlinearities.
+    """
+    if len(shape) != 2:
+        raise ValueError(f"glorot_uniform expects a 2-D shape, got {shape}")
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return as_generator(rng).uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: SeedLike = None, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization via QR decomposition of a Gaussian matrix.
+
+    Recommended for recurrent weight matrices: orthogonal recurrence
+    preserves gradient norms over long time horizons better than Glorot.
+    """
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal expects a 2-D shape, got {shape}")
+    rows, cols = shape
+    generator = as_generator(rng)
+    flat = generator.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    # Sign correction so the distribution is uniform over orthogonal matrices.
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def lstm_forget_bias(bias: np.ndarray, hidden_size: int, value: float = 1.0) -> np.ndarray:
+    """Set the forget-gate slice of a fused LSTM bias vector to ``value``.
+
+    The fused gate layout is ``[input, forget, output, cell]``; biasing the
+    forget gate towards 1 at initialization is the standard trick (Gers et
+    al., 2000 — cited as [43] in the paper) to let memory cells retain
+    information early in training.
+    """
+    if bias.shape[0] != 4 * hidden_size:
+        raise ValueError(
+            f"bias has length {bias.shape[0]}, expected {4 * hidden_size}"
+        )
+    out = bias.copy()
+    out[hidden_size : 2 * hidden_size] = value
+    return out

@@ -1,0 +1,171 @@
+"""First-order optimizers with global gradient-norm clipping.
+
+Parameters are exchanged as flat ``{name: ndarray}`` dicts; the network
+prefixes layer names so optimizer state stays aligned even when layers
+share parameter names ("W", "U", "b").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+Params = dict[str, np.ndarray]
+
+
+def global_norm(grads: Params) -> float:
+    """Euclidean norm of all gradients concatenated."""
+    total = 0.0
+    for grad in grads.values():
+        total += float(np.sum(grad * grad))
+    return float(np.sqrt(total))
+
+
+def clip_gradients(grads: Params, max_norm: float) -> tuple[Params, float]:
+    """Scale all gradients so their global norm is at most ``max_norm``.
+
+    Returns the (possibly rescaled) gradients and the pre-clip norm.
+    Clipping by global norm is essential for LSTM training stability
+    (exploding gradients through long fragments).
+    """
+    check_positive("max_norm", max_norm)
+    norm = global_norm(grads)
+    if norm <= max_norm or norm == 0.0:
+        return grads, norm
+    scale = max_norm / norm
+    return {name: grad * scale for name, grad in grads.items()}, norm
+
+
+class Optimizer:
+    """Base class: subclasses implement :meth:`_update_one`."""
+
+    def __init__(self, learning_rate: float = 0.001, clip_norm: float | None = 5.0) -> None:
+        check_positive("learning_rate", learning_rate)
+        if clip_norm is not None:
+            check_positive("clip_norm", clip_norm)
+        self.learning_rate = learning_rate
+        self.clip_norm = clip_norm
+        self.iterations = 0
+
+    def step(self, params: Params, grads: Params) -> None:
+        """Apply one in-place update to ``params`` given ``grads``."""
+        missing = set(params) ^ set(grads)
+        if missing:
+            raise KeyError(f"params/grads key mismatch: {sorted(missing)}")
+        if self.clip_norm is not None:
+            grads, _ = clip_gradients(grads, self.clip_norm)
+        self.iterations += 1
+        for name, param in params.items():
+            self._update_one(name, param, grads[name])
+
+    def _update_one(self, name: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all accumulated state (moments, iteration count)."""
+        self.iterations = 0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        clip_norm: float | None = 5.0,
+    ) -> None:
+        super().__init__(learning_rate, clip_norm)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Params = {}
+
+    def _update_one(self, name: str, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum > 0.0:
+            velocity = self._velocity.setdefault(name, np.zeros_like(param))
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param += velocity
+        else:
+            param -= self.learning_rate * grad
+
+    def reset(self) -> None:
+        super().reset()
+        self._velocity.clear()
+
+
+class RMSProp(Optimizer):
+    """RMSProp: divide the step by a running RMS of recent gradients."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        decay: float = 0.9,
+        epsilon: float = 1e-8,
+        clip_norm: float | None = 5.0,
+    ) -> None:
+        super().__init__(learning_rate, clip_norm)
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        check_positive("epsilon", epsilon)
+        self.decay = decay
+        self.epsilon = epsilon
+        self._mean_square: Params = {}
+
+    def _update_one(self, name: str, param: np.ndarray, grad: np.ndarray) -> None:
+        mean_square = self._mean_square.setdefault(name, np.zeros_like(param))
+        mean_square *= self.decay
+        mean_square += (1.0 - self.decay) * grad * grad
+        param -= self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)
+
+    def reset(self) -> None:
+        super().reset()
+        self._mean_square.clear()
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias-corrected first and second moments.
+
+    The default optimizer for the stacked LSTM classifier: robust to the
+    sparse one-hot inputs and heavy class imbalance of signature streams.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        clip_norm: float | None = 5.0,
+    ) -> None:
+        super().__init__(learning_rate, clip_norm)
+        if not 0.0 <= beta1 < 1.0:
+            raise ValueError(f"beta1 must be in [0, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must be in [0, 1), got {beta2}")
+        check_positive("epsilon", epsilon)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._moment1: Params = {}
+        self._moment2: Params = {}
+
+    def _update_one(self, name: str, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._moment1.setdefault(name, np.zeros_like(param))
+        v = self._moment2.setdefault(name, np.zeros_like(param))
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        bias1 = 1.0 - self.beta1**self.iterations
+        bias2 = 1.0 - self.beta2**self.iterations
+        m_hat = m / bias1
+        v_hat = v / bias2
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        super().reset()
+        self._moment1.clear()
+        self._moment2.clear()

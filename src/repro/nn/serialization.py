@@ -1,0 +1,52 @@
+"""Save/load trained classifiers to a single ``.npz`` file.
+
+The archive stores every parameter array under its ``<layer>/<name>`` key
+plus the architecture metadata needed to rebuild the
+:class:`~repro.nn.network.StackedLSTMClassifier` before loading weights.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.network import NetworkConfig, StackedLSTMClassifier
+
+_META_KEYS = ("__input_size__", "__hidden_sizes__", "__num_classes__")
+
+
+def save_classifier(model: StackedLSTMClassifier, path: str | os.PathLike) -> None:
+    """Serialize ``model`` (architecture + weights) to ``path``."""
+    arrays: dict[str, np.ndarray] = dict(model.parameters())
+    arrays["__input_size__"] = np.array(model.config.input_size)
+    arrays["__hidden_sizes__"] = np.array(model.config.hidden_sizes)
+    arrays["__num_classes__"] = np.array(model.config.num_classes)
+    np.savez_compressed(path, **arrays)
+
+
+def load_classifier(path: str | os.PathLike) -> StackedLSTMClassifier:
+    """Rebuild a classifier saved by :func:`save_classifier`."""
+    with np.load(path) as archive:
+        for key in _META_KEYS:
+            if key not in archive:
+                raise ValueError(f"{path!s} is not a saved classifier (missing {key})")
+        config = NetworkConfig(
+            input_size=int(archive["__input_size__"]),
+            hidden_sizes=tuple(int(h) for h in archive["__hidden_sizes__"]),
+            num_classes=int(archive["__num_classes__"]),
+        )
+        model = StackedLSTMClassifier(config, rng=0)
+        params = model.parameters()
+        missing = [k for k in params if k not in archive]
+        if missing:
+            raise ValueError(f"archive missing parameter arrays: {missing}")
+        for name, param in params.items():
+            stored = archive[name]
+            if stored.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: archive {stored.shape}, "
+                    f"model {param.shape}"
+                )
+            param[...] = stored
+    return model

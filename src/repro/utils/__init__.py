@@ -1,0 +1,21 @@
+"""Shared low-level utilities: hashing, RNG plumbing, argument validation."""
+
+from repro.utils.hashing import DoubleHasher, fnv1a_64, splitmix64, xxhash64
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "DoubleHasher",
+    "fnv1a_64",
+    "splitmix64",
+    "xxhash64",
+    "as_generator",
+    "spawn_generators",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+]

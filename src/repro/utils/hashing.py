@@ -1,0 +1,157 @@
+"""Hash functions used by the Bloom filter.
+
+The Bloom filter in the paper needs ``k`` independent hash functions
+``h_1 .. h_k`` mapping a package signature (a string) to positions in an
+``m``-bit vector.  We implement two independent, well-mixed 64-bit hashes
+from scratch (FNV-1a and an xxhash-inspired mixer) and derive the ``k``
+probe positions with the standard Kirsch–Mitzenmacher double-hashing
+construction ``h_i(x) = h1(x) + i * h2(x) (mod m)``, which preserves the
+asymptotic false-positive rate of ``k`` truly independent hashes.
+
+Everything operates on ``bytes``; callers hash strings via UTF-8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_FNV_OFFSET_BASIS = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+# xxhash64 prime constants (public domain algorithm by Yann Collet).
+_XX_PRIME_1 = 0x9E3779B185EBCA87
+_XX_PRIME_2 = 0xC2B2AE3D27D4EB4F
+_XX_PRIME_3 = 0x165667B19E3779F9
+_XX_PRIME_4 = 0x85EBCA77C2B2AE63
+_XX_PRIME_5 = 0x27D4EB2F165667C5
+
+
+def _rotl(value: int, shift: int) -> int:
+    """Rotate a 64-bit integer left by ``shift`` bits."""
+    value &= _MASK64
+    return ((value << shift) | (value >> (64 - shift))) & _MASK64
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash of ``data``.
+
+    Fowler–Noll–Vo is a fast non-cryptographic hash with good dispersion
+    for short keys such as package signatures.
+    """
+    h = _FNV_OFFSET_BASIS
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def splitmix64(value: int) -> int:
+    """Finalizing mixer from the SplitMix64 generator.
+
+    Used to decorrelate derived hash values; it is a bijection on 64-bit
+    integers with full avalanche.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def xxhash64(data: bytes, seed: int = 0) -> int:
+    """64-bit xxhash of ``data`` with optional ``seed``.
+
+    A faithful from-scratch implementation of the xxhash64 algorithm;
+    chosen as the second Bloom-filter hash because its mixing is
+    independent of FNV-1a's multiply-xor structure.
+    """
+    length = len(data)
+    offset = 0
+
+    if length >= 32:
+        v1 = (seed + _XX_PRIME_1 + _XX_PRIME_2) & _MASK64
+        v2 = (seed + _XX_PRIME_2) & _MASK64
+        v3 = seed & _MASK64
+        v4 = (seed - _XX_PRIME_1) & _MASK64
+        while offset <= length - 32:
+            v1 = _xx_round(v1, _read_u64(data, offset))
+            v2 = _xx_round(v2, _read_u64(data, offset + 8))
+            v3 = _xx_round(v3, _read_u64(data, offset + 16))
+            v4 = _xx_round(v4, _read_u64(data, offset + 24))
+            offset += 32
+        h = (_rotl(v1, 1) + _rotl(v2, 7) + _rotl(v3, 12) + _rotl(v4, 18)) & _MASK64
+        h = _xx_merge_round(h, v1)
+        h = _xx_merge_round(h, v2)
+        h = _xx_merge_round(h, v3)
+        h = _xx_merge_round(h, v4)
+    else:
+        h = (seed + _XX_PRIME_5) & _MASK64
+
+    h = (h + length) & _MASK64
+
+    while offset <= length - 8:
+        h ^= _xx_round(0, _read_u64(data, offset))
+        h = (_rotl(h, 27) * _XX_PRIME_1 + _XX_PRIME_4) & _MASK64
+        offset += 8
+    if offset <= length - 4:
+        h ^= (_read_u32(data, offset) * _XX_PRIME_1) & _MASK64
+        h = (_rotl(h, 23) * _XX_PRIME_2 + _XX_PRIME_3) & _MASK64
+        offset += 4
+    while offset < length:
+        h ^= (data[offset] * _XX_PRIME_5) & _MASK64
+        h = (_rotl(h, 11) * _XX_PRIME_1) & _MASK64
+        offset += 1
+
+    h ^= h >> 33
+    h = (h * _XX_PRIME_2) & _MASK64
+    h ^= h >> 29
+    h = (h * _XX_PRIME_3) & _MASK64
+    h ^= h >> 32
+    return h
+
+
+def _read_u64(data: bytes, offset: int) -> int:
+    return int.from_bytes(data[offset : offset + 8], "little")
+
+
+def _read_u32(data: bytes, offset: int) -> int:
+    return int.from_bytes(data[offset : offset + 4], "little")
+
+
+def _xx_round(acc: int, value: int) -> int:
+    acc = (acc + value * _XX_PRIME_2) & _MASK64
+    acc = _rotl(acc, 31)
+    return (acc * _XX_PRIME_1) & _MASK64
+
+
+def _xx_merge_round(h: int, value: int) -> int:
+    h ^= _xx_round(0, value)
+    return (h * _XX_PRIME_1 + _XX_PRIME_4) & _MASK64
+
+
+class DoubleHasher:
+    """Derive ``k`` Bloom-filter probe positions by double hashing.
+
+    Implements ``h_i(x) = (h1(x) + i * h2(x)) mod m`` for
+    ``i = 0 .. k-1`` where ``h1`` is FNV-1a and ``h2`` is xxhash64 (forced
+    odd so it is coprime with power-of-two table sizes).
+    """
+
+    def __init__(self, num_hashes: int, num_bits: int) -> None:
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be >= 1, got {num_bits}")
+        self.num_hashes = num_hashes
+        self.num_bits = num_bits
+
+    def positions(self, key: bytes) -> Iterator[int]:
+        """Yield the ``k`` probe positions for ``key``."""
+        h1 = fnv1a_64(key)
+        h2 = xxhash64(key) | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DoubleHasher(num_hashes={self.num_hashes}, num_bits={self.num_bits})"

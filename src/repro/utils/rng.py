@@ -1,0 +1,36 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed,
+``None`` (fresh entropy) or an existing :class:`numpy.random.Generator`.
+``as_generator`` normalizes all three; ``spawn_generators`` derives
+independent child streams so that, e.g., the dataset generator and the
+LSTM initializer never share a stream even when given one top-level seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = int | np.random.Generator | np.random.SeedSequence | None
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if not isinstance(seq, np.random.SeedSequence):  # pragma: no cover
+            seq = np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    elif isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

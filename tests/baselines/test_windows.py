@@ -1,0 +1,76 @@
+"""Tests for window construction and vectorization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.windows import (
+    make_package_windows,
+    window_label,
+    window_matrix,
+)
+from repro.ics.scada import ScadaSimulator
+
+
+@pytest.fixture(scope="module")
+def packages():
+    return ScadaSimulator(rng=0).run(30)
+
+
+class TestMakeWindows:
+    def test_nonoverlapping_cover(self, packages):
+        windows = make_package_windows(packages, 4)
+        assert len(windows) == 30
+        assert windows[0][0] is packages[0]
+        assert windows[1][0] is packages[4]
+
+    def test_remainder_dropped(self, packages):
+        windows = make_package_windows(packages[:10], 4)
+        assert len(windows) == 2
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            make_package_windows([], 0)
+
+
+class TestWindowLabel:
+    def test_normal(self, packages):
+        assert window_label(packages[:4]) == 0
+
+    def test_first_nonzero_wins(self, packages):
+        window = [
+            packages[0],
+            packages[1].replace(label=3),
+            packages[2].replace(label=6),
+            packages[3],
+        ]
+        assert window_label(window) == 3
+
+
+class TestWindowMatrix:
+    def test_shape(self, packages):
+        windows = make_package_windows(packages, 4)
+        matrix = window_matrix(windows)
+        # 16 numeric features + interval = 17 per package, 4 packages.
+        assert matrix.shape == (len(windows), 4 * 17)
+
+    def test_missing_filled(self, packages):
+        windows = make_package_windows(packages, 4)
+        matrix = window_matrix(windows, fill_value=-1.0)
+        assert not np.any(np.isnan(matrix))
+        assert np.any(matrix == -1.0)  # write responses have missing fields
+
+    def test_intervals_encoded(self, packages):
+        windows = make_package_windows(packages, 4)
+        matrix = window_matrix(windows)
+        # First package of each window has interval 0; later ones > 0.
+        assert matrix[0, 16] == 0.0
+        assert matrix[0, 33] > 0.0
+
+    def test_empty(self):
+        assert window_matrix([]).size == 0
+
+    def test_inconsistent_sizes_rejected(self, packages):
+        with pytest.raises(ValueError):
+            window_matrix([packages[:4], packages[:2]])

@@ -1,0 +1,213 @@
+"""Tests for feature discretizers and the full package pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.discretization import (
+    CHANNEL_ORDER,
+    DiscretizationConfig,
+    DiscretizerNotFitted,
+    EvenIntervalDiscretizer,
+    FeatureDiscretizer,
+    IdentityDiscretizer,
+    KMeans1DDiscretizer,
+    KMeansNDDiscretizer,
+    intervals_of,
+)
+from repro.ics.dataset import generate_dataset, DatasetConfig
+from repro.ics.scada import ScadaSimulator
+
+
+class TestKMeans1D:
+    def test_clusters_and_codes(self):
+        disc = KMeans1DDiscretizer(2, rng=0).fit([0.0, 0.1, 0.05, 10.0, 10.1, 9.9])
+        assert disc.transform(0.02) == disc.transform(0.08)
+        assert disc.transform(10.0) != disc.transform(0.0)
+
+    def test_out_of_range(self):
+        disc = KMeans1DDiscretizer(2, rng=0).fit([0.0, 0.1, 10.0, 10.1])
+        assert disc.transform(500.0) == disc.out_of_range_code
+
+    def test_missing(self):
+        disc = KMeans1DDiscretizer(2, rng=0).fit([0.0, 1.0])
+        assert disc.transform(None) == disc.missing_code
+        assert disc.transform(float("nan")) == disc.missing_code
+
+    def test_num_values_accounting(self):
+        disc = KMeans1DDiscretizer(2, rng=0).fit([0.0, 0.1, 10.0])
+        assert disc.num_values == disc.num_regular + 2
+
+    def test_transform_many_matches_scalar(self):
+        disc = KMeans1DDiscretizer(3, rng=0).fit(list(np.linspace(0, 10, 50)))
+        values = [0.5, None, 9.9, 100.0, 5.0]
+        many = disc.transform_many(values)
+        singles = [disc.transform(v) for v in values]
+        np.testing.assert_array_equal(many, singles)
+
+    def test_requires_fit(self):
+        with pytest.raises(DiscretizerNotFitted):
+            KMeans1DDiscretizer(2).transform(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeans1DDiscretizer(0)
+        with pytest.raises(ValueError):
+            KMeans1DDiscretizer(2, margin=0.5)
+        with pytest.raises(ValueError):
+            KMeans1DDiscretizer(2).fit([])
+
+
+class TestKMeansND:
+    def test_joint_clustering(self):
+        rows = [(0.0, 0.0)] * 5 + [(5.0, 5.0)] * 5
+        disc = KMeansNDDiscretizer(2, rng=0).fit(rows)
+        assert disc.transform((0.1, 0.1)) == disc.transform((0.0, 0.0))
+        assert disc.transform((5.0, 5.0)) != disc.transform((0.0, 0.0))
+
+    def test_out_of_range_vector(self):
+        rows = [(0.0, 0.0), (0.1, 0.1), (5.0, 5.0), (5.1, 5.1)]
+        disc = KMeansNDDiscretizer(2, rng=0).fit(rows)
+        assert disc.transform((100.0, -100.0)) == disc.out_of_range_code
+
+    def test_missing_component(self):
+        disc = KMeansNDDiscretizer(2, rng=0).fit([(0.0, 0.0), (1.0, 1.0)])
+        assert disc.transform((None, 1.0)) == disc.missing_code
+        assert disc.transform(None) == disc.missing_code
+
+    def test_standardization_balances_scales(self):
+        # Second dimension has 1000x the scale; clustering must still
+        # split on the first dimension's structure.
+        rows = [(0.0, 1000.0), (0.0, -1000.0), (1.0, 1000.0), (1.0, -1000.0)]
+        disc = KMeansNDDiscretizer(2, rng=0).fit(rows)
+        codes = {disc.transform(r) for r in rows}
+        assert len(codes) == 2
+
+    def test_rejects_no_complete_rows(self):
+        with pytest.raises(ValueError):
+            KMeansNDDiscretizer(2).fit([(None, 1.0)])
+
+
+class TestEvenInterval:
+    def test_partition(self):
+        disc = EvenIntervalDiscretizer(4).fit([0.0, 10.0])
+        assert disc.transform(0.0) == 0
+        assert disc.transform(2.6) == 1
+        assert disc.transform(9.99) == 3
+        assert disc.transform(10.0) == 3  # max maps to last bucket
+
+    def test_out_of_range(self):
+        disc = EvenIntervalDiscretizer(4).fit([0.0, 10.0])
+        assert disc.transform(-0.1) == disc.out_of_range_code
+        assert disc.transform(10.1) == disc.out_of_range_code
+
+    def test_degenerate_range(self):
+        disc = EvenIntervalDiscretizer(4).fit([5.0, 5.0])
+        assert disc.transform(5.0) == 0
+
+    def test_transform_many_matches_scalar(self):
+        disc = EvenIntervalDiscretizer(7).fit(list(np.linspace(2, 8, 20)))
+        values = [2.0, 8.0, None, 1.0, 9.0, 5.5]
+        np.testing.assert_array_equal(
+            disc.transform_many(values), [disc.transform(v) for v in values]
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(1, 30),
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        ),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+    def test_property_every_value_gets_valid_code(self, bins, train, probe):
+        disc = EvenIntervalDiscretizer(bins).fit(train)
+        code = disc.transform(probe)
+        assert 0 <= code < disc.num_values
+        if min(train) <= probe <= max(train):
+            assert code < disc.num_regular  # in-range values never OOR
+
+
+class TestIdentity:
+    def test_vocabulary_mapping(self):
+        disc = IdentityDiscretizer().fit([3, 16, 3, 16])
+        assert disc.transform(3) != disc.transform(16)
+        assert disc.num_regular == 2
+
+    def test_unseen_maps_to_out_of_range(self):
+        disc = IdentityDiscretizer().fit([3, 16])
+        assert disc.transform(8) == disc.out_of_range_code
+
+    def test_missing(self):
+        disc = IdentityDiscretizer().fit([1])
+        assert disc.transform(None) == disc.missing_code
+
+
+class TestIntervalsOf:
+    def test_first_interval_missing_without_prev(self):
+        packages = ScadaSimulator(rng=0).run(3)
+        intervals = intervals_of(packages)
+        assert intervals[0] is None
+        assert all(v is not None and v > 0 for v in intervals[1:])
+
+    def test_prev_time_used(self):
+        packages = ScadaSimulator(rng=0).run(1)
+        intervals = intervals_of(packages, prev_time=packages[0].time - 0.5)
+        assert abs(intervals[0] - 0.5) < 1e-12
+
+
+class TestFeatureDiscretizer:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        dataset = generate_dataset(DatasetConfig(num_cycles=400), seed=3)
+        disc = FeatureDiscretizer(rng=0).fit(dataset.train_fragments)
+        return disc, dataset
+
+    def test_channel_order_and_cardinalities(self, fitted):
+        disc, _ = fitted
+        assert disc.channel_names == CHANNEL_ORDER
+        assert len(disc.cardinalities) == len(CHANNEL_ORDER)
+        assert all(c >= 3 for c in disc.cardinalities)
+
+    def test_transform_sequence_shape(self, fitted):
+        disc, dataset = fitted
+        fragment = dataset.train_fragments[0]
+        codes = disc.transform_sequence(fragment)
+        assert len(codes) == len(fragment)
+        assert all(len(c) == disc.num_channels for c in codes)
+
+    def test_codes_within_cardinality(self, fitted):
+        disc, dataset = fitted
+        for fragment in dataset.train_fragments[:5]:
+            for codes in disc.transform_sequence(fragment):
+                for code, cardinality in zip(codes, disc.cardinalities):
+                    assert 0 <= code < cardinality
+
+    def test_transform_package_matches_sequence(self, fitted):
+        disc, dataset = fitted
+        fragment = dataset.train_fragments[0][:5]
+        seq_codes = disc.transform_sequence(fragment)
+        # Stream packages one at a time with explicit prev_time.
+        prev = None
+        for package, expected in zip(fragment, seq_codes):
+            assert disc.transform_package(package, prev) == expected
+            prev = package.time
+
+    def test_unfitted_rejects_transform(self):
+        with pytest.raises(DiscretizerNotFitted):
+            FeatureDiscretizer().transform_sequence([])
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureDiscretizer().fit([])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DiscretizationConfig(pressure_bins=0).validate()
+        with pytest.raises(ValueError):
+            DiscretizationConfig(kmeans_margin=0.9).validate()

@@ -1,0 +1,88 @@
+"""Tests for the from-scratch k-means implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kmeans import assign_clusters, kmeans
+
+
+class TestKmeans:
+    def test_separates_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        data = np.concatenate([rng.normal(0, 0.1, 50), rng.normal(10, 0.1, 50)])
+        result = kmeans(data, 2, rng=0)
+        centroids = sorted(result.centroids[:, 0])
+        assert abs(centroids[0] - 0.0) < 0.5
+        assert abs(centroids[1] - 10.0) < 0.5
+
+    def test_assignments_are_nearest_centroid(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((100, 3))
+        result = kmeans(data, 5, rng=1)
+        expected = assign_clusters(data, result.centroids)
+        np.testing.assert_array_equal(result.assignments, expected)
+
+    def test_k_reduced_to_distinct_points(self):
+        data = np.array([[1.0], [1.0], [2.0]])
+        result = kmeans(data, 10, rng=0)
+        assert result.num_clusters == 2
+
+    def test_single_cluster(self):
+        data = np.arange(10, dtype=float)
+        result = kmeans(data, 1, rng=0)
+        np.testing.assert_allclose(result.centroids[0, 0], data.mean())
+
+    def test_inertia_nonnegative_and_zero_for_exact_fit(self):
+        data = np.array([[0.0], [0.0], [5.0], [5.0]])
+        result = kmeans(data, 2, rng=0)
+        assert result.inertia < 1e-12
+
+    def test_reproducible(self):
+        data = np.random.default_rng(3).standard_normal((60, 2))
+        a = kmeans(data, 4, rng=9)
+        b = kmeans(data, 4, rng=9)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.ones(5), 0)
+        with pytest.raises(ValueError):
+            kmeans(np.array([1.0, np.nan]), 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 5),
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        ),
+    )
+    def test_property_inertia_not_worse_than_single_centroid(self, k, values):
+        data = np.asarray(values)
+        result = kmeans(data, k, rng=0)
+        single = kmeans(data, 1, rng=0)
+        assert result.inertia <= single.inertia + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    def test_property_every_point_assigned_to_nearest(self, values):
+        data = np.asarray(values)[:, None]
+        result = kmeans(data, 2, rng=0)
+        for i, row in enumerate(data):
+            distances = np.abs(result.centroids[:, 0] - row[0])
+            assert (
+                abs(distances[result.assignments[i]] - distances.min()) < 1e-9
+            )

@@ -1,0 +1,90 @@
+"""Tests for probabilistic noise training support."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.noise import ProbabilisticNoiser
+from repro.core.signatures import SignatureVocabulary, signature_of
+
+
+@pytest.fixture
+def vocabulary():
+    vocab = SignatureVocabulary()
+    for _ in range(990):
+        vocab.add(signature_of((0, 0, 0)))
+    for _ in range(10):
+        vocab.add(signature_of((1, 1, 1)))
+    return vocab
+
+
+CARDINALITIES = (3, 3, 3)
+
+
+class TestSchedule:
+    def test_rare_signatures_noised_more(self, vocabulary):
+        noiser = ProbabilisticNoiser(vocabulary, CARDINALITIES, lam=10.0, max_corrupted=2, rng=0)
+        frequent = noiser.noise_probability((0, 0, 0))
+        rare = noiser.noise_probability((1, 1, 1))
+        assert rare > frequent
+        np.testing.assert_allclose(frequent, 10.0 / (10.0 + 990.0))
+        np.testing.assert_allclose(rare, 10.0 / (10.0 + 10.0))
+
+    def test_unseen_signature_always_most_likely(self, vocabulary):
+        noiser = ProbabilisticNoiser(vocabulary, CARDINALITIES, lam=10.0, max_corrupted=2, rng=0)
+        assert noiser.noise_probability((2, 2, 2)) == 1.0
+
+    def test_empirical_rate_matches_probability(self, vocabulary):
+        noiser = ProbabilisticNoiser(vocabulary, CARDINALITIES, lam=10.0, max_corrupted=2, rng=1)
+        flags = [noiser.apply((1, 1, 1))[1] for _ in range(2000)]
+        rate = np.mean(flags)
+        assert abs(rate - 0.5) < 0.05  # p = 10/(10+10) = 0.5
+
+
+class TestCorruption:
+    def test_changes_between_one_and_l_features(self, vocabulary):
+        noiser = ProbabilisticNoiser(vocabulary, CARDINALITIES, lam=10.0, max_corrupted=2, rng=2)
+        for _ in range(200):
+            corrupted = noiser.corrupt((0, 1, 2))
+            changed = sum(a != b for a, b in zip(corrupted, (0, 1, 2)))
+            assert 1 <= changed <= 2
+
+    def test_corrupted_values_stay_in_cardinality(self, vocabulary):
+        noiser = ProbabilisticNoiser(vocabulary, CARDINALITIES, lam=10.0, max_corrupted=2, rng=3)
+        for _ in range(200):
+            corrupted = noiser.corrupt((2, 2, 2))
+            assert all(0 <= v < c for v, c in zip(corrupted, CARDINALITIES))
+
+    def test_corrupt_rejects_wrong_length(self, vocabulary):
+        noiser = ProbabilisticNoiser(vocabulary, CARDINALITIES, lam=10.0, max_corrupted=2, rng=0)
+        with pytest.raises(ValueError):
+            noiser.corrupt((0, 0))
+
+    def test_apply_sequence_flags(self, vocabulary):
+        noiser = ProbabilisticNoiser(vocabulary, CARDINALITIES, lam=10.0, max_corrupted=2, rng=4)
+        sequence = [(1, 1, 1)] * 50
+        noised, flags = noiser.apply_sequence(sequence)
+        assert len(noised) == 50
+        # Flagged entries differ from originals; unflagged are identical.
+        for original, new, flag in zip(sequence, noised, flags):
+            if flag:
+                assert new != original
+            else:
+                assert new == original
+
+
+class TestValidation:
+    def test_lam_positive(self, vocabulary):
+        with pytest.raises(ValueError):
+            ProbabilisticNoiser(vocabulary, CARDINALITIES, lam=0.0)
+
+    def test_max_corrupted_bounds(self, vocabulary):
+        with pytest.raises(ValueError):
+            ProbabilisticNoiser(vocabulary, CARDINALITIES, max_corrupted=0)
+        with pytest.raises(ValueError):
+            ProbabilisticNoiser(vocabulary, CARDINALITIES, max_corrupted=3)
+
+    def test_cardinalities_validated(self, vocabulary):
+        with pytest.raises(ValueError):
+            ProbabilisticNoiser(vocabulary, (3, 1, 3), max_corrupted=1)

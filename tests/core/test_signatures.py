@@ -1,0 +1,72 @@
+"""Tests for signature generation and the vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.signatures import SignatureVocabulary, codes_of, signature_of
+
+code_vectors = st.lists(st.integers(0, 40), min_size=1, max_size=13)
+
+
+class TestGeneratingFunction:
+    def test_concatenation(self):
+        assert signature_of((1, 2, 3)) == "1|2|3"
+
+    @given(code_vectors, code_vectors)
+    def test_injective(self, a, b):
+        """g(c) = g(c') iff c = c' — the paper's requirement on g."""
+        if signature_of(a) == signature_of(b):
+            assert list(a) == list(b)
+        else:
+            assert list(a) != list(b)
+
+    @given(code_vectors)
+    def test_roundtrip(self, codes):
+        assert list(codes_of(signature_of(codes))) == list(codes)
+
+    def test_codes_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            codes_of("")
+
+
+class TestVocabulary:
+    def test_ids_dense_first_seen_order(self):
+        vocab = SignatureVocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("a") == 0
+        assert len(vocab) == 2
+        assert vocab.signature_at(1) == "b"
+
+    def test_counts(self):
+        vocab = SignatureVocabulary()
+        for signature in ["x", "x", "y"]:
+            vocab.add(signature)
+        assert vocab.count("x") == 2
+        assert vocab.count("y") == 1
+        assert vocab.count("z") == 0
+        assert vocab.count_by_id(0) == 2
+        assert vocab.total_occurrences == 3
+
+    def test_membership_and_lookup(self):
+        vocab = SignatureVocabulary()
+        vocab.add("sig")
+        assert "sig" in vocab
+        assert "other" not in vocab
+        assert vocab.id_of("sig") == 0
+        assert vocab.id_of("other") is None
+
+    def test_from_code_vectors(self):
+        vocab = SignatureVocabulary.from_code_vectors([(1, 2), (1, 2), (3, 4)])
+        assert len(vocab) == 2
+        assert vocab.count(signature_of((1, 2))) == 2
+
+    def test_signatures_returns_copy(self):
+        vocab = SignatureVocabulary()
+        vocab.add("a")
+        listing = vocab.signatures
+        listing.append("b")
+        assert len(vocab) == 1

@@ -1,0 +1,110 @@
+"""Tests for ARFF serialization."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ics.arff import ArffFormatError, read_arff, write_arff
+from repro.ics.scada import ScadaSimulator
+from tests.ics.test_features import make_package
+
+
+@pytest.fixture
+def sample_packages():
+    packages = ScadaSimulator(rng=2).run(20)
+    packages[5] = packages[5].replace(label=3)
+    return packages
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, sample_packages, tmp_path):
+        path = tmp_path / "capture.arff"
+        write_arff(sample_packages, path)
+        back = read_arff(path)
+        assert len(back) == len(sample_packages)
+        for original, restored in zip(sample_packages, back):
+            assert restored.label == original.label
+            assert restored.address == original.address
+            assert restored.function == original.function
+            for a, b in zip(original.to_row(), restored.to_row()):
+                if math.isnan(a):
+                    assert math.isnan(b)
+                else:
+                    assert abs(a - b) < 1e-4
+
+    def test_missing_values_as_question_mark(self, tmp_path):
+        path = tmp_path / "one.arff"
+        write_arff([make_package()], path)
+        data_line = path.read_text().splitlines()[-1]
+        assert "?" in data_line  # pressure_measurement is None
+
+    def test_header_declares_all_features(self, tmp_path):
+        path = tmp_path / "hdr.arff"
+        write_arff([], path)
+        text = path.read_text()
+        assert "@relation gas_pipeline" in text
+        assert text.count("@attribute") == 18  # 17 features + label
+
+
+class TestErrors:
+    def _write(self, tmp_path, content):
+        path = tmp_path / "bad.arff"
+        path.write_text(content)
+        return path
+
+    def test_missing_data_section(self, tmp_path):
+        path = self._write(tmp_path, "@relation x\n@attribute address numeric\n")
+        with pytest.raises(ArffFormatError, match="no @data"):
+            read_arff(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = self._write(
+            tmp_path, "@relation x\n@attribute only_one numeric\n@data\n"
+        )
+        with pytest.raises(ArffFormatError, match="schema"):
+            read_arff(path)
+
+    def test_wrong_cell_count(self, sample_packages, tmp_path):
+        path = tmp_path / "capture.arff"
+        write_arff(sample_packages[:1], path)
+        with open(path, "a") as handle:
+            handle.write("1,2,3\n")
+        with pytest.raises(ArffFormatError, match="cells"):
+            read_arff(path)
+
+    def test_bad_numeric(self, sample_packages, tmp_path):
+        path = tmp_path / "capture.arff"
+        write_arff(sample_packages[:1], path)
+        text = path.read_text().replace("\n", "\n", 1)
+        lines = text.splitlines()
+        cells = lines[-1].split(",")
+        cells[1] = "not_a_number"
+        lines[-1] = ",".join(cells)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ArffFormatError, match="bad numeric"):
+            read_arff(path)
+
+    def test_unknown_label(self, sample_packages, tmp_path):
+        path = tmp_path / "capture.arff"
+        write_arff(sample_packages[:1], path)
+        lines = path.read_text().splitlines()
+        cells = lines[-1].split(",")
+        cells[-1] = "42"
+        lines[-1] = ",".join(cells)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ArffFormatError, match="unknown label"):
+            read_arff(path)
+
+    def test_comments_and_blanks_ignored(self, sample_packages, tmp_path):
+        path = tmp_path / "capture.arff"
+        write_arff(sample_packages[:2], path)
+        content = "% comment\n\n" + path.read_text()
+        path.write_text(content)
+        assert len(read_arff(path)) == 2
+
+    def test_unexpected_header_line(self, tmp_path):
+        path = self._write(tmp_path, "@relation x\ngarbage\n@data\n")
+        with pytest.raises(ArffFormatError, match="unexpected header"):
+            read_arff(path)

@@ -1,0 +1,209 @@
+"""Tests for the attack injector (paper Table II)."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.ics.attacks import (
+    ATTACK_NAMES,
+    CMRI,
+    DOS,
+    MFCI,
+    MPCI,
+    MSCI,
+    NMRI,
+    RECON,
+    AttackConfig,
+    AttackInjector,
+)
+from repro.ics.features import COMMAND
+from repro.ics.modbus import FunctionCode
+from repro.ics.scada import ScadaSimulator
+
+
+def run_single_type(attack_type, cycles=300, seed=5):
+    sim = ScadaSimulator(rng=seed)
+    config = AttackConfig(
+        p_episode_start=0.15, episode_cycles_mean=5.0, enabled_types=(attack_type,)
+    )
+    injector = AttackInjector(sim, config, rng=seed + 1)
+    return injector.run(cycles)
+
+
+@pytest.fixture(scope="module")
+def mixed_stream():
+    sim = ScadaSimulator(rng=3)
+    injector = AttackInjector(sim, AttackConfig(), rng=4)
+    return injector.run(600)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        AttackConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p_episode_start": 1.5},
+            {"episode_cycles_mean": 0.0},
+            {"enabled_types": ()},
+            {"enabled_types": (0,)},
+            {"enabled_types": (9,)},
+            {"dos_flood_min": 0},
+            {"dos_flood_min": 5, "dos_flood_max": 2},
+            {"recon_scan_min": 3, "recon_scan_max": 1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AttackConfig(**kwargs).validate()
+
+    def test_attack_names_cover_table_ii(self):
+        assert ATTACK_NAMES == {
+            0: "Normal",
+            1: "NMRI",
+            2: "CMRI",
+            3: "MSCI",
+            4: "MPCI",
+            5: "MFCI",
+            6: "DoS",
+            7: "Recon",
+        }
+
+
+class TestStreamStructure:
+    def test_all_seven_types_appear(self, mixed_stream):
+        labels = {p.label for p in mixed_stream}
+        assert labels == set(range(8))
+
+    def test_attack_ratio_in_band(self, mixed_stream):
+        attacks = sum(1 for p in mixed_stream if p.is_attack)
+        ratio = attacks / len(mixed_stream)
+        assert 0.08 < ratio < 0.45  # paper's capture is ~0.22
+
+    def test_timestamps_monotone(self, mixed_stream):
+        times = [p.time for p in mixed_stream]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_reproducible(self):
+        streams = []
+        for _ in range(2):
+            sim = ScadaSimulator(rng=9)
+            injector = AttackInjector(sim, AttackConfig(), rng=10)
+            streams.append(injector.run(100))
+        assert streams[0] == streams[1]
+
+    def test_negative_cycles_rejected(self):
+        injector = AttackInjector(ScadaSimulator(rng=0), AttackConfig(), rng=0)
+        with pytest.raises(ValueError):
+            injector.run(-1)
+
+
+class TestNmri:
+    def test_fabricated_responses(self):
+        stream = run_single_type(NMRI)
+        fakes = [p for p in stream if p.label == NMRI]
+        assert fakes
+        assert all(not p.is_command for p in fakes)
+        assert all(p.pressure_measurement is not None for p in fakes)
+
+    def test_pressure_can_exceed_normal_range(self):
+        stream = run_single_type(NMRI, cycles=600)
+        fakes = [p.pressure_measurement for p in stream if p.label == NMRI]
+        assert max(fakes) > 20.0  # beyond anything the plant produces
+
+
+class TestCmri:
+    def test_fabricated_responses_look_complete(self):
+        stream = run_single_type(CMRI)
+        fakes = [p for p in stream if p.label == CMRI]
+        assert fakes
+        assert all(not p.is_command for p in fakes)
+        assert all(p.system_mode is not None for p in fakes)
+
+
+class TestMsci:
+    def test_injects_state_commands(self):
+        stream = run_single_type(MSCI)
+        injected = [p for p in stream if p.label == MSCI and p.is_command]
+        assert injected
+        # State commands always carry a mode and never leave it at auto only.
+        modes = collections.Counter(p.system_mode for p in injected)
+        assert set(modes) <= {0, 1, 2}
+        assert modes[0] + modes[1] > 0
+
+    def test_commands_execute_on_plc(self):
+        sim = ScadaSimulator(rng=1)
+        injector = AttackInjector(
+            sim,
+            AttackConfig(p_episode_start=1.0, enabled_types=(MSCI,)),
+            rng=2,
+        )
+        injector.run(1)
+        # After the attack cycle the PLC saw the malicious command last.
+        assert sim.plc_mode in (0, 1, 2)
+
+
+class TestMpci:
+    def test_randomized_setpoints(self):
+        stream = run_single_type(MPCI, cycles=500)
+        injected = [p for p in stream if p.label == MPCI and p.is_command]
+        assert injected
+        setpoints = [p.setpoint for p in injected]
+        assert min(setpoints) < 4.0 or max(setpoints) > 16.0
+
+
+class TestMfci:
+    def test_function_codes_never_legitimate(self):
+        stream = run_single_type(MFCI)
+        injected = [p for p in stream if p.label == MFCI]
+        assert injected
+        legit_codes = {
+            int(FunctionCode.READ_HOLDING_REGISTERS),
+            int(FunctionCode.WRITE_MULTIPLE_REGISTERS),
+        }
+        assert all(p.function not in legit_codes for p in injected)
+        normal_codes = {p.function for p in stream if p.label == 0}
+        assert normal_codes <= legit_codes
+
+
+class TestDos:
+    def test_flood_properties(self):
+        stream = run_single_type(DOS)
+        flood = [p for p in stream if p.label == DOS and p.crc_rate > 1.0]
+        assert flood
+        assert all(p.is_command for p in flood)
+
+    def test_delayed_package_labelled(self):
+        """The first package after a flood carries attack-caused timing."""
+        stream = run_single_type(DOS)
+        delayed = [
+            p for p in stream if p.label == DOS and p.function == 16 and p.is_command
+        ]
+        assert delayed
+
+    def test_flood_intervals_tiny(self):
+        stream = run_single_type(DOS)
+        for prev, curr in zip(stream, stream[1:]):
+            if (
+                prev.label == DOS
+                and curr.label == DOS
+                and prev.crc_rate > 1.0
+                and curr.crc_rate > 1.0
+            ):
+                assert curr.time - prev.time < 0.001
+                break
+        else:
+            pytest.fail("no adjacent flood packages found")
+
+
+class TestRecon:
+    def test_scans_foreign_addresses(self):
+        stream = run_single_type(RECON)
+        scans = [p for p in stream if p.label == RECON]
+        assert scans
+        assert all(p.address != 4 for p in scans)
+        normal_addresses = {p.address for p in stream if p.label == 0}
+        assert normal_addresses == {4}

@@ -1,0 +1,110 @@
+"""Tests for dataset assembly and the paper's split protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ics.dataset import (
+    DatasetConfig,
+    GasPipelineDataset,
+    generate_dataset,
+    split_into_fragments,
+)
+from repro.ics.scada import ScadaSimulator
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(DatasetConfig(num_cycles=800), seed=1)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_cycles": 0},
+            {"train_fraction": 0.0},
+            {"train_fraction": 1.0},
+            {"validation_fraction": 0.0},
+            {"train_fraction": 0.8, "validation_fraction": 0.3},
+            {"min_fragment_len": 1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DatasetConfig(**kwargs).validate()
+
+
+class TestSplitIntoFragments:
+    def _packages(self, labels):
+        stream = ScadaSimulator(rng=0).run(len(labels) // 4 + 1)[: len(labels)]
+        return [p.replace(label=label) for p, label in zip(stream, labels)]
+
+    def test_attack_free_stream_is_one_fragment(self):
+        packages = self._packages([0] * 20)
+        fragments = split_into_fragments(packages, min_len=10)
+        assert len(fragments) == 1
+        assert len(fragments[0]) == 20
+
+    def test_attacks_cut_fragments(self):
+        labels = [0] * 12 + [3] + [0] * 15
+        fragments = split_into_fragments(self._packages(labels), min_len=10)
+        assert [len(f) for f in fragments] == [12, 15]
+
+    def test_short_fragments_dropped(self):
+        labels = [0] * 5 + [1] + [0] * 12
+        fragments = split_into_fragments(self._packages(labels), min_len=10)
+        assert [len(f) for f in fragments] == [12]
+
+    def test_no_attacks_in_fragments(self):
+        labels = ([0] * 11 + [2]) * 4
+        fragments = split_into_fragments(self._packages(labels), min_len=10)
+        assert all(p.label == 0 for f in fragments for p in f)
+
+    def test_empty_input(self):
+        assert split_into_fragments([], min_len=10) == []
+
+
+class TestGeneratedDataset:
+    def test_split_proportions(self, dataset):
+        total = len(dataset.all_packages)
+        train_plus_removed = int(total * 0.6)
+        # Fragments can only lose packages relative to the raw segment.
+        assert sum(len(f) for f in dataset.train_fragments) <= train_plus_removed
+        assert len(dataset.test_packages) == total - int(total * 0.8)
+
+    def test_train_and_validation_clean(self, dataset):
+        assert all(p.label == 0 for f in dataset.train_fragments for p in f)
+        assert all(p.label == 0 for f in dataset.validation_fragments for p in f)
+
+    def test_fragments_respect_min_length(self, dataset):
+        assert all(len(f) >= 10 for f in dataset.train_fragments)
+        assert all(len(f) >= 10 for f in dataset.validation_fragments)
+
+    def test_test_set_contains_attacks(self, dataset):
+        assert any(p.is_attack for p in dataset.test_packages)
+
+    def test_summary_consistent(self, dataset):
+        summary = dataset.summary()
+        assert summary["total"] == len(dataset.all_packages)
+        assert summary["normal"] + summary["attack"] == summary["total"]
+        assert summary["train"] == sum(len(f) for f in dataset.train_fragments)
+        assert summary["test"] == len(dataset.test_packages)
+
+    def test_accessors(self, dataset):
+        assert len(dataset.train_packages) == dataset.summary()["train"]
+        assert len(dataset.validation_packages) == dataset.summary()["validation"]
+
+    def test_reproducible(self):
+        a = generate_dataset(DatasetConfig(num_cycles=50), seed=3)
+        b = generate_dataset(DatasetConfig(num_cycles=50), seed=3)
+        assert a.all_packages == b.all_packages
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(DatasetConfig(num_cycles=50), seed=3)
+        b = generate_dataset(DatasetConfig(num_cycles=50), seed=4)
+        assert a.all_packages != b.all_packages
+
+    def test_types(self, dataset):
+        assert isinstance(dataset, GasPipelineDataset)
+        assert isinstance(dataset.train_fragments, list)

@@ -1,0 +1,121 @@
+"""Tests for the Package schema (paper Table I)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ics.features import (
+    COMMAND,
+    FEATURE_NAMES,
+    PID_PARAMETER_NAMES,
+    RESPONSE,
+    Package,
+)
+
+
+def make_package(**overrides):
+    base = dict(
+        address=4,
+        crc_rate=0.001,
+        function=16,
+        length=29,
+        setpoint=10.0,
+        gain=0.8,
+        reset_rate=0.25,
+        deadband=0.5,
+        cycle_time=1.0,
+        rate=0.05,
+        system_mode=2,
+        control_scheme=0,
+        pump=0,
+        solenoid=0,
+        pressure_measurement=None,
+        command_response=COMMAND,
+        time=12.5,
+    )
+    base.update(overrides)
+    return Package(**base)
+
+
+class TestSchema:
+    def test_seventeen_features_match_table_i(self):
+        """The schema is exactly the 17 features the paper enumerates."""
+        assert FEATURE_NAMES == (
+            "address",
+            "crc_rate",
+            "function",
+            "length",
+            "setpoint",
+            "gain",
+            "reset_rate",
+            "deadband",
+            "cycle_time",
+            "rate",
+            "system_mode",
+            "control_scheme",
+            "pump",
+            "solenoid",
+            "pressure_measurement",
+            "command_response",
+            "time",
+        )
+
+    def test_pid_parameters_subset(self):
+        assert set(PID_PARAMETER_NAMES) <= set(FEATURE_NAMES)
+        assert len(PID_PARAMETER_NAMES) == 5
+
+
+class TestPackage:
+    def test_is_command(self):
+        assert make_package(command_response=COMMAND).is_command
+        assert not make_package(command_response=RESPONSE).is_command
+
+    def test_is_attack(self):
+        assert not make_package().is_attack
+        assert make_package(label=3).is_attack
+
+    def test_feature_accessor(self):
+        assert make_package().feature("setpoint") == 10.0
+        with pytest.raises(KeyError):
+            make_package().feature("nonexistent")
+
+    def test_to_row_order_and_nan(self):
+        row = make_package().to_row()
+        assert len(row) == len(FEATURE_NAMES)
+        assert row[0] == 4  # address
+        assert math.isnan(row[FEATURE_NAMES.index("pressure_measurement")])
+
+    def test_row_roundtrip(self):
+        package = make_package(pressure_measurement=9.7, label=2)
+        rebuilt = Package.from_row(package.to_row(), label=2)
+        assert rebuilt == package
+
+    def test_from_row_restores_none(self):
+        rebuilt = Package.from_row(make_package().to_row())
+        assert rebuilt.pressure_measurement is None
+
+    def test_from_row_int_coercion(self):
+        rebuilt = Package.from_row(make_package().to_row())
+        assert isinstance(rebuilt.address, int)
+        assert isinstance(rebuilt.system_mode, int)
+
+    def test_from_row_wrong_length(self):
+        with pytest.raises(ValueError):
+            Package.from_row([1.0, 2.0])
+
+    def test_replace(self):
+        replaced = make_package().replace(setpoint=12.0, label=4)
+        assert replaced.setpoint == 12.0
+        assert replaced.label == 4
+        assert replaced.address == 4
+
+    def test_replace_unknown_field(self):
+        with pytest.raises(KeyError):
+            make_package().replace(bogus=1)
+
+    def test_replace_does_not_mutate_original(self):
+        original = make_package()
+        original.replace(setpoint=99.0)
+        assert original.setpoint == 10.0

@@ -1,0 +1,87 @@
+"""Tests for the PID controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ics.pid import PIDController, PIDParameters
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        PIDParameters().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gain": -1.0},
+            {"reset_rate": -0.1},
+            {"deadband": -0.5},
+            {"cycle_time": 0.0},
+            {"rate": -0.01},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PIDParameters(**kwargs).validate()
+
+    def test_as_tuple_order(self):
+        params = PIDParameters(1, 2, 3, 4, 5)
+        assert params.as_tuple() == (1, 2, 3, 4, 5)
+
+
+class TestController:
+    def test_output_clamped_to_unit_interval(self):
+        pid = PIDController(PIDParameters(gain=100.0, deadband=0.0))
+        assert pid.update(0.0, 10.0) == 1.0
+        assert pid.update(100.0, 10.0) == 0.0
+
+    def test_deadband_holds_output(self):
+        pid = PIDController(PIDParameters(deadband=2.0))
+        pid.update(0.0, 10.0)  # large error -> output moves
+        held = pid.output
+        result = pid.update(10.5, 10.0)  # |error| = 0.5 < deadband/2
+        assert result == held
+
+    def test_integral_accumulates(self):
+        pid = PIDController(PIDParameters(gain=0.1, reset_rate=0.5, deadband=0.0, rate=0.0))
+        first = pid.update(5.0, 10.0)
+        second = pid.update(5.0, 10.0)  # same error, more integral
+        assert second > first
+
+    def test_reset_clears_memory(self):
+        pid = PIDController()
+        pid.update(0.0, 10.0)
+        pid.reset()
+        assert pid.output == 0.0
+
+    def test_closed_loop_converges(self):
+        """PID driving the simple plant model must settle near setpoint."""
+        from repro.ics.plant import GasPipelinePlant, PlantConfig
+
+        plant = GasPipelinePlant(PlantConfig(noise_std=0.0, initial_pressure=2.0), rng=0)
+        pid = PIDController(PIDParameters(deadband=0.2))
+        setpoint = 10.0
+        for _ in range(300):
+            duty = pid.update(plant.pressure, setpoint)
+            plant.step(duty, solenoid_open=False, dt=1.0)
+        assert abs(plant.pressure - setpoint) < 1.0
+
+    def test_set_parameters_validates(self):
+        pid = PIDController()
+        with pytest.raises(ValueError):
+            pid.set_parameters(PIDParameters(gain=-1.0))
+
+    def test_derivative_reacts_to_error_change(self):
+        pid = PIDController(
+            PIDParameters(gain=1.0, reset_rate=0.0, deadband=0.0, rate=1.0)
+        )
+        pid.update(8.0, 10.0)
+        # Error shrinking fast -> derivative term is negative.
+        with_derivative = pid.update(9.9, 10.0)
+        pid2 = PIDController(
+            PIDParameters(gain=1.0, reset_rate=0.0, deadband=0.0, rate=0.0)
+        )
+        pid2.update(8.0, 10.0)
+        without_derivative = pid2.update(9.9, 10.0)
+        assert with_derivative < without_derivative

@@ -1,0 +1,116 @@
+"""Tests for the gas pipeline physics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ics.plant import GasPipelinePlant, PlantConfig
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        PlantConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pump_rate": 0.0},
+            {"leak_rate": -0.1},
+            {"relief_rate": 0.0},
+            {"noise_std": -1.0},
+            {"max_pressure": 0.0},
+            {"initial_pressure": -1.0},
+            {"initial_pressure": 100.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        defaults = {}
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            PlantConfig(**defaults).validate()
+
+
+class TestDynamics:
+    def _quiet_plant(self, **kwargs):
+        return GasPipelinePlant(PlantConfig(noise_std=0.0, **kwargs), rng=0)
+
+    def test_pump_raises_pressure(self):
+        plant = self._quiet_plant(initial_pressure=5.0)
+        before = plant.pressure
+        plant.step(duty=1.0, solenoid_open=False, dt=1.0)
+        assert plant.pressure > before
+
+    def test_leak_decays_pressure(self):
+        plant = self._quiet_plant(initial_pressure=10.0)
+        plant.step(duty=0.0, solenoid_open=False, dt=1.0)
+        assert plant.pressure < 10.0
+
+    def test_solenoid_vents_faster_than_leak(self):
+        leak_only = self._quiet_plant(initial_pressure=10.0)
+        vented = self._quiet_plant(initial_pressure=10.0)
+        leak_only.step(0.0, False, 1.0)
+        vented.step(0.0, True, 1.0)
+        assert vented.pressure < leak_only.pressure
+
+    def test_pressure_never_negative(self):
+        plant = self._quiet_plant(initial_pressure=0.5)
+        for _ in range(50):
+            plant.step(0.0, True, 1.0)
+        assert plant.pressure >= 0.0
+
+    def test_pressure_capped_at_max(self):
+        plant = self._quiet_plant(initial_pressure=29.0)
+        for _ in range(100):
+            plant.step(1.0, False, 1.0)
+        assert plant.pressure <= plant.config.max_pressure
+
+    def test_duty_clamped(self):
+        a = self._quiet_plant(initial_pressure=5.0)
+        b = self._quiet_plant(initial_pressure=5.0)
+        a.step(5.0, False, 1.0)  # over-range duty
+        b.step(1.0, False, 1.0)
+        assert a.pressure == b.pressure
+
+    def test_dt_validated(self):
+        with pytest.raises(ValueError):
+            self._quiet_plant().step(0.5, False, 0.0)
+
+    def test_equilibrium_at_pump_leak_balance(self):
+        """dP = pump_rate*duty - leak_rate*P = 0 at P = pump*duty/leak."""
+        plant = self._quiet_plant(initial_pressure=10.0)
+        duty = 0.25
+        expected = plant.config.pump_rate * duty / plant.config.leak_rate
+        for _ in range(500):
+            plant.step(duty, False, 0.5)
+        assert abs(plant.pressure - expected) < 0.2
+
+    def test_noise_reproducible_with_seed(self):
+        a = GasPipelinePlant(PlantConfig(), rng=5)
+        b = GasPipelinePlant(PlantConfig(), rng=5)
+        for _ in range(10):
+            a.step(0.5, False, 1.0)
+            b.step(0.5, False, 1.0)
+        assert a.pressure == b.pressure
+
+
+class TestMeasurement:
+    def test_sensor_noise_zero_reads_truth(self):
+        plant = GasPipelinePlant(PlantConfig(noise_std=0.0), rng=0)
+        assert plant.measure(sensor_noise_std=0.0) == plant.pressure
+
+    def test_reading_clamped(self):
+        plant = GasPipelinePlant(PlantConfig(noise_std=0.0, initial_pressure=0.0), rng=0)
+        readings = [plant.measure(sensor_noise_std=5.0) for _ in range(100)]
+        assert all(r >= 0.0 for r in readings)
+
+    def test_negative_noise_rejected(self):
+        plant = GasPipelinePlant(rng=0)
+        with pytest.raises(ValueError):
+            plant.measure(sensor_noise_std=-1.0)
+
+    def test_sensor_noise_statistics(self):
+        plant = GasPipelinePlant(PlantConfig(noise_std=0.0), rng=42)
+        readings = np.array([plant.measure(0.1) for _ in range(2000)])
+        assert abs(readings.mean() - plant.pressure) < 0.02
+        assert 0.05 < readings.std() < 0.15

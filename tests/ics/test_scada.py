@@ -1,0 +1,172 @@
+"""Tests for the SCADA master/slave polling loop."""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.ics.features import COMMAND, MODE_AUTO, MODE_MANUAL, MODE_OFF, RESPONSE
+from repro.ics.modbus import FunctionCode
+from repro.ics.scada import ScadaConfig, ScadaSimulator
+
+
+@pytest.fixture(scope="module")
+def stream():
+    sim = ScadaSimulator(rng=11)
+    return sim.run(400)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"station_address": 0},
+            {"station_address": 300},
+            {"poll_period": 0.0},
+            {"response_latency": 0.0},
+            {"setpoint_min": 10.0, "setpoint_max": 5.0},
+            {"p_setpoint_change": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScadaConfig(**kwargs).validate()
+
+
+class TestCycleStructure:
+    def test_four_packages_per_cycle(self, stream):
+        assert len(stream) == 400 * 4
+
+    def test_cycle_pattern(self, stream):
+        """Each cycle is write-cmd, write-resp, read-cmd, read-resp."""
+        for i in range(0, 40, 4):
+            cycle = stream[i : i + 4]
+            assert [p.command_response for p in cycle] == [
+                COMMAND,
+                RESPONSE,
+                COMMAND,
+                RESPONSE,
+            ]
+            assert [p.function for p in cycle] == [
+                FunctionCode.WRITE_MULTIPLE_REGISTERS,
+                FunctionCode.WRITE_MULTIPLE_REGISTERS,
+                FunctionCode.READ_HOLDING_REGISTERS,
+                FunctionCode.READ_HOLDING_REGISTERS,
+            ]
+
+    def test_timestamps_strictly_increasing(self, stream):
+        times = [p.time for p in stream]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_all_normal_labels(self, stream):
+        assert all(p.label == 0 for p in stream)
+
+    def test_station_address_constant(self, stream):
+        assert {p.address for p in stream} == {4}
+
+    def test_write_command_carries_full_block(self, stream):
+        cmd = stream[0]
+        assert cmd.setpoint is not None
+        assert cmd.gain is not None
+        assert cmd.system_mode is not None
+        assert cmd.pressure_measurement is None
+
+    def test_write_response_is_bare(self, stream):
+        resp = stream[1]
+        assert resp.setpoint is None
+        assert resp.pressure_measurement is None
+
+    def test_read_response_carries_pressure(self, stream):
+        resp = stream[3]
+        assert resp.pressure_measurement is not None
+        assert resp.system_mode is not None
+
+    def test_lengths_come_from_real_frames(self, stream):
+        lengths = {
+            (p.function, p.command_response): p.length for p in stream[:400]
+        }
+        # Write request: addr+fn + (start,count,bytecount + 20 data) + crc
+        assert lengths[(16, COMMAND)] == 2 + 5 + 20 + 2
+        # Read request: addr+fn + (start, count) + crc
+        assert lengths[(3, COMMAND)] == 2 + 4 + 2
+        # Read response: addr+fn + bytecount + 10 data (5 registers) + crc
+        assert lengths[(3, RESPONSE)] == 2 + 1 + 10 + 2
+
+
+class TestDynamicsThroughScada:
+    def test_pressure_tracks_setpoint(self, stream):
+        errors = []
+        setpoint = None
+        for p in stream:
+            if p.command_response == COMMAND and p.setpoint is not None:
+                setpoint = p.setpoint
+            elif (
+                p.pressure_measurement is not None
+                and p.system_mode == MODE_AUTO
+                and setpoint is not None
+            ):
+                errors.append(abs(p.pressure_measurement - setpoint))
+        assert np.mean(errors) < 3.0
+
+    def test_mostly_auto_mode(self, stream):
+        modes = collections.Counter(
+            p.system_mode for p in stream if p.command_response == COMMAND and p.system_mode is not None
+        )
+        assert modes[MODE_AUTO] > 0.7 * sum(modes.values())
+
+    def test_operator_changes_setpoint_sometimes(self, stream):
+        setpoints = {
+            round(p.setpoint, 3)
+            for p in stream
+            if p.setpoint is not None and p.command_response == COMMAND
+        }
+        assert len(setpoints) > 1
+
+    def test_interval_clusters(self, stream):
+        """Intra-cycle gaps are tiny, inter-cycle gaps are ~ poll period."""
+        times = [p.time for p in stream]
+        intervals = np.diff(times)
+        small = intervals[intervals < 0.2]
+        large = intervals[intervals >= 0.2]
+        assert len(small) > 0 and len(large) > 0
+        assert np.mean(small) < 0.1
+        assert 0.5 < np.mean(large) < 1.5
+
+
+class TestPlcStateSeparation:
+    def test_injected_write_changes_plc_not_intent(self):
+        sim = ScadaSimulator(rng=0)
+        sim.run(5)
+        malicious = sim.make_write_command(sim.time).replace(
+            system_mode=MODE_OFF, setpoint=2.0
+        )
+        sim.apply_write(malicious)
+        assert sim.plc_mode == MODE_OFF
+        assert sim.system_mode == MODE_AUTO  # operator intent untouched
+        # Next legitimate cycle restores the PLC state.
+        sim.run_cycle()
+        assert sim.plc_mode == sim.system_mode
+
+    def test_apply_write_rejects_response(self):
+        sim = ScadaSimulator(rng=0)
+        response = sim.make_write_response(0.0)
+        with pytest.raises(ValueError):
+            sim.apply_write(response)
+
+    def test_invalid_pid_block_rejected_by_plc(self):
+        sim = ScadaSimulator(rng=0)
+        before = sim.pid.params
+        malicious = sim.make_write_command(0.0).replace(gain=-5.0)
+        sim.apply_write(malicious)  # must not raise
+        assert sim.pid.params == before
+
+    def test_run_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            ScadaSimulator(rng=0).run(-1)
+
+    def test_reproducible_stream(self):
+        a = ScadaSimulator(rng=21).run(50)
+        b = ScadaSimulator(rng=21).run(50)
+        assert a == b

@@ -1,0 +1,87 @@
+"""Tests for activation functions."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.activations import (
+    log_softmax,
+    relu,
+    relu_grad,
+    sigmoid,
+    sigmoid_grad,
+    softmax,
+    tanh,
+    tanh_grad,
+)
+
+floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+arrays = hnp.arrays(np.float64, st.integers(1, 20), elements=floats)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_extreme_values_do_not_overflow(self):
+        out = sigmoid(np.array([-1e6, 1e6]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == 0.0 or out[0] < 1e-300
+        assert out[1] == 1.0
+
+    @given(arrays)
+    def test_range(self, x):
+        y = sigmoid(x)
+        assert np.all(y >= 0) and np.all(y <= 1)
+
+    @given(arrays)
+    def test_symmetry(self, x):
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_grad_matches_numerical(self):
+        x = np.linspace(-4, 4, 9)
+        eps = 1e-6
+        numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(sigmoid_grad(sigmoid(x)), numeric, atol=1e-9)
+
+
+class TestTanh:
+    def test_grad_matches_numerical(self):
+        x = np.linspace(-3, 3, 7)
+        eps = 1e-6
+        numeric = (tanh(x + eps) - tanh(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(tanh_grad(tanh(x)), numeric, atol=1e-9)
+
+
+class TestRelu:
+    def test_values(self):
+        np.testing.assert_array_equal(relu(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0])
+
+    def test_grad(self):
+        np.testing.assert_array_equal(relu_grad(np.array([-2.0, 3.0])), [0.0, 1.0])
+
+
+class TestSoftmax:
+    @given(arrays)
+    def test_rows_sum_to_one(self, x):
+        np.testing.assert_allclose(softmax(x).sum(), 1.0, atol=1e-9)
+
+    def test_shift_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), atol=1e-12)
+
+    def test_huge_logits_stable(self):
+        out = softmax(np.array([1e4, 1e4 - 1, 0.0]))
+        assert np.all(np.isfinite(out))
+
+    def test_batched_axis(self):
+        x = np.arange(12, dtype=float).reshape(3, 4)
+        out = softmax(x, axis=1)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    @given(arrays)
+    def test_log_softmax_consistent(self, x):
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)), atol=1e-9)

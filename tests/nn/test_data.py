@@ -1,0 +1,134 @@
+"""Tests for windowing, batching and one-hot encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.data import (
+    SequenceWindow,
+    iter_batches,
+    make_windows,
+    one_hot,
+    pad_batch,
+)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_2d_indices(self):
+        out = one_hot(np.array([[0], [1]]), 2)
+        assert out.shape == (2, 1, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=30))
+    def test_rows_sum_to_one(self, idx):
+        out = one_hot(np.array(idx), 10)
+        np.testing.assert_array_equal(out.sum(axis=-1), 1.0)
+
+
+def _fragment(length, dim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((length, dim)), rng.integers(0, 5, length)
+
+
+class TestMakeWindows:
+    def test_exact_division(self):
+        windows = make_windows([_fragment(20)], bptt_len=5)
+        assert len(windows) == 4
+        assert all(len(w) == 5 for w in windows)
+
+    def test_remainder_kept_if_long_enough(self):
+        windows = make_windows([_fragment(12)], bptt_len=5)
+        assert [len(w) for w in windows] == [5, 5, 2]
+
+    def test_tiny_remainder_dropped(self):
+        windows = make_windows([_fragment(11)], bptt_len=5, min_len=2)
+        assert [len(w) for w in windows] == [5, 5]
+
+    def test_single_package_fragment_kept_at_start(self):
+        windows = make_windows([_fragment(1)], bptt_len=5)
+        assert len(windows) == 1
+
+    def test_windows_preserve_content(self):
+        inputs, targets = _fragment(7, seed=3)
+        windows = make_windows([(inputs, targets)], bptt_len=4)
+        np.testing.assert_array_equal(windows[0].inputs, inputs[:4])
+        np.testing.assert_array_equal(windows[1].targets, targets[4:])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            make_windows([(np.zeros((3, 2)), np.zeros(4, dtype=int))], bptt_len=2)
+
+    def test_bad_bptt_rejected(self):
+        with pytest.raises(ValueError):
+            make_windows([], bptt_len=0)
+
+
+class TestPadBatch:
+    def test_padding_and_mask(self):
+        windows = [
+            SequenceWindow(np.ones((3, 2)), np.array([1, 2, 3])),
+            SequenceWindow(np.ones((2, 2)), np.array([4, 5])),
+        ]
+        batch = pad_batch(windows)
+        assert batch.inputs.shape == (3, 2, 2)
+        np.testing.assert_array_equal(batch.mask[:, 0], [1, 1, 1])
+        np.testing.assert_array_equal(batch.mask[:, 1], [1, 1, 0])
+        np.testing.assert_array_equal(batch.inputs[2, 1], 0.0)
+        assert batch.targets[1, 1] == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pad_batch([])
+
+    def test_dim_mismatch_rejected(self):
+        windows = [
+            SequenceWindow(np.ones((2, 2)), np.array([0, 1])),
+            SequenceWindow(np.ones((2, 3)), np.array([0, 1])),
+        ]
+        with pytest.raises(ValueError):
+            pad_batch(windows)
+
+
+class TestIterBatches:
+    def test_covers_all_windows_once(self):
+        windows = make_windows([_fragment(50, seed=1)], bptt_len=5)
+        seen = 0
+        for batch in iter_batches(windows, batch_size=3, shuffle=True, rng=0):
+            seen += int(batch.mask.sum())
+        assert seen == 50
+
+    def test_shuffle_reproducible(self):
+        windows = make_windows([_fragment(40, seed=2)], bptt_len=4)
+        run1 = [b.targets.copy() for b in iter_batches(windows, 4, rng=7)]
+        run2 = [b.targets.copy() for b in iter_batches(windows, 4, rng=7)]
+        for a, b in zip(run1, run2):
+            np.testing.assert_array_equal(a, b)
+
+    def test_no_shuffle_preserves_order(self):
+        windows = make_windows([_fragment(12, seed=4)], bptt_len=4)
+        batches = list(iter_batches(windows, batch_size=1, shuffle=False))
+        np.testing.assert_array_equal(batches[0].targets[:, 0], windows[0].targets)
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_batches([], 0))
+
+
+class TestSequenceWindow:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            SequenceWindow(np.zeros((3,)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            SequenceWindow(np.zeros((3, 2)), np.zeros(2, dtype=int))

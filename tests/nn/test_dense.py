@@ -1,0 +1,62 @@
+"""Tests for the dense output layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.dense import DenseLayer
+from repro.nn.gradcheck import check_gradients
+from repro.nn.losses import softmax_cross_entropy
+
+
+class TestDense:
+    def test_forward_shapes(self):
+        layer = DenseLayer(4, 3, rng=0)
+        assert layer.forward(np.zeros((5, 4))).shape == (5, 3)
+        assert layer.forward(np.zeros((2, 5, 4))).shape == (2, 5, 3)
+
+    def test_linear_in_input(self):
+        layer = DenseLayer(3, 2, rng=1)
+        x = np.random.default_rng(0).standard_normal((4, 3))
+        bias_out = layer.forward(np.zeros((1, 3)), keep_cache=False)
+        y = layer.forward(2.0 * x, keep_cache=False)
+        y_single = layer.forward(x, keep_cache=False)
+        np.testing.assert_allclose(y - bias_out, 2.0 * (y_single - bias_out), atol=1e-12)
+
+    def test_gradcheck(self):
+        layer = DenseLayer(4, 3, rng=2)
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((3, 2, 4))
+        targets = rng.integers(0, 3, size=6)
+
+        def loss_and_grads():
+            logits = layer.forward(x, keep_cache=True)
+            loss, dflat = softmax_cross_entropy(logits.reshape(-1, 3), targets)
+            layer.backward(dflat.reshape(3, 2, 3))
+            return loss, layer.grads
+
+        errors = check_gradients(loss_and_grads, layer.params)
+        assert max(errors.values()) < 1e-6, errors
+
+    def test_input_gradient(self):
+        layer = DenseLayer(3, 2, rng=4)
+        x = np.random.default_rng(5).standard_normal((4, 3))
+        logits = layer.forward(x, keep_cache=True)
+        d_out = np.ones_like(logits)
+        dx = layer.backward(d_out)
+        np.testing.assert_allclose(dx, d_out @ layer.params["W"].T, atol=1e-12)
+
+    def test_backward_without_forward_raises(self):
+        layer = DenseLayer(2, 2, rng=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_rejects_wrong_feature_size(self):
+        layer = DenseLayer(3, 2, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((5, 4)))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            DenseLayer(0, 2)

@@ -1,0 +1,56 @@
+"""Tests for weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import glorot_uniform, lstm_forget_bias, orthogonal, zeros
+
+
+class TestGlorot:
+    def test_limit_respected(self):
+        w = glorot_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(glorot_uniform((5, 5), 3), glorot_uniform((5, 5), 3))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            glorot_uniform((3,), 0)  # type: ignore[arg-type]
+
+
+class TestOrthogonal:
+    @pytest.mark.parametrize("shape", [(8, 8), (12, 6), (6, 12)])
+    def test_orthonormal_columns_or_rows(self, shape):
+        w = orthogonal(shape, rng=1)
+        rows, cols = shape
+        if rows >= cols:
+            gram = w.T @ w
+        else:
+            gram = w @ w.T
+        np.testing.assert_allclose(gram, np.eye(min(shape)), atol=1e-10)
+
+    def test_gain_scales(self):
+        w = orthogonal((6, 6), rng=2, gain=3.0)
+        np.testing.assert_allclose(w.T @ w, 9.0 * np.eye(6), atol=1e-9)
+
+
+class TestForgetBias:
+    def test_only_forget_slice_set(self):
+        hidden = 4
+        bias = lstm_forget_bias(zeros((16,)), hidden, value=1.5)
+        np.testing.assert_array_equal(bias[:4], 0.0)
+        np.testing.assert_array_equal(bias[4:8], 1.5)
+        np.testing.assert_array_equal(bias[8:], 0.0)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            lstm_forget_bias(zeros((10,)), 4)
+
+    def test_does_not_mutate_input(self):
+        original = zeros((8,))
+        lstm_forget_bias(original, 2)
+        np.testing.assert_array_equal(original, 0.0)

@@ -1,0 +1,111 @@
+"""Tests for softmax cross-entropy and top-k error."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.losses import softmax_cross_entropy, top_k_error, top_k_hits, top_k_sets
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0], [0.0, 100.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_logits_loss_is_log_c(self):
+        logits = np.zeros((4, 7))
+        loss, _ = softmax_cross_entropy(logits, np.zeros(4, dtype=int))
+        np.testing.assert_allclose(loss, np.log(7), atol=1e-9)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((5, 6))
+        targets = rng.integers(0, 6, 5)
+        _, grad = softmax_cross_entropy(logits, targets)
+        eps = 1e-6
+        for i in range(5):
+            for j in range(6):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                loss_plus, _ = softmax_cross_entropy(bumped, targets)
+                bumped[i, j] -= 2 * eps
+                loss_minus, _ = softmax_cross_entropy(bumped, targets)
+                numeric = (loss_plus - loss_minus) / (2 * eps)
+                assert abs(grad[i, j] - numeric) < 1e-7
+
+    def test_weights_mask_samples(self):
+        logits = np.array([[5.0, 0.0], [0.0, 5.0], [9.0, 9.0]])
+        targets = np.array([0, 1, 0])
+        # Third sample masked out: loss should match first two only.
+        loss_masked, grad = softmax_cross_entropy(logits, targets, np.array([1.0, 1.0, 0.0]))
+        loss_pair, _ = softmax_cross_entropy(logits[:2], targets[:2])
+        np.testing.assert_allclose(loss_masked, loss_pair, atol=1e-12)
+        np.testing.assert_array_equal(grad[2], 0.0)
+
+    def test_all_zero_weights(self):
+        loss, grad = softmax_cross_entropy(np.ones((2, 3)), np.array([0, 1]), np.zeros(2))
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_rejects_bad_targets(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.ones((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.ones((2, 3)), np.array([-1, 0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.ones((2, 3)), np.array([0]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.ones(3), np.array([0]))
+
+    @given(st.integers(2, 10), st.integers(1, 12))
+    def test_gradient_rows_sum_to_zero(self, num_classes, n):
+        rng = np.random.default_rng(n * 100 + num_classes)
+        logits = rng.standard_normal((n, num_classes))
+        targets = rng.integers(0, num_classes, n)
+        _, grad = softmax_cross_entropy(logits, targets)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestTopK:
+    def test_top_k_sets_membership(self):
+        probs = np.array([[0.1, 0.5, 0.4], [0.8, 0.1, 0.1]])
+        sets = top_k_sets(probs, 2)
+        assert set(sets[0]) == {1, 2}
+        assert 0 in set(sets[1])
+
+    def test_top_k_hits(self):
+        probs = np.array([[0.1, 0.5, 0.4], [0.8, 0.1, 0.1]])
+        hits = top_k_hits(probs, np.array([2, 1]), 2)
+        assert hits[0] and not hits[1]
+
+    def test_error_monotone_in_k(self):
+        rng = np.random.default_rng(5)
+        probs = rng.dirichlet(np.ones(10), size=50)
+        targets = rng.integers(0, 10, 50)
+        errors = [top_k_error(probs, targets, k) for k in range(1, 11)]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+        assert errors[-1] == 0.0  # k = C always hits
+
+    def test_k_larger_than_classes_clamped(self):
+        probs = np.array([[0.9, 0.1]])
+        assert top_k_error(probs, np.array([1]), 10) == 0.0
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            top_k_sets(np.ones((1, 3)), 0)
+
+    def test_weighted_error_ignores_masked(self):
+        probs = np.array([[0.9, 0.1], [0.9, 0.1]])
+        targets = np.array([1, 1])
+        # Second row masked; first row misses top-1.
+        err = top_k_error(probs, targets, 1, weights=np.array([1.0, 0.0]))
+        assert err == 1.0
+
+    def test_empty_input(self):
+        assert top_k_error(np.zeros((0, 4)), np.zeros(0, dtype=int), 2) == 0.0

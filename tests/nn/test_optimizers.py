@@ -1,0 +1,109 @@
+"""Tests for optimizers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam, RMSProp, clip_gradients, global_norm
+
+
+def _quadratic_params():
+    """Single-parameter quadratic bowl: loss = 0.5 * ||w - 3||^2."""
+    return {"w": np.array([10.0, -10.0])}
+
+
+def _quadratic_grad(params):
+    return {"w": params["w"] - 3.0}
+
+
+@pytest.mark.parametrize(
+    "optimizer",
+    [
+        SGD(learning_rate=0.1),
+        SGD(learning_rate=0.05, momentum=0.9),
+        RMSProp(learning_rate=0.05),
+        Adam(learning_rate=0.3),
+    ],
+    ids=["sgd", "sgd-momentum", "rmsprop", "adam"],
+)
+def test_converges_on_quadratic(optimizer):
+    params = _quadratic_params()
+    for _ in range(300):
+        optimizer.step(params, _quadratic_grad(params))
+    np.testing.assert_allclose(params["w"], 3.0, atol=0.05)
+
+
+class TestClipGradients:
+    def test_no_clip_below_threshold(self):
+        grads = {"a": np.array([3.0, 4.0])}  # norm 5
+        clipped, norm = clip_gradients(grads, 10.0)
+        assert norm == 5.0
+        assert clipped is grads
+
+    def test_clips_to_max_norm(self):
+        grads = {"a": np.array([30.0, 40.0])}  # norm 50
+        clipped, norm = clip_gradients(grads, 5.0)
+        assert norm == 50.0
+        np.testing.assert_allclose(global_norm(clipped), 5.0)
+
+    def test_multi_param_global_norm(self):
+        grads = {"a": np.array([3.0]), "b": np.array([4.0])}
+        assert global_norm(grads) == 5.0
+
+    def test_zero_gradient_untouched(self):
+        grads = {"a": np.zeros(3)}
+        clipped, norm = clip_gradients(grads, 1.0)
+        assert norm == 0.0
+        np.testing.assert_array_equal(clipped["a"], 0.0)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients({"a": np.ones(2)}, 0.0)
+
+
+class TestOptimizerPlumbing:
+    def test_key_mismatch_rejected(self):
+        opt = SGD()
+        with pytest.raises(KeyError):
+            opt.step({"a": np.zeros(2)}, {"b": np.zeros(2)})
+
+    def test_updates_in_place(self):
+        opt = SGD(learning_rate=1.0, clip_norm=None)
+        params = {"w": np.array([1.0])}
+        view = params["w"]
+        opt.step(params, {"w": np.array([0.5])})
+        assert view[0] == 0.5  # same array object mutated
+
+    def test_reset_clears_state(self):
+        opt = Adam()
+        params = {"w": np.array([1.0])}
+        opt.step(params, {"w": np.array([1.0])})
+        assert opt.iterations == 1
+        opt.reset()
+        assert opt.iterations == 0
+
+    def test_clipping_applied_inside_step(self):
+        opt = SGD(learning_rate=1.0, clip_norm=1.0)
+        params = {"w": np.array([0.0])}
+        opt.step(params, {"w": np.array([100.0])})
+        np.testing.assert_allclose(params["w"], -1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_learning_rate_validated(self, bad):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=bad)
+
+    def test_momentum_validated(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+    def test_adam_betas_validated(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+
+    def test_rmsprop_decay_validated(self):
+        with pytest.raises(ValueError):
+            RMSProp(decay=1.0)

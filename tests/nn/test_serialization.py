@@ -1,0 +1,54 @@
+"""Tests for model save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import NetworkConfig, StackedLSTMClassifier
+from repro.nn.serialization import load_classifier, save_classifier
+
+
+@pytest.fixture
+def trained_model():
+    model = StackedLSTMClassifier(NetworkConfig(3, (5, 4), 6), rng=0)
+    # Nudge the weights so defaults differ from a fresh model.
+    for param in model.parameters().values():
+        param += 0.01
+    return model
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, trained_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_classifier(trained_model, path)
+        restored = load_classifier(path)
+        x = np.random.default_rng(0).standard_normal((6, 3))
+        np.testing.assert_array_equal(
+            trained_model.predict_proba(x), restored.predict_proba(x)
+        )
+
+    def test_config_restored(self, trained_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_classifier(trained_model, path)
+        restored = load_classifier(path)
+        assert restored.config == trained_model.config
+
+    def test_all_parameters_restored(self, trained_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_classifier(trained_model, path)
+        restored = load_classifier(path)
+        for name, param in trained_model.parameters().items():
+            np.testing.assert_array_equal(param, restored.parameters()[name])
+
+
+class TestErrors:
+    def test_not_a_model_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError, match="missing"):
+            load_classifier(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_classifier(tmp_path / "nope.npz")

@@ -1,0 +1,137 @@
+"""Tests for the experiment harness on the CI profile."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig4_histograms,
+    fig5_granularity,
+    fig7_metrics_vs_k,
+    get_profile,
+    run_comparison,
+    run_pipeline,
+)
+from repro.experiments.comparison import MODEL_ORDER
+from repro.experiments.profiles import PROFILES
+from repro.experiments.reporting import (
+    PAPER_TABLE_IV,
+    PAPER_TABLE_V,
+    format_curve,
+    format_table_iv,
+    format_table_v,
+)
+
+
+class TestProfiles:
+    def test_all_profiles_valid(self):
+        for profile in PROFILES.values():
+            profile.dataset.validate()
+            profile.detector.validate()
+
+    def test_get_profile(self):
+        assert get_profile("ci").name == "ci"
+        with pytest.raises(KeyError):
+            get_profile("nonexistent")
+
+    def test_with_seed(self):
+        assert get_profile("ci").with_seed(99).seed == 99
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_pipeline("ci")
+
+    def test_caching_returns_same_object(self, result):
+        assert run_pipeline("ci") is result
+
+    def test_custom_seed_not_cached_with_default(self, result):
+        other = run_pipeline("ci", seed=123)
+        assert other is not result
+
+    def test_metrics_populated(self, result):
+        assert 0.0 <= result.metrics.f1_score <= 1.0
+        assert result.per_package_ms > 0.0
+        assert result.train_seconds > 0.0
+        assert set(result.attack_recalls) <= set(range(1, 8))
+
+    def test_labels_match_test_set(self, result):
+        assert len(result.labels) == len(result.dataset.test_packages)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_comparison("ci")
+
+    def test_all_models_present(self, comparison):
+        assert tuple(comparison.metrics) == MODEL_ORDER
+        assert tuple(comparison.attack_recalls) == MODEL_ORDER
+
+    def test_metric_ranges(self, comparison):
+        for metrics in comparison.metrics.values():
+            assert 0.0 <= metrics.f1_score <= 1.0
+            assert 0.0 <= metrics.accuracy <= 1.0
+
+    def test_recall_slices_in_range(self, comparison):
+        for ratios in comparison.attack_recalls.values():
+            assert all(0.0 <= v <= 1.0 for v in ratios.values())
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return run_pipeline("ci")
+
+    def test_fig4(self, pipeline):
+        histograms = fig4_histograms(pipeline.dataset, bins=50)
+        assert set(histograms) == {
+            "time_interval",
+            "crc_rate",
+            "pressure_measurement",
+            "setpoint",
+        }
+        for counts, edges in histograms.values():
+            assert counts.shape == (50,)
+            assert edges.shape == (51,)
+
+    def test_fig5(self, pipeline):
+        result = fig5_granularity(
+            pipeline.dataset, pressure_grid=(5, 10), setpoint_grid=(5,), theta=0.5
+        )
+        assert result.errors.shape == (2, 1)
+
+    def test_fig7(self, pipeline):
+        sweep = fig7_metrics_vs_k(pipeline, ks=(1, 3))
+        assert len(sweep.metrics) == 2
+        assert len(sweep.series("recall")) == 2
+
+
+class TestReporting:
+    def test_paper_constants_complete(self):
+        assert set(PAPER_TABLE_IV) == set(MODEL_ORDER)
+        for ratios in PAPER_TABLE_V.values():
+            assert set(ratios) == set(range(1, 8))
+
+    def test_paper_f1_consistent_with_pr(self):
+        """The transcribed Table IV rows satisfy the F1 identity.
+
+        The GMM and PCA-SVD rows are copied from [52]; the paper itself
+        notes they are internally inconsistent, so both are exempt.
+        """
+        for model, (p, r, _a, f1) in PAPER_TABLE_IV.items():
+            if model in ("PCA-SVD", "GMM"):
+                continue
+            expected = 2 * p * r / (p + r)
+            assert abs(expected - f1) < 0.02, model
+
+    def test_formatters_run(self):
+        from repro.core.metrics import DetectionMetrics
+
+        table = format_table_iv({"Our framework": DetectionMetrics(1, 1, 1, 1)})
+        assert "Our framework" in table
+        table_v = format_table_v({"BF": {1: 0.5}})
+        assert "NMRI" in table_v
+        assert "k=1" in format_curve("x", {1: 0.5})

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across all subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CombinedDetector,
+    DetectorConfig,
+    DatasetConfig,
+    TimeSeriesDetectorConfig,
+    evaluate_detection,
+    generate_dataset,
+)
+from repro.ics import read_arff, write_arff
+from repro.ics.dataset import split_into_fragments
+from repro.nn.serialization import load_classifier, save_classifier
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    dataset = generate_dataset(DatasetConfig(num_cycles=900), seed=17)
+    config = DetectorConfig(
+        timeseries=TimeSeriesDetectorConfig(hidden_sizes=(24,), epochs=6)
+    )
+    detector, artifacts = CombinedDetector.train(
+        dataset.train_fragments, dataset.validation_fragments, config, rng=17
+    )
+    return dataset, detector, artifacts
+
+
+class TestFullPipeline:
+    def test_detection_beats_chance(self, small_run):
+        dataset, detector, _ = small_run
+        result = detector.detect(dataset.test_packages)
+        labels = np.array([p.label for p in dataset.test_packages])
+        metrics = evaluate_detection(labels, result.is_anomaly)
+        assert metrics.recall > metrics.false_positive_rate
+        assert metrics.recall > 0.5
+
+    def test_protocol_attacks_fully_caught(self, small_run):
+        """MFCI / Recon change protocol fields — signatures must catch them."""
+        dataset, detector, _ = small_run
+        result = detector.detect(dataset.test_packages)
+        labels = np.array([p.label for p in dataset.test_packages])
+        for attack_id in (5, 7):  # MFCI, Recon
+            mask = labels == attack_id
+            if mask.any():
+                assert result.is_anomaly[mask].mean() > 0.95
+
+    def test_deterministic_end_to_end(self):
+        outputs = []
+        for _ in range(2):
+            dataset = generate_dataset(DatasetConfig(num_cycles=300), seed=23)
+            config = DetectorConfig(
+                timeseries=TimeSeriesDetectorConfig(hidden_sizes=(12,), epochs=2)
+            )
+            detector, _ = CombinedDetector.train(
+                dataset.train_fragments,
+                dataset.validation_fragments,
+                config,
+                rng=23,
+            )
+            outputs.append(detector.detect(dataset.test_packages[:200]).is_anomaly)
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+
+    def test_arff_roundtrip_preserves_detection(self, small_run, tmp_path):
+        """A capture archived to ARFF yields the same verdicts on reload."""
+        dataset, detector, _ = small_run
+        packages = dataset.test_packages[:300]
+        path = tmp_path / "capture.arff"
+        write_arff(packages, path)
+        restored = read_arff(path)
+        original = detector.detect(packages)
+        reloaded = detector.detect(restored)
+        np.testing.assert_array_equal(original.is_anomaly, reloaded.is_anomaly)
+
+    def test_lstm_weights_roundtrip(self, small_run, tmp_path):
+        dataset, detector, _ = small_run
+        path = tmp_path / "lstm.npz"
+        save_classifier(detector.timeseries.model, path)
+        restored = load_classifier(path)
+        x = np.zeros((5, detector.timeseries.encoder.input_size))
+        np.testing.assert_array_equal(
+            detector.timeseries.model.predict_proba(x), restored.predict_proba(x)
+        )
+
+
+class TestFailureInjection:
+    def test_handles_all_missing_package(self, small_run):
+        """A package with every optional field absent must not crash."""
+        dataset, detector, _ = small_run
+        package = dataset.test_packages[0].replace(
+            setpoint=None,
+            gain=None,
+            reset_rate=None,
+            deadband=None,
+            cycle_time=None,
+            rate=None,
+            system_mode=None,
+            control_scheme=None,
+            pump=None,
+            solenoid=None,
+            pressure_measurement=None,
+        )
+        monitor = detector.stream()
+        verdict, level = monitor.observe(package)
+        assert isinstance(verdict, bool)
+
+    def test_handles_extreme_values(self, small_run):
+        dataset, detector, _ = small_run
+        package = dataset.test_packages[0].replace(
+            pressure_measurement=1e9, crc_rate=1e9, setpoint=-1e9
+        )
+        result = detector.detect([package] + dataset.test_packages[:10])
+        assert len(result) == 11
+
+    def test_detect_empty_stream(self, small_run):
+        _, detector, _ = small_run
+        result = detector.detect([])
+        assert len(result) == 0
+
+    def test_fragments_protocol_matches_paper(self):
+        """Anomaly removal cuts streams; fragments < 10 are dropped."""
+        dataset = generate_dataset(DatasetConfig(num_cycles=500), seed=29)
+        train_end = int(len(dataset.all_packages) * 0.6)
+        rebuilt = split_into_fragments(dataset.all_packages[:train_end], 10)
+        assert [len(f) for f in rebuilt] == [len(f) for f in dataset.train_fragments]

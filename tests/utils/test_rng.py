@@ -1,0 +1,48 @@
+"""Tests for RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_from_int_is_reproducible(self):
+        a = as_generator(7).integers(0, 1000, size=10)
+        b = as_generator(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(3)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_children_are_independent(self):
+        children = spawn_generators(11, 3)
+        draws = [g.integers(0, 2**31, size=8) for g in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible_from_same_seed(self):
+        first = [g.integers(0, 100, 5) for g in spawn_generators(5, 2)]
+        second = [g.integers(0, 100, 5) for g in spawn_generators(5, 2)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(9)
+        children = spawn_generators(gen, 2)
+        assert len(children) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []

@@ -1,0 +1,38 @@
+"""Tests for argument validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import check_fraction, check_positive, check_probability
+
+
+def test_check_positive_accepts_positive():
+    assert check_positive("x", 0.5) == 0.5
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.001])
+def test_check_positive_rejects(value):
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", value)
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_check_probability_accepts(value):
+    assert check_probability("p", value) == value
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.01])
+def test_check_probability_rejects(value):
+    with pytest.raises(ValueError):
+        check_probability("p", value)
+
+
+@pytest.mark.parametrize("value", [0.0, 1.0, -1, 2])
+def test_check_fraction_rejects_boundaries(value):
+    with pytest.raises(ValueError):
+        check_fraction("f", value)
+
+
+def test_check_fraction_accepts_interior():
+    assert check_fraction("f", 0.6) == 0.6
