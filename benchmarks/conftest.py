@@ -9,6 +9,7 @@ output survives pytest's capture.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -25,8 +26,16 @@ def profile_name() -> str:
 def emit_report(name: str, text: str) -> None:
     """Print a report table and persist it under ``reports/``."""
     print(f"\n=== {name} ===\n{text}\n")
-    REPORT_DIR.mkdir(exist_ok=True)
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist machine-readable benchmark results under ``reports/``."""
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    (REPORT_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -36,6 +36,7 @@ from repro.core import (
     FeatureDiscretizer,
     PackageLevelDetector,
     SignatureVocabulary,
+    StreamEngine,
     TimeSeriesDetector,
     TimeSeriesDetectorConfig,
     choose_k,
@@ -66,6 +67,7 @@ __all__ = [
     "FeatureDiscretizer",
     "PackageLevelDetector",
     "SignatureVocabulary",
+    "StreamEngine",
     "TimeSeriesDetector",
     "TimeSeriesDetectorConfig",
     "choose_k",

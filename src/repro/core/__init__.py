@@ -14,6 +14,8 @@
 - :mod:`repro.core.timeseries_detector` — the stacked-LSTM top-k
   detector ``F_t`` (Section V),
 - :mod:`repro.core.combined` — the combined framework (Section VI, Fig 3),
+- :mod:`repro.core.stream_engine` — the batched multi-stream engine
+  (N concurrent streams, one LSTM step per tick),
 - :mod:`repro.core.tuning` — granularity search (Fig 5) and choice of
   ``k`` (Fig 6),
 - :mod:`repro.core.metrics` — precision/recall/accuracy/F1 and
@@ -40,6 +42,7 @@ from repro.core.metrics import (
 from repro.core.noise import ProbabilisticNoiser
 from repro.core.package_detector import PackageLevelDetector
 from repro.core.signatures import SignatureVocabulary, signature_of
+from repro.core.stream_engine import LEVEL_NAMES, StreamEngine
 from repro.core.timeseries_detector import TimeSeriesDetector, TimeSeriesDetectorConfig
 from repro.core.tuning import GranularitySearchResult, choose_k, granularity_search
 
@@ -64,6 +67,8 @@ __all__ = [
     "PackageLevelDetector",
     "SignatureVocabulary",
     "signature_of",
+    "LEVEL_NAMES",
+    "StreamEngine",
     "TimeSeriesDetector",
     "TimeSeriesDetectorConfig",
     "GranularitySearchResult",

@@ -18,18 +18,20 @@ import numpy as np
 from repro.core.discretization import DiscretizationConfig, FeatureDiscretizer
 from repro.core.package_detector import PackageLevelDetector
 from repro.core.signatures import SignatureVocabulary, signature_of
+from repro.core.stream_engine import (
+    LEVEL_NAMES,
+    LEVEL_NONE,
+    LEVEL_PACKAGE,
+    LEVEL_TIMESERIES,
+    StreamEngine,
+)
 from repro.core.timeseries_detector import (
-    StreamState,
     TimeSeriesDetector,
     TimeSeriesDetectorConfig,
     TimeSeriesTrainingReport,
 )
 from repro.ics.features import Package
 from repro.utils.rng import SeedLike, spawn_generators
-
-#: Detection level tags in results.
-LEVEL_NONE, LEVEL_PACKAGE, LEVEL_TIMESERIES = 0, 1, 2
-LEVEL_NAMES = {LEVEL_NONE: "normal", LEVEL_PACKAGE: "package", LEVEL_TIMESERIES: "time-series"}
 
 
 @dataclass(frozen=True)
@@ -94,29 +96,21 @@ class DetectionResult:
 
 
 class StreamMonitor:
-    """Stateful one-package-at-a-time detector (Fig. 3 data path)."""
+    """Stateful one-package-at-a-time detector (Fig. 3 data path).
+
+    A thin view over a single-stream :class:`StreamEngine`, so the
+    streaming path and the batched multi-stream path share one
+    implementation (and stay bit-identical).
+    """
 
     def __init__(self, detector: "CombinedDetector") -> None:
-        self._detector = detector
-        self._state: StreamState = detector.timeseries.new_stream()
-        self._prev_time: float | None = None
+        self._engine = StreamEngine(detector)
+        self._stream_id = self._engine.attach()
 
     def observe(self, package: Package) -> tuple[bool, int]:
         """Classify one package; returns ``(is_anomaly, level)``."""
-        detector = self._detector
-        codes = detector.discretizer.transform_package(package, self._prev_time)
-        self._prev_time = package.time
-
-        if detector.package_detector.is_anomalous_codes(codes):
-            # Package level anomaly: skip the top-k check, but feed the
-            # package (with noise bit set) into the recurrent history.
-            _, self._state = detector.timeseries.observe(
-                codes, self._state, forced_verdict=True
-            )
-            return True, LEVEL_PACKAGE
-
-        verdict, self._state = detector.timeseries.observe(codes, self._state)
-        return bool(verdict), LEVEL_TIMESERIES if verdict else LEVEL_NONE
+        anomalies, levels = self._engine.observe_batch([package])
+        return bool(anomalies[0]), int(levels[0])
 
 
 class CombinedDetector:
@@ -210,6 +204,15 @@ class CombinedDetector:
     def stream(self) -> StreamMonitor:
         """Open a stateful monitor for live traffic."""
         return StreamMonitor(self)
+
+    def engine(self, num_streams: int = 0) -> StreamEngine:
+        """Open a batched engine monitoring ``num_streams`` streams.
+
+        Further streams can be attached (and detached) at any time.
+        """
+        engine = StreamEngine(self)
+        engine.attach_many(num_streams)
+        return engine
 
     def detect(self, packages: Iterable[Package]) -> DetectionResult:
         """Classify a recorded stream package-by-package."""

@@ -68,6 +68,20 @@ class PackageLevelDetector:
         assert self.bloom is not None
         return signature_of(codes) not in self.bloom
 
+    def anomalous_codes_batch(
+        self, codes_batch: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """``F_p`` over a batch of discretized vectors (one per stream).
+
+        Returns a boolean array; ``True`` marks anomalies.  The Bloom
+        probes run as one vectorized bit-gather.
+        """
+        self._require_fitted()
+        assert self.bloom is not None
+        return ~self.bloom.contains_many(
+            [signature_of(codes) for codes in codes_batch]
+        )
+
     def classify_sequence(
         self, packages: Sequence[Package], prev_time: float | None = None
     ) -> np.ndarray:

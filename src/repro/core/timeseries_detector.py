@@ -63,6 +63,77 @@ class StreamState:
 
 
 @dataclass
+class BatchStreamState:
+    """Recurrent context of ``N`` monitored streams, one batch row each.
+
+    ``lstm_states`` holds one ``(N, H)`` :class:`LSTMState` per stacked
+    layer; ``last_probs`` is ``(N, |S|)`` and only rows with
+    ``has_probs`` set carry a valid prediction (a stream that has not
+    observed a package yet has no history to predict from).
+    """
+
+    lstm_states: list[LSTMState]
+    last_probs: np.ndarray
+    has_probs: np.ndarray
+    packages_seen: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.packages_seen.shape[0])
+
+    def select(self, indices: Sequence[int] | np.ndarray) -> "BatchStreamState":
+        """Row subset — compacts detached streams out of the batch."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return BatchStreamState(
+            lstm_states=StackedLSTMClassifier.select_states(self.lstm_states, idx),
+            last_probs=self.last_probs[idx].copy(),
+            has_probs=self.has_probs[idx].copy(),
+            packages_seen=self.packages_seen[idx].copy(),
+        )
+
+    def replace_rows(
+        self, indices: Sequence[int] | np.ndarray, other: "BatchStreamState"
+    ) -> "BatchStreamState":
+        """Copy with ``other``'s rows scattered into positions ``indices``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size != other.batch_size:
+            raise ValueError(
+                f"{idx.size} indices given for {other.batch_size} replacement rows"
+            )
+        last_probs = self.last_probs.copy()
+        has_probs = self.has_probs.copy()
+        packages_seen = self.packages_seen.copy()
+        last_probs[idx] = other.last_probs
+        has_probs[idx] = other.has_probs
+        packages_seen[idx] = other.packages_seen
+        return BatchStreamState(
+            lstm_states=[
+                state.replace_rows(idx, new)
+                for state, new in zip(self.lstm_states, other.lstm_states)
+            ],
+            last_probs=last_probs,
+            has_probs=has_probs,
+            packages_seen=packages_seen,
+        )
+
+    @classmethod
+    def concat(cls, states: Sequence["BatchStreamState"]) -> "BatchStreamState":
+        """Stack several batch states along the batch axis (stream attach)."""
+        if not states:
+            raise ValueError("no states to concatenate")
+        return cls(
+            lstm_states=StackedLSTMClassifier.stack_states(
+                [state.lstm_states for state in states]
+            ),
+            last_probs=np.concatenate([state.last_probs for state in states], axis=0),
+            has_probs=np.concatenate([state.has_probs for state in states]),
+            packages_seen=np.concatenate(
+                [state.packages_seen for state in states]
+            ),
+        )
+
+
+@dataclass
 class TimeSeriesTrainingReport:
     """Diagnostics from :meth:`TimeSeriesDetector.fit`."""
 
@@ -302,6 +373,78 @@ class TimeSeriesDetector:
             last_probs=probs,
             packages_seen=state.packages_seen + 1,
         )
+
+    def new_stream_batch(self, batch_size: int) -> BatchStreamState:
+        """Fresh recurrent state for ``batch_size`` concurrent streams."""
+        if batch_size < 0:
+            raise ValueError(f"batch_size must be >= 0, got {batch_size}")
+        return BatchStreamState(
+            lstm_states=self.model.init_state(batch_size),
+            last_probs=np.zeros((batch_size, len(self.vocabulary))),
+            has_probs=np.zeros(batch_size, dtype=bool),
+            packages_seen=np.zeros(batch_size, dtype=np.int64),
+        )
+
+    def observe_batch(
+        self,
+        codes_batch: Sequence[CodeVector],
+        state: BatchStreamState,
+        forced_anomalous: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, BatchStreamState]:
+        """One batched tick: the next package of every monitored stream.
+
+        ``codes_batch[i]`` belongs to stream ``i`` (batch row ``i``).
+        Per-stream semantics match :meth:`observe` exactly — first
+        package passes, out-of-vocabulary signatures are anomalous,
+        otherwise the top-k membership check runs on the stream's
+        previous prediction — but the whole batch advances with a single
+        LSTM step.  ``forced_anomalous`` marks rows whose verdict the
+        combined framework already decided (Bloom-flagged packages):
+        they skip the top-k check and feed the noise bit as anomalous.
+        """
+        batch = state.batch_size
+        if len(codes_batch) != batch:
+            raise ValueError(
+                f"{len(codes_batch)} packages given for {batch} streams"
+            )
+        if forced_anomalous is None:
+            forced_anomalous = np.zeros(batch, dtype=bool)
+        else:
+            forced_anomalous = np.asarray(forced_anomalous, dtype=bool)
+            if forced_anomalous.shape != (batch,):
+                raise ValueError(
+                    f"forced_anomalous must have shape ({batch},), got "
+                    f"{forced_anomalous.shape}"
+                )
+        if batch == 0:
+            return np.zeros(0, dtype=bool), state
+
+        ids = np.array(
+            [
+                -1
+                if (i := self.vocabulary.id_of(signature_of(codes))) is None
+                else i
+                for codes in codes_batch
+            ],
+            dtype=np.int64,
+        )
+        verdicts = forced_anomalous.copy()
+        judged = ~forced_anomalous & state.has_probs
+        verdicts |= judged & (ids < 0)
+        check = judged & (ids >= 0)
+        if check.any():
+            sets = top_k_sets(state.last_probs[check], self.k)
+            verdicts[check] = ~(sets == ids[check, None]).any(axis=1)
+
+        inputs = self.encoder.encode_sequence(codes_batch, verdicts)
+        probs, lstm_states = self.model.step(inputs, state.lstm_states)
+        new_state = BatchStreamState(
+            lstm_states=lstm_states,
+            last_probs=probs,
+            has_probs=np.ones(batch, dtype=bool),
+            packages_seen=state.packages_seen + 1,
+        )
+        return verdicts, new_state
 
     def classify_sequence(self, codes: Sequence[CodeVector]) -> np.ndarray:
         """Run streaming detection over a whole code sequence."""

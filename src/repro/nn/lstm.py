@@ -18,6 +18,7 @@ matrix multiplications.  Arrays are time-major: ``(T, B, D)``.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,6 +41,47 @@ class LSTMState:
     def copy(self) -> "LSTMState":
         """Deep copy, so online detectors can snapshot their state."""
         return LSTMState(self.h.copy(), self.c.copy())
+
+    @property
+    def batch_size(self) -> int:
+        """Number of independent sequences carried by this state."""
+        return int(self.h.shape[0])
+
+    @classmethod
+    def stack(cls, states: Sequence["LSTMState"]) -> "LSTMState":
+        """Merge per-stream states into one batched state (row per stream)."""
+        if not states:
+            raise ValueError("no states to stack")
+        return cls(
+            np.concatenate([state.h for state in states], axis=0),
+            np.concatenate([state.c for state in states], axis=0),
+        )
+
+    def split(self) -> list["LSTMState"]:
+        """Inverse of :meth:`stack`: one single-row state per batch entry."""
+        return [
+            LSTMState(self.h[i : i + 1].copy(), self.c[i : i + 1].copy())
+            for i in range(self.batch_size)
+        ]
+
+    def select(self, indices: Sequence[int] | np.ndarray) -> "LSTMState":
+        """Row subset (used to compact detached streams out of a batch)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return LSTMState(self.h[idx].copy(), self.c[idx].copy())
+
+    def replace_rows(
+        self, indices: Sequence[int] | np.ndarray, other: "LSTMState"
+    ) -> "LSTMState":
+        """Copy with ``other``'s rows scattered into positions ``indices``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size != other.batch_size:
+            raise ValueError(
+                f"{idx.size} indices given for {other.batch_size} replacement rows"
+            )
+        h, c = self.h.copy(), self.c.copy()
+        h[idx] = other.h
+        c[idx] = other.c
+        return LSTMState(h, c)
 
 
 class _ForwardCache:

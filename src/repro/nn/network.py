@@ -253,6 +253,37 @@ class StackedLSTMClassifier:
         """Zero recurrent state for online stepping."""
         return [layer.zero_state(batch_size) for layer in self.lstm_layers]
 
+    @staticmethod
+    def stack_states(per_stream: Sequence[list[LSTMState]]) -> list[LSTMState]:
+        """Stack per-stream state lists into one batched state per layer.
+
+        ``per_stream[i]`` is the state list of stream ``i`` (one
+        :class:`LSTMState` per stacked layer); the result carries stream
+        ``i`` in batch row ``i`` and feeds a single batched :meth:`step`.
+        """
+        if not per_stream:
+            raise ValueError("no states to stack")
+        depth = len(per_stream[0])
+        if any(len(states) != depth for states in per_stream):
+            raise ValueError("state lists disagree on layer count")
+        return [
+            LSTMState.stack([states[layer] for states in per_stream])
+            for layer in range(depth)
+        ]
+
+    @staticmethod
+    def split_states(states: list[LSTMState]) -> list[list[LSTMState]]:
+        """Inverse of :meth:`stack_states`: one state list per batch row."""
+        per_layer = [state.split() for state in states]
+        return [list(rows) for rows in zip(*per_layer)]
+
+    @staticmethod
+    def select_states(
+        states: list[LSTMState], indices: Sequence[int] | np.ndarray
+    ) -> list[LSTMState]:
+        """Batch-row subset of a stacked state (stream detach/compact)."""
+        return [state.select(indices) for state in states]
+
     def step(
         self, x_t: np.ndarray, states: list[LSTMState]
     ) -> tuple[np.ndarray, list[LSTMState]]:

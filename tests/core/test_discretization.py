@@ -211,3 +211,29 @@ class TestFeatureDiscretizer:
             DiscretizationConfig(pressure_bins=0).validate()
         with pytest.raises(ValueError):
             DiscretizationConfig(kmeans_margin=0.9).validate()
+
+
+class TestTransformBatch:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        dataset = generate_dataset(DatasetConfig(num_cycles=400), seed=3)
+        disc = FeatureDiscretizer(rng=0).fit(dataset.train_fragments)
+        return disc, dataset
+
+    def test_matches_per_stream_transform_package(self, fitted):
+        """Cross-stream batching must equal independent scalar transforms."""
+        disc, dataset = fitted
+        packages = dataset.test_packages[:12]
+        prev_times = [None] * 4 + [p.time - 0.7 for p in packages[4:]]
+        batched = disc.transform_batch(packages, prev_times)
+        for package, prev, expected in zip(packages, prev_times, batched):
+            assert disc.transform_package(package, prev) == expected
+
+    def test_length_mismatch_rejected(self, fitted):
+        disc, dataset = fitted
+        with pytest.raises(ValueError):
+            disc.transform_batch(dataset.test_packages[:3], [None, None])
+
+    def test_empty_batch(self, fitted):
+        disc, _ = fitted
+        assert disc.transform_batch([], []) == []

@@ -1,0 +1,236 @@
+"""Tests for the batched multi-stream :class:`StreamEngine`.
+
+The load-bearing property is equivalence: a 1-stream engine must be
+bit-identical to the paper's Fig.-3 per-package data path (the legacy
+``TimeSeriesDetector.observe`` loop), and every stream of an N-stream
+engine must report the same verdicts as an independent monitor fed the
+same packages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.combined import (
+    CombinedDetector,
+    DetectorConfig,
+    LEVEL_NONE,
+    LEVEL_PACKAGE,
+    LEVEL_TIMESERIES,
+)
+from repro.core.stream_engine import StreamEngine
+from repro.core.timeseries_detector import TimeSeriesDetectorConfig
+from repro.ics.dataset import DatasetConfig, generate_dataset
+
+TS_CONFIG = TimeSeriesDetectorConfig(hidden_sizes=(16,), epochs=4, k=3)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(DatasetConfig(num_cycles=700), seed=5)
+
+
+@pytest.fixture(scope="module")
+def detector(dataset):
+    built, _ = CombinedDetector.train(
+        dataset.train_fragments,
+        dataset.validation_fragments,
+        DetectorConfig(timeseries=TS_CONFIG),
+        rng=0,
+    )
+    return built
+
+
+def reference_observe(detector, packages):
+    """The pre-engine streaming data path, package at a time."""
+    state = detector.timeseries.new_stream()
+    prev_time = None
+    results = []
+    for package in packages:
+        codes = detector.discretizer.transform_package(package, prev_time)
+        prev_time = package.time
+        if detector.package_detector.is_anomalous_codes(codes):
+            _, state = detector.timeseries.observe(codes, state, forced_verdict=True)
+            results.append((True, LEVEL_PACKAGE))
+        else:
+            verdict, state = detector.timeseries.observe(codes, state)
+            results.append((bool(verdict), LEVEL_TIMESERIES if verdict else LEVEL_NONE))
+    return results, state
+
+
+class TestSingleStreamEquivalence:
+    def test_n1_bit_identical_to_legacy_path(self, detector, dataset):
+        """Engine at N=1 matches the per-package path bit-for-bit."""
+        packages = dataset.test_packages[:550]
+        assert len(packages) >= 500
+        expected, final_state = reference_observe(detector, packages)
+
+        engine = detector.engine(1)
+        got = []
+        for package in packages:
+            anomalies, levels = engine.observe_batch([package])
+            got.append((bool(anomalies[0]), int(levels[0])))
+        assert got == expected
+
+        # The recurrent state itself must be bitwise identical, not just
+        # the verdicts: any float drift would compound over a long run.
+        assert np.array_equal(engine._state.last_probs[0], final_state.last_probs)
+        for batched, single in zip(engine._state.lstm_states, final_state.lstm_states):
+            assert np.array_equal(batched.h[0], single.h[0])
+            assert np.array_equal(batched.c[0], single.c[0])
+
+    def test_stream_monitor_is_engine_backed(self, detector, dataset):
+        packages = dataset.test_packages[:200]
+        expected, _ = reference_observe(detector, packages)
+        monitor = detector.stream()
+        got = [monitor.observe(p) for p in packages]
+        assert got == expected
+
+
+class TestMultiStream:
+    def test_streams_match_independent_monitors(self, detector, dataset):
+        count, length = 4, 120
+        slices = [
+            dataset.test_packages[i * length : (i + 1) * length] for i in range(count)
+        ]
+        engine = detector.engine(count)
+        per_stream = [[] for _ in range(count)]
+        for t in range(length):
+            anomalies, levels = engine.observe_batch([s[t] for s in slices])
+            for i in range(count):
+                per_stream[i].append((bool(anomalies[i]), int(levels[i])))
+        for i in range(count):
+            expected, _ = reference_observe(detector, slices[i])
+            assert per_stream[i] == expected
+
+    def test_levels_consistent_with_verdicts(self, detector, dataset):
+        engine = detector.engine(8)
+        packages = dataset.test_packages
+        for t in range(40):
+            batch = [packages[(i * 53 + t) % len(packages)] for i in range(8)]
+            anomalies, levels = engine.observe_batch(batch)
+            assert anomalies.shape == levels.shape == (8,)
+            np.testing.assert_array_equal(levels != LEVEL_NONE, anomalies)
+            assert set(np.unique(levels)) <= {
+                LEVEL_NONE,
+                LEVEL_PACKAGE,
+                LEVEL_TIMESERIES,
+            }
+
+    def test_batch_size_mismatch_rejected(self, detector, dataset):
+        engine = detector.engine(2)
+        with pytest.raises(ValueError):
+            engine.observe_batch([dataset.test_packages[0]])
+
+    def test_empty_engine_tick(self, detector):
+        engine = detector.engine(0)
+        anomalies, levels = engine.observe_batch([])
+        assert anomalies.shape == (0,)
+        assert levels.shape == (0,)
+
+
+class TestAttachDetach:
+    def test_detach_preserves_other_streams(self, detector, dataset):
+        """Compacting one row must not disturb the surviving streams."""
+        length = 60
+        slices = [
+            dataset.test_packages[i * length : (i + 1) * length] for i in range(3)
+        ]
+        engine = detector.engine(3)
+        first, second, third = engine.stream_ids
+        survivors = [[], []]
+        for t in range(length // 2):
+            anomalies, levels = engine.observe_batch([s[t] for s in slices])
+            survivors[0].append((bool(anomalies[0]), int(levels[0])))
+            survivors[1].append((bool(anomalies[2]), int(levels[2])))
+        engine.detach(second)
+        assert engine.stream_ids == (first, third)
+        for t in range(length // 2, length):
+            anomalies, levels = engine.observe_batch([slices[0][t], slices[2][t]])
+            survivors[0].append((bool(anomalies[0]), int(levels[0])))
+            survivors[1].append((bool(anomalies[1]), int(levels[1])))
+        for verdicts, packages in zip(survivors, [slices[0], slices[2]]):
+            expected, _ = reference_observe(detector, packages)
+            assert verdicts == expected
+
+    def test_attached_stream_starts_fresh(self, detector, dataset):
+        packages = dataset.test_packages[:80]
+        engine = detector.engine(1)
+        for package in packages[:40]:
+            engine.observe_batch([package])
+        late = engine.attach()
+        verdicts = []
+        for t in range(40):
+            anomalies, levels = engine.observe_batch(
+                {engine.stream_ids[0]: packages[40 + t], late: packages[t]}
+            )
+            verdicts.append((bool(anomalies[1]), int(levels[1])))
+        expected, _ = reference_observe(detector, packages[:40])
+        assert verdicts == expected
+
+    def test_partial_tick_leaves_others_untouched(self, detector, dataset):
+        engine = detector.engine(2)
+        idle, busy = engine.stream_ids
+        for t in range(5):
+            is_anomaly, level = engine.observe(busy, dataset.test_packages[t])
+            assert isinstance(is_anomaly, bool) and isinstance(level, int)
+        assert engine.packages_seen(busy) == 5
+        assert engine.packages_seen(idle) == 0
+
+    def test_detach_unknown_stream_rejected(self, detector):
+        engine = detector.engine(1)
+        with pytest.raises(KeyError):
+            engine.detach(999)
+        with pytest.raises(KeyError):
+            engine.observe(999, None)
+
+    def test_snapshot_hands_stream_off_to_scalar_path(self, detector, dataset):
+        """A snapshot continues bit-identically on the per-package path."""
+        packages = dataset.test_packages[:60]
+        engine = detector.engine(1)
+        for package in packages[:30]:
+            engine.observe_batch([package])
+        state = engine.snapshot(engine.stream_ids[0])
+        assert state.packages_seen == 30
+
+        prev_time = packages[29].time
+        handed_off = []
+        for package in packages[30:]:
+            codes = detector.discretizer.transform_package(package, prev_time)
+            prev_time = package.time
+            if detector.package_detector.is_anomalous_codes(codes):
+                _, state = detector.timeseries.observe(codes, state, forced_verdict=True)
+                handed_off.append(True)
+            else:
+                verdict, state = detector.timeseries.observe(codes, state)
+                handed_off.append(bool(verdict))
+        stayed = [
+            bool(engine.observe_batch([package])[0][0]) for package in packages[30:]
+        ]
+        assert handed_off == stayed
+
+    def test_snapshot_before_first_package_has_no_probs(self, detector):
+        engine = detector.engine(1)
+        state = engine.snapshot(engine.stream_ids[0])
+        assert state.last_probs is None
+        assert state.packages_seen == 0
+
+    def test_attach_many_bulk_pads_batch(self, detector):
+        engine = StreamEngine(detector)
+        ids = engine.attach_many(5)
+        assert engine.stream_ids == tuple(ids)
+        assert engine.num_streams == 5
+        assert engine.attach_many(0) == []
+        with pytest.raises(ValueError):
+            engine.attach_many(-1)
+
+    def test_stream_ids_are_stable(self, detector):
+        engine = StreamEngine(detector)
+        first = engine.attach()
+        second = engine.attach()
+        engine.detach(first)
+        third = engine.attach()
+        assert first not in engine.stream_ids
+        assert engine.stream_ids == (second, third)
+        assert len({first, second, third}) == 3

@@ -140,3 +140,54 @@ class TestMisc:
             LSTMLayer(0, 4)
         with pytest.raises(ValueError):
             LSTMLayer(4, 0)
+
+
+class TestStateBatching:
+    def test_stack_and_split_roundtrip(self):
+        rng = np.random.default_rng(0)
+        states = [
+            LSTMState(rng.normal(size=(1, 3)), rng.normal(size=(1, 3)))
+            for _ in range(4)
+        ]
+        stacked = LSTMState.stack(states)
+        assert stacked.batch_size == 4
+        for original, restored in zip(states, stacked.split()):
+            np.testing.assert_array_equal(original.h, restored.h)
+            np.testing.assert_array_equal(original.c, restored.c)
+
+    def test_stack_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LSTMState.stack([])
+
+    def test_select_compacts_rows(self):
+        state = LSTMState(np.arange(6.0).reshape(3, 2), np.arange(6.0).reshape(3, 2))
+        subset = state.select([0, 2])
+        np.testing.assert_array_equal(subset.h, [[0.0, 1.0], [4.0, 5.0]])
+        subset.h[0, 0] = 99.0  # select copies; original untouched
+        assert state.h[0, 0] == 0.0
+
+    def test_replace_rows_scatters(self):
+        state = LSTMState(np.zeros((3, 2)), np.zeros((3, 2)))
+        rows = LSTMState(np.ones((2, 2)), np.full((2, 2), 2.0))
+        merged = state.replace_rows([0, 2], rows)
+        np.testing.assert_array_equal(merged.h[:, 0], [1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(merged.c[:, 0], [2.0, 0.0, 2.0])
+        assert state.h.sum() == 0.0  # original untouched
+
+    def test_replace_rows_count_mismatch(self):
+        state = LSTMState(np.zeros((3, 2)), np.zeros((3, 2)))
+        rows = LSTMState(np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            state.replace_rows([0], rows)
+
+    def test_batched_step_matches_single_rows(self):
+        """One (B, D) step equals B separate (1, D) steps."""
+        layer = LSTMLayer(4, 6, rng=3)
+        rng = np.random.default_rng(1)
+        xs = rng.normal(size=(5, 4))
+        singles = []
+        for row in xs:
+            h, _ = layer.step(row[None, :], layer.zero_state(1))
+            singles.append(h[0])
+        h_batch, _ = layer.step(xs, layer.zero_state(5))
+        np.testing.assert_allclose(h_batch, np.stack(singles), rtol=0, atol=1e-12)

@@ -146,3 +146,40 @@ class TestInference:
     def test_top_k_error_empty(self):
         model = StackedLSTMClassifier(NetworkConfig(4, (6,), 5), rng=0)
         assert model.top_k_validation_error([], 1) == 0.0
+
+
+class TestStateBatching:
+    @pytest.fixture()
+    def model(self):
+        return StackedLSTMClassifier(NetworkConfig(4, (6, 5), 4), rng=0)
+
+    def test_stack_split_roundtrip(self, model):
+        per_stream = [model.init_state(1) for _ in range(3)]
+        stacked = model.stack_states(per_stream)
+        assert [s.batch_size for s in stacked] == [3, 3]
+        restored = model.split_states(stacked)
+        assert len(restored) == 3
+        assert all(len(states) == 2 for states in restored)
+
+    def test_stack_rejects_mismatched_depth(self, model):
+        with pytest.raises(ValueError):
+            model.stack_states([model.init_state(1), model.init_state(1)[:1]])
+        with pytest.raises(ValueError):
+            model.stack_states([])
+
+    def test_select_states_subsets_every_layer(self, model):
+        states = model.init_state(4)
+        subset = model.select_states(states, [1, 3])
+        assert all(s.batch_size == 2 for s in subset)
+
+    def test_batched_step_matches_per_stream_steps(self, model):
+        """One (B, D) step must advance each row like a lone (1, D) step."""
+        rng = np.random.default_rng(7)
+        xs = rng.normal(size=(3, 4))
+        singles = []
+        for row in xs:
+            probs, _ = model.step(row, model.init_state(1))
+            singles.append(probs)
+        batched_probs, batched_states = model.step(xs, model.init_state(3))
+        np.testing.assert_allclose(batched_probs, np.stack(singles), rtol=0, atol=1e-12)
+        assert all(s.batch_size == 3 for s in batched_states)

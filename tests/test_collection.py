@@ -1,0 +1,47 @@
+"""Regression guard: the suite must collect cleanly.
+
+The seed repo shipped ``tests/baselines/test_detectors.py`` and
+``tests/core/test_detectors.py`` without package ``__init__.py`` files,
+so rootdir-style pytest collection died on an ``import file mismatch``
+before running a single test.  This test re-runs collection in a
+subprocess and fails if it ever regresses.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_collect_only_reports_zero_errors():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    output = proc.stdout + proc.stderr
+    assert proc.returncode == 0, f"collection failed:\n{output}"
+    assert "ERROR" not in output, f"collection reported errors:\n{output}"
+    assert "error" not in output.splitlines()[-1], output
+
+
+def test_test_packages_have_init_files():
+    """Duplicate test basenames need package scoping to coexist."""
+    tests_dir = REPO_ROOT / "tests"
+    packages = [tests_dir] + [
+        path for path in tests_dir.iterdir() if path.is_dir() and path.name != "__pycache__"
+    ]
+    missing = [str(path) for path in packages if not (path / "__init__.py").is_file()]
+    assert not missing, f"test packages missing __init__.py: {missing}"
