@@ -1,0 +1,82 @@
+"""Cold start from a saved artifact vs retraining from scratch.
+
+The paper's deployment story (Fig. 3) trains offline and monitors
+online; the persistence layer makes the trained framework a durable
+artifact, so a monitor that restarts — fail-over, rolling deploy, crash
+recovery — pays an artifact load instead of a full retrain.  This
+benchmark measures both paths on the active profile, verifies the
+loaded detector classifies bit-identically, and asserts the ≥10×
+cold-start win the layer exists for.
+
+Run:  REPRO_PROFILE=ci pytest benchmarks/bench_cold_start.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit_json, emit_report
+from repro.core.combined import CombinedDetector
+from repro.experiments.profiles import get_profile
+from repro.ics.dataset import generate_dataset
+from repro.persistence import load_detector, save_detector
+
+
+def test_cold_start(profile, tmp_path):
+    resolved = get_profile(profile)
+    dataset = generate_dataset(resolved.dataset, seed=resolved.seed)
+
+    started = time.perf_counter()
+    detector, artifacts = CombinedDetector.train(
+        dataset.train_fragments,
+        dataset.validation_fragments,
+        resolved.detector,
+        rng=resolved.seed,
+    )
+    train_seconds = time.perf_counter() - started
+
+    path = tmp_path / "detector.npz"
+    started = time.perf_counter()
+    save_detector(detector, path, meta={"profile": profile})
+    save_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    restored = load_detector(path)
+    load_seconds = time.perf_counter() - started
+
+    # The loaded detector must be the same detector, bit for bit.
+    probe = dataset.test_packages[:200]
+    original = detector.detect(probe)
+    loaded = restored.detect(probe)
+    np.testing.assert_array_equal(original.is_anomaly, loaded.is_anomaly)
+    np.testing.assert_array_equal(original.level, loaded.level)
+
+    speedup = train_seconds / load_seconds
+    artifact_kb = path.stat().st_size / 1024
+    rows = [
+        f"{'train from scratch':<24}{train_seconds:>12.3f}s",
+        f"{'save artifact':<24}{save_seconds:>12.3f}s",
+        f"{'load artifact':<24}{load_seconds:>12.3f}s",
+        f"{'cold-start speedup':<24}{speedup:>12.1f}x",
+        f"{'artifact size':<24}{artifact_kb:>12.1f} KB",
+        f"{'vocabulary size':<24}{artifacts.vocabulary_size:>13}",
+    ]
+    table = "\n".join([f"profile: {profile}"] + rows)
+    emit_report("cold_start", table)
+    emit_json(
+        "cold_start",
+        {
+            "profile": profile,
+            "train_seconds": train_seconds,
+            "save_seconds": save_seconds,
+            "load_seconds": load_seconds,
+            "speedup": speedup,
+            "artifact_kb": artifact_kb,
+            "vocabulary_size": artifacts.vocabulary_size,
+        },
+    )
+
+    # The deployment win the persistence layer exists for.
+    assert speedup >= 10.0, table

@@ -15,6 +15,9 @@ and LSTM networks"* (DSN 2017):
   GMM, PCA-SVD) on 4-package command-response windows.
 - :mod:`repro.experiments` — harnesses regenerating every table and
   figure of the paper's evaluation.
+- :mod:`repro.persistence` — train-once artifacts and live-stream
+  checkpoints (one versioned ``.npz`` per trained framework); the
+  ``python -m repro`` CLI drives train / detect / resume from the shell.
 
 Quickstart::
 
@@ -55,6 +58,13 @@ from repro.ics import (
     ScadaSimulator,
     generate_dataset,
 )
+from repro.persistence import (
+    load_checkpoint,
+    load_detector,
+    save_checkpoint,
+    save_detector,
+)
+from repro.utils.artifact import ArtifactError
 
 __version__ = "1.0.0"
 
@@ -83,5 +93,10 @@ __all__ = [
     "ScadaConfig",
     "ScadaSimulator",
     "generate_dataset",
+    "ArtifactError",
+    "load_checkpoint",
+    "load_detector",
+    "save_checkpoint",
+    "save_detector",
     "__version__",
 ]

@@ -1,0 +1,327 @@
+"""``python -m repro`` — train, deploy and resume detectors from the shell.
+
+Drives the persistence layer end to end against the gas-pipeline
+simulator:
+
+- ``train``   — fit the combined framework on a profile's anomaly-free
+  traffic and save it as one ``.npz`` artifact,
+- ``detect``  — load an artifact and monitor the profile's test stream,
+  optionally stopping early and writing a live-stream checkpoint,
+- ``resume``  — reload a checkpoint and finish the stream exactly where
+  ``detect`` stopped, bit-identical to an uninterrupted run,
+- ``info``    — inspect any artifact's kind, schema version and
+  provenance without loading its arrays.
+
+The trained artifact records its profile/seed provenance, so ``detect``
+and ``resume`` regenerate the matching package stream without repeating
+the flags given to ``train``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from typing import Any
+
+import numpy as np
+
+from repro.core.combined import CombinedDetector
+from repro.core.metrics import evaluate_detection
+from repro.core.stream_engine import LEVEL_NAMES
+from repro.experiments.profiles import PROFILES, Profile, get_profile
+from repro.ics.dataset import generate_dataset
+from repro.persistence import (
+    checkpoint_meta,
+    load_checkpoint,
+    load_detector,
+    save_checkpoint,
+    save_detector,
+)
+from repro.utils.artifact import ArtifactError, read_meta
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Train, deploy and resume multi-level ICS anomaly detectors.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser(
+        "train", help="train the combined framework and save one artifact"
+    )
+    _add_profile_options(train)
+    train.add_argument("--out", required=True, help="artifact path (.npz)")
+    train.add_argument("--verbose", action="store_true")
+
+    detect = commands.add_parser(
+        "detect", help="monitor the profile's test stream with a saved artifact"
+    )
+    detect.add_argument("--model", required=True, help="artifact from `train`")
+    _add_profile_options(detect, optional=True)
+    detect.add_argument(
+        "--limit", type=int, default=None, help="only the first N test packages"
+    )
+    detect.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        help="stop after N packages and write --checkpoint",
+    )
+    detect.add_argument(
+        "--checkpoint", default=None, help="checkpoint path for --stop-after"
+    )
+    detect.add_argument("--json", dest="json_out", default=None)
+
+    resume = commands.add_parser(
+        "resume", help="continue a checkpointed stream to the end"
+    )
+    resume.add_argument("--checkpoint", required=True)
+    _add_profile_options(resume, optional=True)
+    resume.add_argument("--limit", type=int, default=None)
+    resume.add_argument("--json", dest="json_out", default=None)
+
+    info = commands.add_parser("info", help="inspect an artifact header")
+    info.add_argument("path")
+    return parser
+
+
+def _add_profile_options(
+    parser: argparse.ArgumentParser, optional: bool = False
+) -> None:
+    default = None if optional else "ci"
+    parser.add_argument(
+        "--profile",
+        default=default,
+        choices=sorted(PROFILES),
+        help="experiment size profile" + (" (default: from artifact)" if optional else ""),
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--cycles", type=int, default=None, help="override dataset cycles"
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=None, help="override training epochs"
+    )
+    parser.add_argument(
+        "--hidden", default=None, help="override LSTM widths, e.g. 64,64"
+    )
+
+
+def _resolve_profile(
+    name: str,
+    seed: int | None,
+    cycles: int | None,
+    epochs: int | None,
+    hidden: str | None,
+) -> Profile:
+    profile = get_profile(name)
+    if seed is not None:
+        profile = profile.with_seed(seed)
+    if cycles is not None:
+        profile = replace(profile, dataset=replace(profile.dataset, num_cycles=cycles))
+    timeseries = profile.detector.timeseries
+    if epochs is not None:
+        timeseries = replace(timeseries, epochs=epochs)
+    if hidden is not None:
+        widths = tuple(int(h) for h in hidden.split(",") if h)
+        timeseries = replace(timeseries, hidden_sizes=widths)
+    if timeseries is not profile.detector.timeseries:
+        profile = replace(
+            profile, detector=replace(profile.detector, timeseries=timeseries)
+        )
+    return profile
+
+
+def _provenance(profile: Profile) -> dict[str, Any]:
+    """Meta recorded in artifacts so later commands can rebuild the stream."""
+    return {
+        "profile": profile.name,
+        "seed": profile.seed,
+        "cycles": profile.dataset.num_cycles,
+        "epochs": profile.detector.timeseries.epochs,
+        "hidden": ",".join(str(h) for h in profile.detector.timeseries.hidden_sizes),
+    }
+
+
+def _profile_from_args_and_meta(args: argparse.Namespace, meta: dict[str, Any]) -> Profile:
+    """Profile for detect/resume: explicit flags win over stored provenance."""
+    name = args.profile or meta.get("profile")
+    if name is None:
+        raise SystemExit(
+            "artifact carries no provenance; pass --profile (and --seed/--cycles)"
+        )
+    return _resolve_profile(
+        name,
+        args.seed if args.seed is not None else meta.get("seed"),
+        args.cycles if args.cycles is not None else meta.get("cycles"),
+        args.epochs if args.epochs is not None else meta.get("epochs"),
+        args.hidden if args.hidden is not None else meta.get("hidden"),
+    )
+
+
+def _observe_stream(engine, packages) -> tuple[np.ndarray, np.ndarray]:
+    """Advance a single-stream engine through ``packages``."""
+    anomalies = np.zeros(len(packages), dtype=bool)
+    levels = np.zeros(len(packages), dtype=np.int64)
+    for i, package in enumerate(packages):
+        verdicts, tags = engine.observe_batch([package])
+        anomalies[i], levels[i] = bool(verdicts[0]), int(tags[0])
+    return anomalies, levels
+
+
+def _report(
+    title: str,
+    packages,
+    anomalies: np.ndarray,
+    levels: np.ndarray,
+    seconds: float,
+    json_out: str | None,
+    extra: dict[str, Any] | None = None,
+) -> None:
+    labels = np.array([p.label for p in packages])
+    metrics = evaluate_detection(labels, anomalies)
+    by_level = {
+        LEVEL_NAMES[tag]: int((levels[anomalies] == tag).sum())
+        for tag in sorted(LEVEL_NAMES)
+        if tag != 0
+    }
+    print(f"{title}: {len(packages)} packages in {seconds:.2f}s")
+    print(
+        f"  alerts: {int(anomalies.sum())} "
+        f"(package-level {by_level.get('package', 0)}, "
+        f"time-series {by_level.get('time-series', 0)})"
+    )
+    print(
+        f"  precision {metrics.precision:.3f}  recall {metrics.recall:.3f}  "
+        f"accuracy {metrics.accuracy:.3f}  F1 {metrics.f1_score:.3f}"
+    )
+    if json_out:
+        payload = {
+            "packages": len(packages),
+            "seconds": seconds,
+            "alerts": int(anomalies.sum()),
+            "alerts_by_level": by_level,
+            "precision": metrics.precision,
+            "recall": metrics.recall,
+            "accuracy": metrics.accuracy,
+            "f1": metrics.f1_score,
+            **(extra or {}),
+        }
+        with open(json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"  wrote {json_out}")
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    profile = _resolve_profile(
+        args.profile, args.seed, args.cycles, args.epochs, args.hidden
+    )
+    print(f"generating dataset ({profile.dataset.num_cycles} cycles) ...")
+    dataset = generate_dataset(profile.dataset, seed=profile.seed)
+    print(
+        f"training on {sum(len(f) for f in dataset.train_fragments)} packages ..."
+    )
+    started = time.perf_counter()
+    detector, artifacts = CombinedDetector.train(
+        dataset.train_fragments,
+        dataset.validation_fragments,
+        profile.detector,
+        rng=profile.seed,
+        verbose=args.verbose,
+    )
+    train_seconds = time.perf_counter() - started
+    save_detector(detector, args.out, meta=_provenance(profile))
+    print(
+        f"trained in {train_seconds:.1f}s: |S|={artifacts.vocabulary_size}, "
+        f"k={artifacts.chosen_k}, "
+        f"model {detector.memory_bytes() / 1024:.0f} KB"
+    )
+    print(f"saved {args.out}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    if (args.stop_after is None) != (args.checkpoint is None):
+        raise SystemExit("--stop-after and --checkpoint must be given together")
+    detector = load_detector(args.model)
+    meta = read_meta(args.model)["meta"]
+    profile = _profile_from_args_and_meta(args, meta)
+    dataset = generate_dataset(profile.dataset, seed=profile.seed)
+    packages = dataset.test_packages
+    if args.limit is not None:
+        packages = packages[: args.limit]
+    if args.stop_after is not None:
+        packages = packages[: args.stop_after]
+
+    engine = detector.engine(1)
+    started = time.perf_counter()
+    anomalies, levels = _observe_stream(engine, packages)
+    seconds = time.perf_counter() - started
+
+    extra: dict[str, Any] = {"offset": 0}
+    if args.stop_after is not None:
+        save_checkpoint(
+            engine,
+            args.checkpoint,
+            meta={**_provenance(profile), "offset": len(packages)},
+        )
+        print(f"checkpointed after {len(packages)} packages -> {args.checkpoint}")
+        extra["checkpoint"] = args.checkpoint
+        extra["stopped_at"] = len(packages)
+    _report("detect", packages, anomalies, levels, seconds, args.json_out, extra)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    meta = checkpoint_meta(args.checkpoint)
+    engine = load_checkpoint(args.checkpoint)
+    offset = int(meta.get("offset", 0))
+    profile = _profile_from_args_and_meta(args, meta)
+    dataset = generate_dataset(profile.dataset, seed=profile.seed)
+    packages = dataset.test_packages[offset:]
+    if args.limit is not None:
+        packages = packages[: args.limit]
+    print(f"resuming at package {offset} ({len(packages)} remaining)")
+
+    started = time.perf_counter()
+    anomalies, levels = _observe_stream(engine, packages)
+    seconds = time.perf_counter() - started
+    _report(
+        "resume", packages, anomalies, levels, seconds, args.json_out,
+        {"offset": offset},
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    header = read_meta(args.path)
+    print(f"kind:    {header['kind']}")
+    print(f"version: {header['version']}")
+    for key, value in sorted(header["meta"].items()):
+        print(f"meta.{key}: {value}")
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "detect": _cmd_detect,
+    "resume": _cmd_resume,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ArtifactError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -13,9 +13,11 @@ from __future__ import annotations
 import math
 import os
 from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
 
+from repro.utils.artifact import ArtifactError, load_artifact, save_artifact
 from repro.utils.hashing import DoubleHasher
 
 
@@ -121,27 +123,37 @@ class BloomFilter:
 
     # -- serialization ------------------------------------------------------------
 
+    def state_dict(self) -> dict[str, Any]:
+        """Full persistent state (the unified persistence protocol)."""
+        return {
+            "num_bits": self.num_bits,
+            "num_hashes": self.num_hashes,
+            "count": self._count,
+            "bits": self._bits.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "BloomFilter":
+        """Rebuild a filter from :meth:`state_dict` output."""
+        bloom = cls(int(state["num_bits"]), int(state["num_hashes"]))
+        bits = np.asarray(state["bits"], dtype=np.uint8)
+        if bits.shape != bloom._bits.shape:
+            raise ArtifactError(
+                f"bloom bit vector has shape {bits.shape}, expected "
+                f"{bloom._bits.shape} for {bloom.num_bits} bits"
+            )
+        bloom._bits = bits.copy()
+        bloom._count = int(state["count"])
+        return bloom
+
     def save(self, path: str | os.PathLike) -> None:
-        """Persist to ``.npz``."""
-        np.savez_compressed(
-            path,
-            bits=self._bits,
-            num_bits=np.array(self.num_bits),
-            num_hashes=np.array(self.num_hashes),
-            count=np.array(self._count),
-        )
+        """Persist to a ``.npz`` artifact (thin wrapper over the protocol)."""
+        save_artifact(self.state_dict(), path, kind="bloom-filter")
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "BloomFilter":
         """Restore a filter saved with :meth:`save`."""
-        with np.load(path) as archive:
-            bloom = cls(int(archive["num_bits"]), int(archive["num_hashes"]))
-            bits = archive["bits"]
-            if bits.shape != bloom._bits.shape:
-                raise ValueError("corrupt archive: bit vector size mismatch")
-            bloom._bits = bits.astype(np.uint8)
-            bloom._count = int(archive["count"])
-        return bloom
+        return cls.from_state(load_artifact(path, kind="bloom-filter"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

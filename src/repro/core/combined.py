@@ -10,8 +10,10 @@ classification, so the model stays calibrated across attack bursts.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -196,6 +198,53 @@ class CombinedDetector:
             timeseries_report=report,
         )
         return cls(discretizer, package_detector, timeseries), artifacts
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """The whole trained framework as one nested state dict.
+
+        The signature vocabulary is stored once (inside the package
+        detector's state) and shared with the time-series level on
+        restore, mirroring how :meth:`train` wires the two levels.
+        """
+        return {
+            "discretizer": self.discretizer.state_dict(),
+            "package_detector": self.package_detector.state_dict(),
+            "timeseries": self.timeseries.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "CombinedDetector":
+        """Rebuild a trained framework from :meth:`state_dict` output."""
+        discretizer = FeatureDiscretizer.from_state(state["discretizer"])
+        package_detector = PackageLevelDetector.from_state(
+            state["package_detector"], discretizer
+        )
+        assert package_detector.vocabulary is not None
+        timeseries = TimeSeriesDetector.from_state(
+            state["timeseries"], package_detector.vocabulary
+        )
+        return cls(discretizer, package_detector, timeseries)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist the trained framework to a single ``.npz`` artifact."""
+        from repro.persistence import save_detector
+
+        save_detector(self, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "CombinedDetector":
+        """Restore a framework saved with :meth:`save`."""
+        from repro.persistence import load_detector
+
+        return load_detector(path)
+
+    def resume_engine(self, state: dict[str, Any]) -> StreamEngine:
+        """Rebuild a checkpointed :class:`StreamEngine` against this detector."""
+        return StreamEngine.from_state(self, state)
 
     # ------------------------------------------------------------------
     # detection

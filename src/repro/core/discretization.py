@@ -25,12 +25,14 @@ data), which the paper's dataset also contains.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Any
 
 import numpy as np
 
 from repro.core.kmeans import assign_clusters, kmeans
 from repro.ics.features import PID_PARAMETER_NAMES, Package
+from repro.utils.artifact import ArtifactError
 from repro.utils.rng import SeedLike, spawn_generators
 
 
@@ -68,6 +70,33 @@ class _BaseDiscretizer:
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise DiscretizerNotFitted(f"{type(self).__name__} is not fitted")
+
+    # -- persistence protocol ---------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Fitted state; ``kind`` tags the concrete class for dispatch."""
+        self._require_fitted()
+        state = self._fitted_state()
+        state["kind"] = type(self).__name__
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "_BaseDiscretizer":
+        """Rebuild any fitted discretizer from :meth:`state_dict` output."""
+        kind = state.get("kind")
+        subclass = _DISCRETIZER_KINDS.get(kind)
+        if subclass is None:
+            raise ArtifactError(f"unknown discretizer kind {kind!r}")
+        channel = subclass._load_state(state)
+        channel._fitted = True
+        return channel
+
+    def _fitted_state(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    @classmethod
+    def _load_state(cls, state: dict[str, Any]) -> "_BaseDiscretizer":
+        raise NotImplementedError
 
 
 class KMeans1DDiscretizer(_BaseDiscretizer):
@@ -146,6 +175,24 @@ class KMeans1DDiscretizer(_BaseDiscretizer):
             out[present] = codes
         return out
 
+    def _fitted_state(self) -> dict[str, Any]:
+        assert self.centroids_ is not None and self.radii_ is not None
+        return {
+            "num_clusters": self.num_clusters,
+            "margin": self.margin,
+            "centroids": self.centroids_.copy(),
+            "radii": self.radii_.copy(),
+        }
+
+    @classmethod
+    def _load_state(cls, state: dict[str, Any]) -> "KMeans1DDiscretizer":
+        channel = cls(int(state["num_clusters"]), float(state["margin"]))
+        channel.centroids_ = np.asarray(state["centroids"], dtype=np.float64)
+        channel.radii_ = np.asarray(state["radii"], dtype=np.float64)
+        if channel.centroids_.shape != channel.radii_.shape:
+            raise ArtifactError("k-means centroids/radii shape mismatch")
+        return channel
+
 
 class KMeansNDDiscretizer(_BaseDiscretizer):
     """Jointly cluster a vector feature (the five PID parameters).
@@ -219,6 +266,31 @@ class KMeansNDDiscretizer(_BaseDiscretizer):
         self._require_fitted()
         return np.array([self.transform(row) for row in rows], dtype=np.int64)
 
+    def _fitted_state(self) -> dict[str, Any]:
+        assert self.centroids_ is not None and self.radii_ is not None
+        assert self.mean_ is not None and self.scale_ is not None
+        return {
+            "num_clusters": self.num_clusters,
+            "margin": self.margin,
+            "centroids": self.centroids_.copy(),
+            "radii": self.radii_.copy(),
+            "mean": self.mean_.copy(),
+            "scale": self.scale_.copy(),
+        }
+
+    @classmethod
+    def _load_state(cls, state: dict[str, Any]) -> "KMeansNDDiscretizer":
+        channel = cls(int(state["num_clusters"]), float(state["margin"]))
+        channel.centroids_ = np.asarray(state["centroids"], dtype=np.float64)
+        channel.radii_ = np.asarray(state["radii"], dtype=np.float64)
+        channel.mean_ = np.asarray(state["mean"], dtype=np.float64)
+        channel.scale_ = np.asarray(state["scale"], dtype=np.float64)
+        if channel.centroids_.ndim != 2 or (
+            channel.centroids_.shape[1] != channel.mean_.shape[0]
+        ):
+            raise ArtifactError("k-means centroids/standardization shape mismatch")
+        return channel
+
 
 class EvenIntervalDiscretizer(_BaseDiscretizer):
     """Evenly partition the observed training range into ``n`` intervals.
@@ -284,6 +356,19 @@ class EvenIntervalDiscretizer(_BaseDiscretizer):
             out[present] = codes
         return out
 
+    def _fitted_state(self) -> dict[str, Any]:
+        assert self.low_ is not None and self.high_ is not None
+        return {"num_bins": self.num_bins, "low": self.low_, "high": self.high_}
+
+    @classmethod
+    def _load_state(cls, state: dict[str, Any]) -> "EvenIntervalDiscretizer":
+        channel = cls(int(state["num_bins"]))
+        channel.low_ = float(state["low"])
+        channel.high_ = float(state["high"])
+        if channel.high_ < channel.low_:
+            raise ArtifactError("even-interval bounds inverted")
+        return channel
+
 
 class IdentityDiscretizer(_BaseDiscretizer):
     """Pass discrete features through, indexing the observed vocabulary.
@@ -321,6 +406,34 @@ class IdentityDiscretizer(_BaseDiscretizer):
 
     def transform_many(self, values: Sequence[float | None]) -> np.ndarray:
         return np.array([self.transform(v) for v in values], dtype=np.int64)
+
+    def _fitted_state(self) -> dict[str, Any]:
+        # Keys in code order, so the value-at-index-i is code i.
+        values = sorted(self.mapping_, key=self.mapping_.__getitem__)
+        return {"values": np.array(values, dtype=np.float64)}
+
+    @classmethod
+    def _load_state(cls, state: dict[str, Any]) -> "IdentityDiscretizer":
+        channel = cls()
+        values = np.asarray(state["values"], dtype=np.float64)
+        if values.ndim != 1 or values.size == 0:
+            raise ArtifactError("identity discretizer has no stored values")
+        channel.mapping_ = {float(v): i for i, v in enumerate(values)}
+        if len(channel.mapping_) != values.size:
+            raise ArtifactError("identity discretizer has duplicate values")
+        return channel
+
+
+#: Concrete discretizer classes by ``kind`` tag (persistence dispatch).
+_DISCRETIZER_KINDS: dict[str, type[_BaseDiscretizer]] = {
+    cls.__name__: cls
+    for cls in (
+        KMeans1DDiscretizer,
+        KMeansNDDiscretizer,
+        EvenIntervalDiscretizer,
+        IdentityDiscretizer,
+    )
+}
 
 
 # ----------------------------------------------------------------------
@@ -466,6 +579,40 @@ class FeatureDiscretizer:
             channel.fit(values)
         self._fitted = True
         return self
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Config plus every fitted channel (cut points, centroids, …)."""
+        self._require_fitted()
+        return {
+            "config": {
+                f.name: getattr(self.config, f.name)
+                for f in fields(DiscretizationConfig)
+            },
+            "channels": {
+                name: self._channels[name].state_dict() for name in CHANNEL_ORDER
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "FeatureDiscretizer":
+        """Rebuild a fitted discretizer from :meth:`state_dict` output."""
+        try:
+            config = DiscretizationConfig(**state["config"])
+        except TypeError as exc:
+            raise ArtifactError(f"bad discretization config: {exc}") from exc
+        discretizer = cls(config, rng=0)
+        channels = state["channels"]
+        missing = [name for name in CHANNEL_ORDER if name not in channels]
+        if missing:
+            raise ArtifactError(f"discretizer state missing channels: {missing}")
+        for name in CHANNEL_ORDER:
+            discretizer._channels[name] = _BaseDiscretizer.from_state(
+                channels[name]
+            )
+        discretizer._fitted = True
+        return discretizer
 
     # -- transforming ------------------------------------------------------
 

@@ -7,6 +7,7 @@ filter holding the signature database of normal traffic.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -59,6 +60,28 @@ class PackageLevelDetector:
     def _require_fitted(self) -> None:
         if self.bloom is None:
             raise RuntimeError("PackageLevelDetector is not fitted")
+
+    # -- persistence ------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Bloom filter + signature database (not the shared discretizer)."""
+        self._require_fitted()
+        assert self.bloom is not None and self.vocabulary is not None
+        return {
+            "bloom_false_positive_rate": self.bloom_false_positive_rate,
+            "bloom": self.bloom.state_dict(),
+            "vocabulary": self.vocabulary.state_dict(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict[str, Any], discretizer: FeatureDiscretizer
+    ) -> "PackageLevelDetector":
+        """Rebuild a fitted detector around an already-restored discretizer."""
+        detector = cls(discretizer, float(state["bloom_false_positive_rate"]))
+        detector.bloom = BloomFilter.from_state(state["bloom"])
+        detector.vocabulary = SignatureVocabulary.from_state(state["vocabulary"])
+        return detector
 
     # -- detection ------------------------------------------------------------
 

@@ -15,6 +15,11 @@ from __future__ import annotations
 
 from collections import Counter
 from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.utils.artifact import ArtifactError
 
 #: Separator for the concatenating generating function.  Discretized
 #: features are non-negative integers, so any non-digit separator makes
@@ -67,6 +72,37 @@ class SignatureVocabulary:
         vocabulary = cls()
         for codes in code_vectors:
             vocabulary.add(signature_of(codes))
+        return vocabulary
+
+    # -- persistence --------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Full persistent state: signatures in id order plus counts."""
+        return {
+            "signatures": np.array(self._signatures, dtype=np.str_),
+            "counts": np.array(
+                [self._counts[s] for s in self._signatures], dtype=np.int64
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "SignatureVocabulary":
+        """Rebuild the database from :meth:`state_dict` output."""
+        signatures = [str(s) for s in state["signatures"]]
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != (len(signatures),):
+            raise ArtifactError(
+                f"vocabulary counts have shape {counts.shape} for "
+                f"{len(signatures)} signatures"
+            )
+        vocabulary = cls()
+        vocabulary._signatures = signatures
+        vocabulary._id_of = {s: i for i, s in enumerate(signatures)}
+        if len(vocabulary._id_of) != len(signatures):
+            raise ArtifactError("vocabulary contains duplicate signatures")
+        vocabulary._counts = Counter(
+            {s: int(c) for s, c in zip(signatures, counts)}
+        )
         return vocabulary
 
     # -- lookups ------------------------------------------------------------

@@ -20,13 +20,14 @@ over exactly that.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.core.timeseries_detector import BatchStreamState, StreamState
 from repro.ics.features import Package
 from repro.nn.network import StackedLSTMClassifier
+from repro.utils.artifact import ArtifactError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.combined import CombinedDetector
@@ -62,6 +63,11 @@ class StreamEngine:
     # ------------------------------------------------------------------
     # stream lifecycle
     # ------------------------------------------------------------------
+
+    @property
+    def detector(self) -> "CombinedDetector":
+        """The trained framework this engine monitors with."""
+        return self._detector
 
     @property
     def num_streams(self) -> int:
@@ -130,6 +136,78 @@ class StreamEngine:
             return self._stream_ids.index(stream_id)
         except ValueError:
             raise KeyError(f"no attached stream with id {stream_id}") from None
+
+    # ------------------------------------------------------------------
+    # persistence (live checkpointing)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Complete running state: recurrent batch, ids, per-stream clocks.
+
+        A resumed engine (:meth:`from_state`) produces bit-identical
+        verdicts to one that never stopped — the fail-over building
+        block for monitoring real traffic.
+        """
+        prev_times = np.array(
+            [0.0 if t is None else t for t in self._prev_times], dtype=np.float64
+        )
+        prev_known = np.array(
+            [t is not None for t in self._prev_times], dtype=bool
+        )
+        return {
+            "stream_ids": np.array(self._stream_ids, dtype=np.int64),
+            "next_id": self._next_id,
+            "prev_times": prev_times,
+            "prev_known": prev_known,
+            "streams": self._state.state_dict(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, detector: "CombinedDetector", state: dict[str, Any]
+    ) -> "StreamEngine":
+        """Rebuild a running engine from :meth:`state_dict` output."""
+        engine = cls(detector)
+        stream_ids = [int(i) for i in np.asarray(state["stream_ids"])]
+        if len(set(stream_ids)) != len(stream_ids):
+            raise ArtifactError("engine state has duplicate stream ids")
+        next_id = int(state["next_id"])
+        if any(i >= next_id for i in stream_ids):
+            raise ArtifactError("engine state next_id conflicts with stream ids")
+        prev_times = np.asarray(state["prev_times"], dtype=np.float64)
+        prev_known = np.asarray(state["prev_known"], dtype=bool)
+        batch_state = BatchStreamState.from_state(state["streams"])
+        counts = {
+            len(stream_ids),
+            prev_times.shape[0],
+            prev_known.shape[0],
+            batch_state.batch_size,
+        }
+        if counts != {len(stream_ids)}:
+            raise ArtifactError(f"engine state stream counts disagree: {counts}")
+        # The recurrent state must fit the detector it is resumed against
+        # — catch a mismatched model at load time, not mid-observe.
+        hidden_sizes = detector.timeseries.model.config.hidden_sizes
+        state_widths = tuple(s.h.shape[1] for s in batch_state.lstm_states)
+        if state_widths != hidden_sizes:
+            raise ArtifactError(
+                f"checkpointed LSTM widths {state_widths} do not match the "
+                f"detector's architecture {hidden_sizes}"
+            )
+        num_classes = len(detector.vocabulary)
+        if batch_state.last_probs.shape[1] != num_classes:
+            raise ArtifactError(
+                f"checkpointed predictions cover "
+                f"{batch_state.last_probs.shape[1]} signatures, detector "
+                f"vocabulary holds {num_classes}"
+            )
+        engine._stream_ids = stream_ids
+        engine._next_id = next_id
+        engine._prev_times = [
+            float(t) if known else None for t, known in zip(prev_times, prev_known)
+        ]
+        engine._state = batch_state
+        return engine
 
     # ------------------------------------------------------------------
     # detection

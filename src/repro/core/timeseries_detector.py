@@ -11,8 +11,9 @@ detection time, on packages the framework itself classified anomalous.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from repro.nn.lstm import LSTMState
 from repro.nn.network import NetworkConfig, StackedLSTMClassifier, TrainingHistory
 from repro.nn.optimizers import Adam
 from repro.core.noise import ProbabilisticNoiser
+from repro.utils.artifact import ArtifactError
 from repro.utils.rng import SeedLike, spawn_generators
 
 CodeVector = tuple[int, ...]
@@ -60,6 +62,54 @@ class StreamState:
     lstm_states: list[LSTMState]
     last_probs: np.ndarray | None = None
     packages_seen: int = 0
+
+    def state_dict(self) -> dict[str, Any]:
+        """Persistent snapshot of one stream's recurrent context."""
+        return {
+            "lstm": _lstm_states_to_state(self.lstm_states),
+            "last_probs": (
+                None if self.last_probs is None else self.last_probs.copy()
+            ),
+            "packages_seen": self.packages_seen,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "StreamState":
+        """Rebuild a stream snapshot from :meth:`state_dict` output."""
+        last_probs = state["last_probs"]
+        return cls(
+            lstm_states=_lstm_states_from_state(state["lstm"]),
+            last_probs=(
+                None
+                if last_probs is None
+                else np.asarray(last_probs, dtype=np.float64)
+            ),
+            packages_seen=int(state["packages_seen"]),
+        )
+
+
+def _lstm_states_to_state(states: Sequence[LSTMState]) -> dict[str, Any]:
+    """Per-layer ``(h, c)`` arrays keyed ``layer<i>`` for persistence."""
+    return {
+        f"layer{i}": {"h": state.h.copy(), "c": state.c.copy()}
+        for i, state in enumerate(states)
+    }
+
+
+def _lstm_states_from_state(state: dict[str, Any]) -> list[LSTMState]:
+    states: list[LSTMState] = []
+    for i in range(len(state)):
+        layer = state.get(f"layer{i}")
+        if layer is None:
+            raise ArtifactError(f"LSTM state missing layer{i}")
+        h = np.asarray(layer["h"], dtype=np.float64)
+        c = np.asarray(layer["c"], dtype=np.float64)
+        if h.shape != c.shape or h.ndim != 2:
+            raise ArtifactError(
+                f"LSTM layer{i} state has shapes h={h.shape}, c={c.shape}"
+            )
+        states.append(LSTMState(h, c))
+    return states
 
 
 @dataclass
@@ -131,6 +181,36 @@ class BatchStreamState:
                 [state.packages_seen for state in states]
             ),
         )
+
+    # -- persistence --------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Persistent snapshot of all monitored streams' recurrent context."""
+        return {
+            "lstm": _lstm_states_to_state(self.lstm_states),
+            "last_probs": self.last_probs.copy(),
+            "has_probs": self.has_probs.copy(),
+            "packages_seen": self.packages_seen.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "BatchStreamState":
+        """Rebuild a batch snapshot from :meth:`state_dict` output."""
+        lstm_states = _lstm_states_from_state(state["lstm"])
+        restored = cls(
+            lstm_states=lstm_states,
+            last_probs=np.asarray(state["last_probs"], dtype=np.float64),
+            has_probs=np.asarray(state["has_probs"], dtype=bool),
+            packages_seen=np.asarray(state["packages_seen"], dtype=np.int64),
+        )
+        batch = restored.batch_size
+        rows = {restored.last_probs.shape[0], restored.has_probs.shape[0]}
+        rows.update(s.batch_size for s in lstm_states)
+        if rows != {batch}:
+            raise ArtifactError(
+                f"stream batch state rows disagree: {sorted(rows)}"
+            )
+        return restored
 
 
 @dataclass
@@ -212,6 +292,55 @@ class TimeSeriesDetector:
             rng=model_rng,
         )
         self.k = self.config.k
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Config, encoder layout, chosen ``k`` and model weights.
+
+        The shared :class:`SignatureVocabulary` is *not* embedded — the
+        combined framework owns a single copy for both levels, so it is
+        passed back into :meth:`from_state` by the caller.
+        """
+        config = {
+            f.name: getattr(self.config, f.name)
+            for f in fields(TimeSeriesDetectorConfig)
+        }
+        config["hidden_sizes"] = list(self.config.hidden_sizes)
+        return {
+            "config": config,
+            "k": self.k,
+            "cardinalities": list(self.encoder.cardinalities),
+            "model": self.model.state_dict(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict[str, Any], vocabulary: SignatureVocabulary
+    ) -> "TimeSeriesDetector":
+        """Rebuild a trained detector around a restored vocabulary.
+
+        The training RNG streams (noise schedule, batch shuffling) are
+        re-seeded fresh — they are not part of inference state, and
+        detection after a round-trip is bit-identical regardless.
+        """
+        try:
+            raw = dict(state["config"])
+            raw["hidden_sizes"] = tuple(int(h) for h in raw["hidden_sizes"])
+            config = TimeSeriesDetectorConfig(**raw)
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError(f"bad time-series config state: {exc}") from exc
+        detector = cls(
+            vocabulary,
+            [int(c) for c in state["cardinalities"]],
+            config,
+            rng=0,
+        )
+        detector.model.load_state_dict(state["model"])
+        detector.k = int(state["k"])
+        return detector
 
     # ------------------------------------------------------------------
     # training

@@ -16,7 +16,8 @@ implements the full substrate from scratch:
 - :mod:`repro.nn.network` — :class:`StackedLSTMClassifier`, the training
   loop (mini-batched truncated BPTT) and online stepping API,
 - :mod:`repro.nn.data` — fragment windowing, batching and one-hot codecs,
-- :mod:`repro.nn.serialization` — save/load of trained models,
+- :mod:`repro.nn.serialization` — save/load of trained models and
+  training checkpoints (model + optimizer state),
 - :mod:`repro.nn.gradcheck` — numerical gradient checking used in tests.
 """
 
@@ -25,8 +26,20 @@ from repro.nn.dense import DenseLayer
 from repro.nn.losses import softmax_cross_entropy, top_k_error, top_k_sets
 from repro.nn.lstm import LSTMLayer, LSTMState
 from repro.nn.network import NetworkConfig, StackedLSTMClassifier, TrainingHistory
-from repro.nn.optimizers import SGD, Adam, Optimizer, RMSProp, clip_gradients
-from repro.nn.serialization import load_classifier, save_classifier
+from repro.nn.optimizers import (
+    SGD,
+    Adam,
+    Optimizer,
+    RMSProp,
+    clip_gradients,
+    optimizer_from_state,
+)
+from repro.nn.serialization import (
+    load_checkpoint,
+    load_classifier,
+    save_checkpoint,
+    save_classifier,
+)
 
 __all__ = [
     "SequenceWindow",
@@ -46,6 +59,9 @@ __all__ = [
     "Optimizer",
     "RMSProp",
     "clip_gradients",
+    "optimizer_from_state",
+    "load_checkpoint",
     "load_classifier",
+    "save_checkpoint",
     "save_classifier",
 ]

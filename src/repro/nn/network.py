@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -19,6 +20,7 @@ from repro.nn.dense import DenseLayer
 from repro.nn.losses import softmax_cross_entropy, top_k_error
 from repro.nn.lstm import LSTMLayer, LSTMState
 from repro.nn.optimizers import Adam, Optimizer
+from repro.utils.artifact import ArtifactError
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
 Fragment = tuple[np.ndarray, np.ndarray]
@@ -128,6 +130,55 @@ class StackedLSTMClassifier:
     def memory_bytes(self) -> int:
         """In-memory size of the parameters (the paper reports model KB)."""
         return sum(array.nbytes for array in self.parameters().values())
+
+    # ------------------------------------------------------------------
+    # persistence protocol
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Architecture plus all weights, parameters nested per layer."""
+        params: dict[str, dict[str, np.ndarray]] = {}
+        for name, array in self.parameters().items():
+            layer, param = name.split("/", 1)
+            params.setdefault(layer, {})[param] = array.copy()
+        return {
+            "input_size": self.config.input_size,
+            "hidden_sizes": list(self.config.hidden_sizes),
+            "num_classes": self.config.num_classes,
+            "params": params,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Copy stored weights into this model (shapes must match)."""
+        stored = state["params"]
+        for name, param in self.parameters().items():
+            layer, pname = name.split("/", 1)
+            try:
+                array = stored[layer][pname]
+            except KeyError:
+                raise ArtifactError(f"model state missing parameter {name!r}")
+            array = np.asarray(array, dtype=np.float64)
+            if array.shape != param.shape:
+                raise ArtifactError(
+                    f"shape mismatch for {name}: stored {array.shape}, "
+                    f"model {param.shape}"
+                )
+            param[...] = array
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "StackedLSTMClassifier":
+        """Rebuild a classifier from :meth:`state_dict` output."""
+        try:
+            config = NetworkConfig(
+                input_size=int(state["input_size"]),
+                hidden_sizes=tuple(int(h) for h in state["hidden_sizes"]),
+                num_classes=int(state["num_classes"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(f"bad network architecture state: {exc}") from exc
+        model = cls(config, rng=0)
+        model.load_state_dict(state)
+        return model
 
     # ------------------------------------------------------------------
     # forward / backward

@@ -7,11 +7,38 @@ share parameter names ("W", "U", "b").
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
+from repro.utils.artifact import ArtifactError
 from repro.utils.validation import check_positive
 
 Params = dict[str, np.ndarray]
+
+
+def _pack_params(flat: Params) -> dict[str, Any]:
+    """Name-agnostic packing of a ``{name: array}`` dict for persistence.
+
+    Parameter names may contain ``/`` (layer prefixes), which state-dict
+    keys must not, so names travel as a string array parallel to the
+    arrays themselves.
+    """
+    return {
+        "names": np.array(list(flat), dtype=np.str_),
+        "arrays": {f"p{i}": array.copy() for i, array in enumerate(flat.values())},
+    }
+
+
+def _unpack_params(packed: dict[str, Any]) -> Params:
+    names = [str(name) for name in packed["names"]]
+    arrays = packed["arrays"]
+    if len(names) != len(arrays):
+        raise ArtifactError("optimizer slot names/arrays length mismatch")
+    return {
+        name: np.asarray(arrays[f"p{i}"], dtype=np.float64)
+        for i, name in enumerate(names)
+    }
 
 
 def global_norm(grads: Params) -> float:
@@ -66,6 +93,75 @@ class Optimizer:
         """Drop all accumulated state (moments, iteration count)."""
         self.iterations = 0
 
+    # -- persistence protocol ---------------------------------------------
+
+    def _hyper_state(self) -> dict[str, Any]:
+        """Subclass hyperparameters beyond learning rate / clip norm."""
+        return {}
+
+    def _slots(self) -> dict[str, Params]:
+        """Live per-parameter accumulator dicts, by slot name."""
+        return {}
+
+    def state_dict(self) -> dict[str, Any]:
+        """Everything needed to resume training mid-schedule."""
+        return {
+            "kind": type(self).__name__,
+            "learning_rate": self.learning_rate,
+            "clip_norm": self.clip_norm,
+            "iterations": self.iterations,
+            "hyper": self._hyper_state(),
+            "slots": {
+                slot: _pack_params(values)
+                for slot, values in self._slots().items()
+            },
+        }
+
+
+def optimizer_from_state(state: dict[str, Any]) -> Optimizer:
+    """Rebuild any optimizer from :meth:`Optimizer.state_dict` output.
+
+    Accumulated moments and the iteration count (which drives Adam's
+    bias correction) are restored exactly, so an optimizer loaded from a
+    checkpoint takes bit-identical steps to one that never stopped.
+    """
+    kind = state.get("kind")
+    hyper = state.get("hyper", {})
+    learning_rate = float(state["learning_rate"])
+    clip_norm = state.get("clip_norm")
+    clip_norm = None if clip_norm is None else float(clip_norm)
+    try:
+        if kind == "SGD":
+            optimizer: Optimizer = SGD(
+                learning_rate, momentum=float(hyper["momentum"]), clip_norm=clip_norm
+            )
+        elif kind == "RMSProp":
+            optimizer = RMSProp(
+                learning_rate,
+                decay=float(hyper["decay"]),
+                epsilon=float(hyper["epsilon"]),
+                clip_norm=clip_norm,
+            )
+        elif kind == "Adam":
+            optimizer = Adam(
+                learning_rate,
+                beta1=float(hyper["beta1"]),
+                beta2=float(hyper["beta2"]),
+                epsilon=float(hyper["epsilon"]),
+                clip_norm=clip_norm,
+            )
+        else:
+            raise ArtifactError(f"unknown optimizer kind {kind!r}")
+    except KeyError as exc:
+        raise ArtifactError(f"optimizer state missing hyperparameter {exc}") from exc
+    optimizer.iterations = int(state["iterations"])
+    live_slots = optimizer._slots()
+    for slot, packed in state.get("slots", {}).items():
+        if slot not in live_slots:
+            raise ArtifactError(f"{kind} has no optimizer slot {slot!r}")
+        live_slots[slot].update(_unpack_params(packed))
+    return optimizer
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -95,6 +191,12 @@ class SGD(Optimizer):
         super().reset()
         self._velocity.clear()
 
+    def _hyper_state(self) -> dict[str, Any]:
+        return {"momentum": self.momentum}
+
+    def _slots(self) -> dict[str, Params]:
+        return {"velocity": self._velocity}
+
 
 class RMSProp(Optimizer):
     """RMSProp: divide the step by a running RMS of recent gradients."""
@@ -123,6 +225,12 @@ class RMSProp(Optimizer):
     def reset(self) -> None:
         super().reset()
         self._mean_square.clear()
+
+    def _hyper_state(self) -> dict[str, Any]:
+        return {"decay": self.decay, "epsilon": self.epsilon}
+
+    def _slots(self) -> dict[str, Params]:
+        return {"mean_square": self._mean_square}
 
 
 class Adam(Optimizer):
@@ -169,3 +277,9 @@ class Adam(Optimizer):
         super().reset()
         self._moment1.clear()
         self._moment2.clear()
+
+    def _hyper_state(self) -> dict[str, Any]:
+        return {"beta1": self.beta1, "beta2": self.beta2, "epsilon": self.epsilon}
+
+    def _slots(self) -> dict[str, Params]:
+        return {"moment1": self._moment1, "moment2": self._moment2}

@@ -1,52 +1,68 @@
-"""Save/load trained classifiers to a single ``.npz`` file.
+"""Save/load trained classifiers — thin wrappers over the persistence protocol.
 
-The archive stores every parameter array under its ``<layer>/<name>`` key
-plus the architecture metadata needed to rebuild the
-:class:`~repro.nn.network.StackedLSTMClassifier` before loading weights.
+Model state travels through :meth:`StackedLSTMClassifier.state_dict` /
+``from_state`` and the versioned artifact container of
+:mod:`repro.utils.artifact`; this module only maps that protocol onto
+files.  A *checkpoint* additionally carries the optimizer's accumulated
+state (Adam moments, iteration count for bias correction), so training
+interrupted mid-schedule resumes with bit-identical update steps rather
+than restarting the optimizer cold.
 """
 
 from __future__ import annotations
 
 import os
 
-import numpy as np
+from repro.nn.network import StackedLSTMClassifier
+from repro.nn.optimizers import Optimizer, optimizer_from_state
+from repro.utils.artifact import load_artifact, save_artifact
 
-from repro.nn.network import NetworkConfig, StackedLSTMClassifier
-
-_META_KEYS = ("__input_size__", "__hidden_sizes__", "__num_classes__")
+_KIND = "lstm-classifier"
 
 
-def save_classifier(model: StackedLSTMClassifier, path: str | os.PathLike) -> None:
-    """Serialize ``model`` (architecture + weights) to ``path``."""
-    arrays: dict[str, np.ndarray] = dict(model.parameters())
-    arrays["__input_size__"] = np.array(model.config.input_size)
-    arrays["__hidden_sizes__"] = np.array(model.config.hidden_sizes)
-    arrays["__num_classes__"] = np.array(model.config.num_classes)
-    np.savez_compressed(path, **arrays)
+def save_classifier(
+    model: StackedLSTMClassifier,
+    path: str | os.PathLike,
+    optimizer: Optimizer | None = None,
+) -> None:
+    """Serialize ``model`` (architecture + weights) to ``path``.
+
+    Passing ``optimizer`` upgrades the file to a training checkpoint:
+    :func:`load_checkpoint` restores both, and plain
+    :func:`load_classifier` still works for inference-only use.
+    """
+    state = model.state_dict()
+    if optimizer is not None:
+        state["optimizer"] = optimizer.state_dict()
+    save_artifact(state, path, kind=_KIND)
 
 
 def load_classifier(path: str | os.PathLike) -> StackedLSTMClassifier:
     """Rebuild a classifier saved by :func:`save_classifier`."""
-    with np.load(path) as archive:
-        for key in _META_KEYS:
-            if key not in archive:
-                raise ValueError(f"{path!s} is not a saved classifier (missing {key})")
-        config = NetworkConfig(
-            input_size=int(archive["__input_size__"]),
-            hidden_sizes=tuple(int(h) for h in archive["__hidden_sizes__"]),
-            num_classes=int(archive["__num_classes__"]),
-        )
-        model = StackedLSTMClassifier(config, rng=0)
-        params = model.parameters()
-        missing = [k for k in params if k not in archive]
-        if missing:
-            raise ValueError(f"archive missing parameter arrays: {missing}")
-        for name, param in params.items():
-            stored = archive[name]
-            if stored.shape != param.shape:
-                raise ValueError(
-                    f"shape mismatch for {name}: archive {stored.shape}, "
-                    f"model {param.shape}"
-                )
-            param[...] = stored
-    return model
+    return StackedLSTMClassifier.from_state(load_artifact(path, kind=_KIND))
+
+
+def save_checkpoint(
+    model: StackedLSTMClassifier,
+    optimizer: Optimizer,
+    path: str | os.PathLike,
+) -> None:
+    """Persist a mid-training checkpoint (model + optimizer state)."""
+    save_classifier(model, path, optimizer=optimizer)
+
+
+def load_checkpoint(
+    path: str | os.PathLike,
+) -> tuple[StackedLSTMClassifier, Optimizer | None]:
+    """Restore ``(model, optimizer)`` from a checkpoint.
+
+    ``optimizer`` is ``None`` when the file was saved without one (an
+    inference-only artifact from :func:`save_classifier`).
+    """
+    state = load_artifact(path, kind=_KIND)
+    model = StackedLSTMClassifier.from_state(state)
+    optimizer_state = state.get("optimizer")
+    optimizer = (
+        None if optimizer_state is None else optimizer_from_state(optimizer_state)
+    )
+    return model, optimizer

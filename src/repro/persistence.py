@@ -1,0 +1,94 @@
+"""Framework-level persistence: train once, deploy anywhere.
+
+The paper's framework is explicitly train-offline / monitor-online
+(Fig. 3): the signature database and the LSTM are built from recorded
+anomaly-free traffic, then deployed against the live package stream.
+This module gives that split a durable form:
+
+- :func:`save_detector` / :func:`load_detector` — a whole trained
+  :class:`~repro.core.combined.CombinedDetector` (discretizer cut
+  points, signature vocabulary, Bloom filter bits, LSTM weights, chosen
+  ``k``) as one versioned ``.npz`` artifact,
+- :func:`save_checkpoint` / :func:`load_checkpoint` — a *running*
+  :class:`~repro.core.stream_engine.StreamEngine` (stacked recurrent
+  states, per-stream clocks, counters) together with its detector, so a
+  monitor can fail over to another process and continue bit-identically
+  mid-stream.
+
+Both formats ride the schema-checked artifact container of
+:mod:`repro.utils.artifact`; loads of corrupt, truncated or
+wrong-version files raise :class:`~repro.utils.artifact.ArtifactError`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.core.combined import CombinedDetector
+from repro.core.stream_engine import StreamEngine
+from repro.utils.artifact import load_artifact, read_meta, save_artifact
+
+DETECTOR_KIND = "combined-detector"
+CHECKPOINT_KIND = "stream-checkpoint"
+
+
+def save_detector(
+    detector: CombinedDetector,
+    path: str | os.PathLike,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Persist a trained framework to one ``.npz`` artifact.
+
+    ``meta`` is an optional JSON-able provenance record (profile name,
+    seed, dataset description …) readable via
+    :func:`repro.utils.artifact.read_meta` without loading the arrays.
+    """
+    save_artifact(detector.state_dict(), path, kind=DETECTOR_KIND, meta=meta)
+
+
+def load_detector(path: str | os.PathLike) -> CombinedDetector:
+    """Restore a framework saved by :func:`save_detector`.
+
+    The restored detector's :meth:`~CombinedDetector.detect` output is
+    bit-identical to the in-memory original on any package stream.
+    """
+    return CombinedDetector.from_state(load_artifact(path, kind=DETECTOR_KIND))
+
+
+def save_checkpoint(
+    engine: StreamEngine,
+    path: str | os.PathLike,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Snapshot a running engine (detector included) to one artifact.
+
+    The checkpoint is self-contained: :func:`load_checkpoint` rebuilds
+    both the trained detector and the engine's live per-stream state, so
+    fail-over needs only this one file.
+    """
+    state = {
+        "detector": engine.detector.state_dict(),
+        "engine": engine.state_dict(),
+    }
+    save_artifact(state, path, kind=CHECKPOINT_KIND, meta=meta)
+
+
+def load_checkpoint(
+    path: str | os.PathLike, detector: CombinedDetector | None = None
+) -> StreamEngine:
+    """Resume a checkpointed engine, bit-identical to the uninterrupted run.
+
+    Pass ``detector`` to re-attach the engine to an already-loaded
+    framework (skipping the embedded copy); otherwise the detector is
+    restored from the checkpoint itself.
+    """
+    state = load_artifact(path, kind=CHECKPOINT_KIND)
+    if detector is None:
+        detector = CombinedDetector.from_state(state["detector"])
+    return StreamEngine.from_state(detector, state["engine"])
+
+
+def checkpoint_meta(path: str | os.PathLike) -> dict[str, Any]:
+    """Provenance metadata stored alongside a checkpoint or detector."""
+    return read_meta(path)["meta"]

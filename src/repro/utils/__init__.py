@@ -1,5 +1,12 @@
-"""Shared low-level utilities: hashing, RNG plumbing, argument validation."""
+"""Shared low-level utilities: hashing, RNG plumbing, validation, artifacts."""
 
+from repro.utils.artifact import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    load_artifact,
+    read_meta,
+    save_artifact,
+)
 from repro.utils.hashing import DoubleHasher, fnv1a_64, splitmix64, xxhash64
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.validation import (
@@ -9,6 +16,11 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "load_artifact",
+    "read_meta",
+    "save_artifact",
     "DoubleHasher",
     "fnv1a_64",
     "splitmix64",

@@ -1,0 +1,25 @@
+"""Shared test configuration.
+
+The tier-1 suite must never read pipeline-cache entries written by a
+previous run of possibly different code — a stale entry would make the
+suite validate old behaviour.  Benchmarks (which *want* cross-process
+sharing of one trained framework) keep the real cache directory via
+their own conftest; tests get a throwaway one per session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_pipeline_cache(tmp_path_factory):
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("pipeline-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

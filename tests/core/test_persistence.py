@@ -1,0 +1,291 @@
+"""Tests for the unified persistence layer.
+
+The two headline properties the layer guarantees:
+
+- a trained :class:`CombinedDetector` saved and re-loaded produces
+  ``detect()`` output bit-identical to the in-memory original,
+- a :class:`StreamEngine` checkpointed mid-stream and resumed produces
+  bit-identical verdicts to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.combined import CombinedDetector, DetectorConfig
+from repro.core.discretization import FeatureDiscretizer
+from repro.core.signatures import SignatureVocabulary
+from repro.core.stream_engine import StreamEngine
+from repro.core.timeseries_detector import TimeSeriesDetectorConfig
+from repro.ics.dataset import DatasetConfig, generate_dataset
+from repro.persistence import (
+    checkpoint_meta,
+    load_checkpoint,
+    load_detector,
+    save_checkpoint,
+    save_detector,
+)
+from repro.utils.artifact import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    load_artifact,
+    read_meta,
+    save_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(DatasetConfig(num_cycles=200), seed=3)
+
+
+@pytest.fixture(scope="module")
+def detector(dataset):
+    trained, _ = CombinedDetector.train(
+        dataset.train_fragments,
+        dataset.validation_fragments,
+        DetectorConfig(
+            timeseries=TimeSeriesDetectorConfig(hidden_sizes=(12,), epochs=2)
+        ),
+        rng=3,
+    )
+    return trained
+
+
+class TestArtifactContainer:
+    def test_nested_round_trip(self, tmp_path):
+        state = {
+            "scalar": 3,
+            "pi": 0.1 + 0.2,  # not exactly representable; must round-trip
+            "flag": True,
+            "nothing": None,
+            "name": "hello",
+            "values": [1, 2.5, "x"],
+            "array": np.arange(6, dtype=np.float64).reshape(2, 3),
+            "nested": {"deep": {"bits": np.array([1, 0, 1], dtype=np.uint8)}},
+        }
+        path = tmp_path / "artifact.npz"
+        save_artifact(state, path, kind="test")
+        restored = load_artifact(path, kind="test")
+        assert restored["scalar"] == 3
+        assert restored["pi"] == 0.1 + 0.2  # bit-exact
+        assert restored["flag"] is True
+        assert restored["nothing"] is None
+        assert restored["name"] == "hello"
+        assert restored["values"] == [1, 2.5, "x"]
+        np.testing.assert_array_equal(restored["array"], state["array"])
+        np.testing.assert_array_equal(
+            restored["nested"]["deep"]["bits"], state["nested"]["deep"]["bits"]
+        )
+
+    def test_meta_readable_without_arrays(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        save_artifact({"x": np.zeros(4)}, path, kind="test", meta={"seed": 7})
+        header = read_meta(path)
+        assert header["kind"] == "test"
+        assert header["version"] == ARTIFACT_VERSION
+        assert header["meta"] == {"seed": 7}
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        save_artifact({"x": 1}, path, kind="one-thing")
+        with pytest.raises(ArtifactError, match="expected a 'another'"):
+            load_artifact(path, kind="another")
+
+    def test_not_an_artifact(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ArtifactError, match="missing"):
+            load_artifact(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "torn.npz"
+        save_artifact({"x": np.zeros(64)}, path, kind="test")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ArtifactError, match="unreadable|missing|corrupt"):
+            load_artifact(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_artifact(tmp_path / "nope.npz")
+
+    def test_slash_keys_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="/-free"):
+            save_artifact({"a/b": 1}, tmp_path / "x.npz", kind="test")
+
+    def test_unsupported_leaf_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="unsupported"):
+            save_artifact({"f": object()}, tmp_path / "x.npz", kind="test")
+
+
+class TestComponentRoundTrips:
+    def test_discretizer_transform_identical(self, dataset, detector):
+        restored = FeatureDiscretizer.from_state(detector.discretizer.state_dict())
+        packages = dataset.test_packages[:64]
+        assert restored.cardinalities == detector.discretizer.cardinalities
+        assert restored.transform_sequence(packages) == (
+            detector.discretizer.transform_sequence(packages)
+        )
+
+    def test_vocabulary_identical(self, detector):
+        vocabulary = detector.vocabulary
+        restored = SignatureVocabulary.from_state(vocabulary.state_dict())
+        assert restored.signatures == vocabulary.signatures
+        assert len(restored) == len(vocabulary)
+        for signature in vocabulary.signatures:
+            assert restored.id_of(signature) == vocabulary.id_of(signature)
+            assert restored.count(signature) == vocabulary.count(signature)
+
+    def test_bloom_state_protocol(self):
+        bloom = BloomFilter.for_capacity(64, 0.01)
+        bloom.update(f"sig-{i}" for i in range(40))
+        restored = BloomFilter.from_state(bloom.state_dict())
+        np.testing.assert_array_equal(restored._bits, bloom._bits)
+        assert len(restored) == len(bloom)
+        assert all(f"sig-{i}" in restored for i in range(40))
+
+    def test_timeseries_keeps_shared_vocabulary(self, detector):
+        rebuilt = CombinedDetector.from_state(detector.state_dict())
+        assert rebuilt.timeseries.vocabulary is rebuilt.package_detector.vocabulary
+
+    def test_chosen_k_survives(self, detector):
+        rebuilt = CombinedDetector.from_state(detector.state_dict())
+        assert rebuilt.k == detector.k
+
+
+class TestDetectorRoundTrip:
+    def test_detect_bit_identical(self, dataset, detector, tmp_path):
+        path = tmp_path / "detector.npz"
+        save_detector(detector, path)
+        restored = load_detector(path)
+        original = detector.detect(dataset.test_packages)
+        loaded = restored.detect(dataset.test_packages)
+        np.testing.assert_array_equal(original.is_anomaly, loaded.is_anomaly)
+        np.testing.assert_array_equal(original.level, loaded.level)
+
+    def test_memory_footprint_preserved(self, detector, tmp_path):
+        path = tmp_path / "detector.npz"
+        save_detector(detector, path)
+        assert load_detector(path).memory_bytes() == detector.memory_bytes()
+
+    def test_detector_artifact_meta(self, detector, tmp_path):
+        path = tmp_path / "detector.npz"
+        save_detector(detector, path, meta={"profile": "ci", "seed": 3})
+        assert read_meta(path)["meta"] == {"profile": "ci", "seed": 3}
+
+    def test_checkpoint_is_not_a_detector(self, detector, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(detector.engine(1), path)
+        with pytest.raises(ArtifactError, match="combined-detector"):
+            load_detector(path)
+
+    def test_corrupted_detector_artifact(self, detector, tmp_path):
+        path = tmp_path / "detector.npz"
+        state = detector.state_dict()
+        del state["timeseries"]["model"]
+        save_artifact(state, path, kind="combined-detector")
+        with pytest.raises((ArtifactError, KeyError)):
+            load_detector(path)
+
+
+class TestEngineCheckpoint:
+    def _streams(self, dataset, num_streams, ticks):
+        packages = dataset.test_packages
+        return [
+            [packages[(i * 31 + t) % len(packages)] for t in range(ticks)]
+            for i in range(num_streams)
+        ]
+
+    def test_resume_bit_identical_mid_stream(self, dataset, detector, tmp_path):
+        ticks, split = 40, 17
+        streams = self._streams(dataset, 3, ticks)
+
+        uninterrupted = detector.engine(3)
+        expected = [
+            uninterrupted.observe_batch([s[t] for s in streams])
+            for t in range(ticks)
+        ]
+
+        engine = detector.engine(3)
+        for t in range(split):
+            engine.observe_batch([s[t] for s in streams])
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(engine, path, meta={"offset": split})
+
+        resumed = load_checkpoint(path)
+        assert checkpoint_meta(path) == {"offset": split}
+        assert resumed.stream_ids == engine.stream_ids
+        for t in range(split, ticks):
+            verdicts, levels = resumed.observe_batch([s[t] for s in streams])
+            np.testing.assert_array_equal(verdicts, expected[t][0])
+            np.testing.assert_array_equal(levels, expected[t][1])
+
+    def test_resume_against_preloaded_detector(self, dataset, detector, tmp_path):
+        streams = self._streams(dataset, 2, 10)
+        engine = detector.engine(2)
+        for t in range(5):
+            engine.observe_batch([s[t] for s in streams])
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(engine, path)
+        resumed = load_checkpoint(path, detector=detector)
+        assert resumed.detector is detector
+        np.testing.assert_array_equal(
+            resumed.observe_batch([s[5] for s in streams])[0],
+            engine.observe_batch([s[5] for s in streams])[0],
+        )
+
+    def test_checkpoint_preserves_lifecycle(self, dataset, detector, tmp_path):
+        engine = detector.engine(2)
+        engine.detach(engine.stream_ids[0])
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(engine, path)
+        resumed = load_checkpoint(path)
+        assert resumed.stream_ids == engine.stream_ids
+        # New attachments must not collide with ids handed out pre-checkpoint.
+        assert resumed.attach() == 2
+
+    def test_packages_seen_survive(self, dataset, detector, tmp_path):
+        streams = self._streams(dataset, 2, 8)
+        engine = detector.engine(2)
+        for t in range(8):
+            engine.observe_batch([s[t] for s in streams])
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(engine, path)
+        resumed = load_checkpoint(path)
+        for stream_id in engine.stream_ids:
+            assert resumed.packages_seen(stream_id) == 8
+
+    def test_corrupt_engine_state_rejected(self, detector):
+        engine = detector.engine(2)
+        state = engine.state_dict()
+        state["stream_ids"] = np.array([0], dtype=np.int64)  # row-count mismatch
+        with pytest.raises(ArtifactError, match="disagree"):
+            StreamEngine.from_state(detector, state)
+
+    def test_mismatched_detector_rejected_at_load(
+        self, dataset, detector, tmp_path
+    ):
+        """Resuming against the wrong architecture fails at load time."""
+        other, _ = CombinedDetector.train(
+            dataset.train_fragments,
+            dataset.validation_fragments,
+            DetectorConfig(
+                timeseries=TimeSeriesDetectorConfig(hidden_sizes=(8,), epochs=1)
+            ),
+            rng=3,
+        )
+        engine = detector.engine(1)
+        engine.observe_batch([dataset.test_packages[0]])
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(engine, path)
+        with pytest.raises(ArtifactError, match="architecture"):
+            load_checkpoint(path, detector=other)

@@ -1,12 +1,18 @@
-"""Tests for model save/load."""
+"""Tests for model save/load and training checkpoints."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.nn import NetworkConfig, StackedLSTMClassifier
-from repro.nn.serialization import load_classifier, save_classifier
+from repro.nn import Adam, NetworkConfig, StackedLSTMClassifier
+from repro.nn.data import PaddedBatch
+from repro.nn.serialization import (
+    load_checkpoint,
+    load_classifier,
+    save_checkpoint,
+    save_classifier,
+)
 
 
 @pytest.fixture
@@ -40,6 +46,71 @@ class TestRoundTrip:
         restored = load_classifier(path)
         for name, param in trained_model.parameters().items():
             np.testing.assert_array_equal(param, restored.parameters()[name])
+
+
+def _training_batch(rng_seed: int = 1) -> PaddedBatch:
+    rng = np.random.default_rng(rng_seed)
+    timesteps, batch, input_size, classes = 4, 2, 3, 6
+    return PaddedBatch(
+        inputs=rng.standard_normal((timesteps, batch, input_size)),
+        targets=rng.integers(0, classes, size=(timesteps, batch)),
+        mask=np.ones((timesteps, batch)),
+    )
+
+
+class TestOptimizerCheckpoint:
+    def _partially_trained(self):
+        model = StackedLSTMClassifier(NetworkConfig(3, (5, 4), 6), rng=0)
+        optimizer = Adam(learning_rate=0.01)
+        for seed in range(3):
+            model.train_batch(_training_batch(seed), optimizer)
+        return model, optimizer
+
+    def test_optimizer_state_restored(self, tmp_path):
+        model, optimizer = self._partially_trained()
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(model, optimizer, path)
+        _, restored = load_checkpoint(path)
+        assert restored is not None
+        assert restored.iterations == optimizer.iterations
+        assert restored.learning_rate == optimizer.learning_rate
+        for slot, values in optimizer._slots().items():
+            restored_values = restored._slots()[slot]
+            assert set(restored_values) == set(values)
+            for name, array in values.items():
+                np.testing.assert_array_equal(restored_values[name], array)
+
+    def test_resumed_training_steps_bit_identical(self, tmp_path):
+        """An interrupted run continues exactly like an uninterrupted one."""
+        model, optimizer = self._partially_trained()
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(model, optimizer, path)
+        resumed_model, resumed_optimizer = load_checkpoint(path)
+
+        batch = _training_batch(99)
+        loss_original = model.train_batch(batch, optimizer)
+        loss_resumed = resumed_model.train_batch(batch, resumed_optimizer)
+        assert loss_original == loss_resumed
+        for name, param in model.parameters().items():
+            np.testing.assert_array_equal(
+                param, resumed_model.parameters()[name]
+            )
+
+    def test_classifier_without_optimizer_loads_none(self, trained_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_classifier(trained_model, path)
+        _, optimizer = load_checkpoint(path)
+        assert optimizer is None
+
+    def test_load_classifier_ignores_optimizer(self, tmp_path):
+        model, optimizer = self._partially_trained()
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(model, optimizer, path)
+        restored = load_classifier(path)
+        x = np.random.default_rng(0).standard_normal((6, 3))
+        np.testing.assert_array_equal(
+            model.predict_proba(x), restored.predict_proba(x)
+        )
 
 
 class TestErrors:
