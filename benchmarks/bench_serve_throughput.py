@@ -1,0 +1,127 @@
+"""End-to-end serving throughput: packages/sec vs shard count.
+
+Unlike :mod:`bench_stream_throughput` (pure engine math), this drives
+the whole online path over real loopback sockets: MBAP framing, the
+incremental decoder, sharded engine workers, verdict frames back, and
+the alert pipeline.  N replay clients stream concurrently; the metric
+is end-to-end packages/sec from first byte to last verdict.
+
+Sharding spreads sessions across engine workers; each worker still
+advances all of its ready streams with one batched LSTM step per tick,
+so more shards trade batching width for parallel queues — the
+interesting question is where the crossover sits for a given model
+size, which is exactly what the emitted table shows.
+
+Run:  REPRO_PROFILE=ci pytest benchmarks/bench_serve_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.conftest import emit_json, emit_report
+from repro.core.combined import CombinedDetector, DetectorConfig
+from repro.core.timeseries_detector import TimeSeriesDetectorConfig
+from repro.ics.dataset import DatasetConfig, generate_dataset
+from repro.serve.alerts import AlertConfig, AlertPipeline
+from repro.serve.gateway import GatewayConfig, start_in_thread
+from repro.serve.replay import ReplayClient
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: profile -> (dataset cycles, hidden sizes, clients, packages per client)
+SIZES = {
+    "ci": (900, (24,), 4, 150),
+    "default": (2000, (64, 64), 8, 250),
+    "paper": (5000, (256, 256), 16, 250),
+}
+
+
+def _train_detector(profile: str):
+    cycles, hidden_sizes, clients, per_client = SIZES.get(profile, SIZES["default"])
+    dataset = generate_dataset(DatasetConfig(num_cycles=cycles), seed=7)
+    detector, _ = CombinedDetector.train(
+        dataset.train_fragments,
+        dataset.validation_fragments,
+        DetectorConfig(
+            timeseries=TimeSeriesDetectorConfig(hidden_sizes=hidden_sizes, epochs=2)
+        ),
+        rng=7,
+    )
+    return detector, dataset, clients, per_client
+
+
+def test_serve_throughput(profile):
+    detector, dataset, num_clients, per_client = _train_detector(profile)
+    packages = dataset.test_packages
+    slices = [
+        [packages[(i * 53 + t) % len(packages)] for t in range(per_client)]
+        for i in range(num_clients)
+    ]
+    total = num_clients * per_client
+
+    rows = []
+    results = {
+        "profile": profile,
+        "clients": num_clients,
+        "packages_per_client": per_client,
+        "shards": {},
+    }
+    for num_shards in SHARD_COUNTS:
+        handle = start_in_thread(
+            detector,
+            GatewayConfig(num_shards=num_shards, max_pending=512),
+            # Silent pipeline: alert dedup work still runs, nothing prints.
+            AlertPipeline(config=AlertConfig()),
+        )
+        try:
+            host, port = handle.address
+            complete = [False] * num_clients
+
+            def run(i):
+                client = ReplayClient(
+                    host, port, stream_key=f"bench-{i}", window=64
+                )
+                complete[i] = client.replay(slices[i]).complete
+
+            threads = [
+                threading.Thread(target=run, args=(i,))
+                for i in range(num_clients)
+            ]
+            started = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - started
+            assert all(complete), "a replay client did not finish"
+            stats = handle.stats()
+            assert stats["processed"] == total
+        finally:
+            handle.stop()
+
+        pps = total / elapsed
+        ticks = sum(s["ticks"] for s in stats["shards"])
+        mean_batch = total / ticks if ticks else 0.0
+        rows.append(
+            f"{num_shards:>7}{pps:>14.0f}{mean_batch:>12.2f}"
+            f"{stats['alerts']['emitted']:>10}"
+        )
+        results["shards"][str(num_shards)] = {
+            "packages_per_sec": pps,
+            "mean_batch_rows_per_tick": mean_batch,
+            "alerts_emitted": stats["alerts"]["emitted"],
+            "seconds": elapsed,
+        }
+
+    table = "\n".join(
+        [f"{'shards':>7}{'pkg/s':>14}{'rows/tick':>12}{'alerts':>10}"] + rows
+    )
+    emit_report("serve_throughput", table)
+    emit_json("serve_throughput", results)
+
+    # The gateway must sustain real-time SCADA rates with huge headroom:
+    # the testbed polls at ~4 packages/sec per link.
+    slowest = min(r["packages_per_sec"] for r in results["shards"].values())
+    assert slowest > 100.0, table

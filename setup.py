@@ -2,9 +2,12 @@
 
 The offline build environment lacks the ``wheel`` package, so PEP 517
 editable installs fail; this file enables ``pip install -e . --no-use-pep517``.
-All real metadata lives in ``pyproject.toml``.
+All real metadata — including the ``repro`` console-script entry point —
+lives in ``pyproject.toml``; setuptools >= 61 reads it from there.  The
+entry point is repeated here only so the legacy (--no-use-pep517) path
+installs the command too.
 """
 
 from setuptools import setup
 
-setup()
+setup(entry_points={"console_scripts": ["repro = repro.cli:main"]})

@@ -17,7 +17,11 @@ and LSTM networks"* (DSN 2017):
   figure of the paper's evaluation.
 - :mod:`repro.persistence` — train-once artifacts and live-stream
   checkpoints (one versioned ``.npz`` per trained framework); the
-  ``python -m repro`` CLI drives train / detect / resume from the shell.
+  ``repro`` CLI drives train / detect / resume / serve from the shell.
+- :mod:`repro.serve` — the online detection gateway: Modbus/TCP
+  transport, sharded stream-engine serving with backpressure and
+  bit-identical checkpoint fail-over, the alert pipeline, and a replay
+  client for load generation and fail-over drills.
 
 Quickstart::
 
@@ -61,8 +65,16 @@ from repro.ics import (
 from repro.persistence import (
     load_checkpoint,
     load_detector,
+    load_gateway_checkpoint,
     save_checkpoint,
     save_detector,
+    save_gateway_checkpoint,
+)
+from repro.serve import (
+    AlertPipeline,
+    DetectionGateway,
+    GatewayConfig,
+    ReplayClient,
 )
 from repro.utils.artifact import ArtifactError
 
@@ -96,7 +108,13 @@ __all__ = [
     "ArtifactError",
     "load_checkpoint",
     "load_detector",
+    "load_gateway_checkpoint",
     "save_checkpoint",
     "save_detector",
+    "save_gateway_checkpoint",
+    "AlertPipeline",
+    "DetectionGateway",
+    "GatewayConfig",
+    "ReplayClient",
     "__version__",
 ]

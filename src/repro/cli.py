@@ -1,7 +1,8 @@
-"""``python -m repro`` — train, deploy and resume detectors from the shell.
+"""The ``repro`` command — train, deploy, serve and replay from the shell.
 
-Drives the persistence layer end to end against the gas-pipeline
-simulator:
+Installed as a console script (``repro``) and runnable as ``python -m
+repro``.  Drives the persistence and serving layers end to end against
+the gas-pipeline simulator:
 
 - ``train``   — fit the combined framework on a profile's anomaly-free
   traffic and save it as one ``.npz`` artifact,
@@ -9,6 +10,11 @@ simulator:
   optionally stopping early and writing a live-stream checkpoint,
 - ``resume``  — reload a checkpoint and finish the stream exactly where
   ``detect`` stopped, bit-identical to an uninterrupted run,
+- ``serve``   — run the online detection gateway: terminate Modbus/TCP
+  sessions, shard them across batched stream engines, emit alerts, and
+  checkpoint periodically for bit-identical fail-over,
+- ``replay``  — stream a capture (generated profile or ARFF file) at a
+  live gateway over real sockets and report its verdicts,
 - ``info``    — inspect any artifact's kind, schema version and
   provenance without loading its arrays.
 
@@ -20,7 +26,10 @@ the flags given to ``train``.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import os
+import signal
 import sys
 import time
 from dataclasses import replace
@@ -40,13 +49,20 @@ from repro.persistence import (
     save_checkpoint,
     save_detector,
 )
+from repro.ics.arff import read_arff
+from repro.serve.alerts import AlertPipeline, JsonlSink, stdout_sink
+from repro.serve.gateway import DetectionGateway, GatewayConfig
+from repro.serve.replay import ReplayClient, ReplayError
 from repro.utils.artifact import ArtifactError, read_meta
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Train, deploy and resume multi-level ICS anomaly detectors.",
+        prog="repro",
+        description=(
+            "Train, deploy, serve and replay multi-level ICS anomaly "
+            "detectors (also runnable as `python -m repro`)."
+        ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -83,6 +99,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_options(resume, optional=True)
     resume.add_argument("--limit", type=int, default=None)
     resume.add_argument("--json", dest="json_out", default=None)
+
+    serve = commands.add_parser(
+        "serve", help="run the online detection gateway on a trained artifact"
+    )
+    serve.add_argument("--model", default=None, help="artifact from `train`")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=5020)
+    serve.add_argument(
+        "--shards", type=int, default=1, help="stream-engine worker pool size"
+    )
+    serve.add_argument(
+        "--checkpoint", default=None, help="gateway checkpoint path (fail-over)"
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="packages between periodic checkpoints (0 = only on shutdown)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the gateway from --checkpoint before serving",
+    )
+    serve.add_argument(
+        "--alerts-jsonl", default=None, help="append alerts to this JSONL file"
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="no per-alert stdout lines"
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound `host port` here once listening (for scripts)",
+    )
+    serve.add_argument(
+        "--max-packages",
+        type=int,
+        default=None,
+        help="stop after serving N packages (smoke tests / drills)",
+    )
+
+    replay_cmd = commands.add_parser(
+        "replay", help="stream a capture at a live gateway over real sockets"
+    )
+    replay_cmd.add_argument("--host", default="127.0.0.1")
+    replay_cmd.add_argument("--port", type=int, default=5020)
+    replay_cmd.add_argument(
+        "--arff", default=None, help="replay this ARFF capture instead of a profile"
+    )
+    _add_profile_options(replay_cmd)
+    replay_cmd.add_argument("--limit", type=int, default=None)
+    replay_cmd.add_argument(
+        "--key", default="replay", help="stream key (session identity on the gateway)"
+    )
+    replay_cmd.add_argument(
+        "--window", type=int, default=32, help="max packages in flight"
+    )
+    replay_cmd.add_argument(
+        "--noise-every",
+        type=int,
+        default=0,
+        help="inject line-noise bytes before every Nth frame (0 = off)",
+    )
+    replay_cmd.add_argument("--json", dest="json_out", default=None)
 
     info = commands.add_parser("info", help="inspect an artifact header")
     info.add_argument("path")
@@ -297,6 +378,108 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.model is None and not (args.resume and args.checkpoint):
+        raise SystemExit("serve needs --model (or --resume with --checkpoint)")
+    try:
+        config = GatewayConfig(
+            host=args.host,
+            port=args.port,
+            num_shards=args.shards,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            max_packages=args.max_packages,
+        ).validate()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    sinks = [] if args.quiet else [stdout_sink]
+    if args.alerts_jsonl:
+        sinks.append(JsonlSink(args.alerts_jsonl))
+    pipeline = AlertPipeline(sinks)
+
+    detector = load_detector(args.model) if args.model else None
+    if args.resume and args.checkpoint and os.path.exists(args.checkpoint):
+        gateway = DetectionGateway.from_checkpoint(
+            args.checkpoint, config, pipeline, detector
+        )
+        print(f"resumed gateway from {args.checkpoint}")
+    else:
+        if detector is None:
+            raise SystemExit(f"no checkpoint at {args.checkpoint}; pass --model")
+        gateway = DetectionGateway(detector, config, pipeline)
+
+    async def run() -> None:
+        await gateway.start()
+        host, port = gateway.address
+        # gateway.config, not the local one: a resumed checkpoint's
+        # shard topology overrides --shards.
+        print(
+            f"gateway listening on {host}:{port} "
+            f"({gateway.config.num_shards} shard(s))"
+        )
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{host} {port}\n")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or exotic platform: rely on max_packages
+        waits = [asyncio.ensure_future(stop.wait())]
+        if config.max_packages is not None:
+            waits.append(asyncio.ensure_future(gateway.wait_done()))
+        try:
+            await asyncio.wait(waits, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for w in waits:
+                w.cancel()
+            await gateway.stop(checkpoint=True)
+
+    asyncio.run(run())
+    stats = gateway.stats()
+    print(
+        f"served {stats['processed']} packages on {stats['streams']} stream(s); "
+        f"alerts emitted {stats['alerts']['emitted']} "
+        f"(suppressed {stats['alerts']['suppressed']}), "
+        f"checkpoints {stats['checkpoints_written']}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.arff:
+        packages = read_arff(args.arff)
+    else:
+        profile = _resolve_profile(
+            args.profile, args.seed, args.cycles, args.epochs, args.hidden
+        )
+        packages = generate_dataset(profile.dataset, seed=profile.seed).test_packages
+    if args.limit is not None:
+        packages = packages[: args.limit]
+
+    try:
+        client = ReplayClient(
+            args.host,
+            args.port,
+            stream_key=args.key,
+            window=args.window,
+            noise_every=args.noise_every,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    started = time.perf_counter()
+    result = client.replay(packages)
+    seconds = time.perf_counter() - started
+    judged = packages[result.start : result.start + result.judged]
+    _report(
+        "replay", judged, result.anomalies, result.levels, seconds, args.json_out,
+        {"offset": result.start, "complete": result.complete},
+    )
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     header = read_meta(args.path)
     print(f"kind:    {header['kind']}")
@@ -310,6 +493,8 @@ _COMMANDS = {
     "train": _cmd_train,
     "detect": _cmd_detect,
     "resume": _cmd_resume,
+    "serve": _cmd_serve,
+    "replay": _cmd_replay,
     "info": _cmd_info,
 }
 
@@ -318,7 +503,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ArtifactError, FileNotFoundError) as exc:
+    except (ArtifactError, FileNotFoundError, ConnectionError, ReplayError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

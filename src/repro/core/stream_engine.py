@@ -20,6 +20,7 @@ over exactly that.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -35,6 +36,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: Detection level tags in results.
 LEVEL_NONE, LEVEL_PACKAGE, LEVEL_TIMESERIES = 0, 1, 2
 LEVEL_NAMES = {LEVEL_NONE: "normal", LEVEL_PACKAGE: "package", LEVEL_TIMESERIES: "time-series"}
+
+
+@dataclass
+class EngineStats:
+    """Lifetime counters of one engine — the gateway's stats hook.
+
+    Counts survive checkpoint/resume, so a failed-over monitor reports
+    continuous totals.
+    """
+
+    ticks: int = 0  # observe_batch calls that advanced >= 1 stream
+    packages: int = 0  # packages observed across all streams
+    alerts: int = 0  # anomalous verdicts
+    package_level: int = 0  # alerts raised by the Bloom signature check
+    timeseries_level: int = 0  # alerts raised by the LSTM top-k check
 
 
 class StreamEngine:
@@ -59,6 +75,7 @@ class StreamEngine:
         self._prev_times: list[float | None] = []
         self._stream_ids: list[int] = []
         self._next_id = 0
+        self._stats = EngineStats()
 
     # ------------------------------------------------------------------
     # stream lifecycle
@@ -77,6 +94,11 @@ class StreamEngine:
     def stream_ids(self) -> tuple[int, ...]:
         """Attached stream ids in slot (batch-row) order."""
         return tuple(self._stream_ids)
+
+    @property
+    def stats(self) -> EngineStats:
+        """Lifetime counters (ticks, packages, alerts by level)."""
+        return self._stats
 
     def attach(self) -> int:
         """Attach a fresh stream; returns its id.
@@ -160,6 +182,7 @@ class StreamEngine:
             "prev_times": prev_times,
             "prev_known": prev_known,
             "streams": self._state.state_dict(),
+            "stats": asdict(self._stats),
         }
 
     @classmethod
@@ -207,6 +230,11 @@ class StreamEngine:
             float(t) if known else None for t, known in zip(prev_times, prev_known)
         ]
         engine._state = batch_state
+        # Pre-stats checkpoints (schema additions are backward-readable)
+        # simply resume with zeroed counters.
+        stats = state.get("stats")
+        if stats is not None:
+            engine._stats = EngineStats(**{k: int(v) for k, v in stats.items()})
         return engine
 
     # ------------------------------------------------------------------
@@ -270,4 +298,10 @@ class StreamEngine:
         levels = np.full(len(batch), LEVEL_NONE, dtype=np.int64)
         levels[flagged] = LEVEL_PACKAGE
         levels[~flagged & verdicts] = LEVEL_TIMESERIES
+
+        self._stats.ticks += 1
+        self._stats.packages += len(batch)
+        self._stats.alerts += int(verdicts.sum())
+        self._stats.package_level += int((levels == LEVEL_PACKAGE).sum())
+        self._stats.timeseries_level += int((levels == LEVEL_TIMESERIES).sum())
         return verdicts, levels

@@ -115,8 +115,14 @@ def parse_frame(raw: bytes) -> ModbusFrame:
     """Parse and CRC-check a raw RTU frame.
 
     Raises :class:`CrcError` on checksum mismatch and ``ValueError`` on
-    frames too short to contain a header and CRC.
+    frames too short to contain a header and CRC.  Any byte string is
+    safe to feed — truncated or garbage input never escapes as an
+    ``IndexError``, which matters once frames arrive from a network
+    socket instead of the simulator.
     """
+    if not isinstance(raw, (bytes, bytearray, memoryview)):
+        raise TypeError(f"expected bytes, got {type(raw).__name__}")
+    raw = bytes(raw)
     if len(raw) < 4:
         raise ValueError(f"frame too short: {len(raw)} bytes")
     body, crc_bytes = raw[:-2], raw[-2:]
@@ -174,25 +180,37 @@ def build_write_response(address: int, start: int, count: int) -> ModbusFrame:
 
 
 def parse_read_response_registers(frame: ModbusFrame) -> list[int]:
-    """Extract register words from a read response PDU."""
+    """Extract register words from a read response PDU.
+
+    Raises ``ValueError`` on any malformed payload, including an empty
+    or truncated one (a CRC-valid frame can still carry a bad PDU).
+    """
     if frame.function != FunctionCode.READ_HOLDING_REGISTERS:
         raise ValueError(f"not a read response (function {frame.function})")
+    if len(frame.payload) < 1:
+        raise ValueError("read response payload missing byte count")
     byte_count = frame.payload[0]
     data = frame.payload[1 : 1 + byte_count]
-    if len(data) != byte_count or byte_count % 2 != 0:
+    if len(frame.payload) != 1 + byte_count or byte_count % 2 != 0:
         raise ValueError("malformed read response payload")
     return [int.from_bytes(data[i : i + 2], "big") for i in range(0, byte_count, 2)]
 
 
 def parse_write_request_values(frame: ModbusFrame) -> tuple[int, list[int]]:
-    """Extract ``(start_register, values)`` from a write request PDU."""
+    """Extract ``(start_register, values)`` from a write request PDU.
+
+    Raises ``ValueError`` on any malformed payload, including one too
+    short to hold the address/count/byte-count header.
+    """
     if frame.function != FunctionCode.WRITE_MULTIPLE_REGISTERS:
         raise ValueError(f"not a write request (function {frame.function})")
+    if len(frame.payload) < 5:
+        raise ValueError("write request payload shorter than its header")
     start = int.from_bytes(frame.payload[0:2], "big")
     count = int.from_bytes(frame.payload[2:4], "big")
     byte_count = frame.payload[4]
     data = frame.payload[5 : 5 + byte_count]
-    if byte_count != 2 * count or len(data) != byte_count:
+    if byte_count != 2 * count or len(frame.payload) != 5 + byte_count:
         raise ValueError("malformed write request payload")
     values = [int.from_bytes(data[i : i + 2], "big") for i in range(0, byte_count, 2)]
     return start, values

@@ -23,14 +23,23 @@ wrong-version files raise :class:`~repro.utils.artifact.ArtifactError`.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Any
+
+import numpy as np
 
 from repro.core.combined import CombinedDetector
 from repro.core.stream_engine import StreamEngine
-from repro.utils.artifact import load_artifact, read_meta, save_artifact
+from repro.utils.artifact import (
+    ArtifactError,
+    load_artifact,
+    read_meta,
+    save_artifact,
+)
 
 DETECTOR_KIND = "combined-detector"
 CHECKPOINT_KIND = "stream-checkpoint"
+GATEWAY_KIND = "gateway-checkpoint"
 
 
 def save_detector(
@@ -92,3 +101,110 @@ def load_checkpoint(
 def checkpoint_meta(path: str | os.PathLike) -> dict[str, Any]:
     """Provenance metadata stored alongside a checkpoint or detector."""
     return read_meta(path)["meta"]
+
+
+# ----------------------------------------------------------------------
+# gateway checkpoints: many sharded engines + stream-key bindings
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GatewayCheckpoint:
+    """A restored gateway state: detector, shard engines, bindings.
+
+    ``bindings`` maps each stream key to its ``(shard_index,
+    stream_id)`` home, so reconnecting clients land on the exact
+    recurrent state they left behind.
+    """
+
+    detector: CombinedDetector
+    engines: list[StreamEngine]
+    bindings: dict[str, tuple[int, int]]
+    meta: dict[str, Any]
+
+
+def save_gateway_checkpoint(
+    path: str | os.PathLike,
+    detector: CombinedDetector,
+    engines: list[StreamEngine],
+    bindings: dict[str, tuple[int, int]],
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Snapshot a sharded gateway (detector + every engine) atomically.
+
+    One artifact holds the trained detector, one engine state per
+    shard, and the stream-key → (shard, stream id) binding table — the
+    complete fail-over unit for :class:`repro.serve.DetectionGateway`.
+    The write goes through a same-directory temp file and ``os.replace``
+    so a crash mid-checkpoint can never leave a torn artifact where the
+    previous good one stood.
+    """
+    keys = sorted(bindings)
+    for key in keys:
+        shard, stream_id = bindings[key]
+        if not 0 <= shard < len(engines):
+            raise ValueError(f"binding {key!r} names shard {shard} of {len(engines)}")
+        if stream_id not in engines[shard].stream_ids:
+            raise ValueError(
+                f"binding {key!r} names stream {stream_id} not attached to "
+                f"shard {shard}"
+            )
+    state = {
+        "detector": detector.state_dict(),
+        "num_shards": len(engines),
+        "shards": {str(i): e.state_dict() for i, e in enumerate(engines)},
+        "binding_shards": np.array(
+            [bindings[k][0] for k in keys], dtype=np.int64
+        ),
+        "binding_streams": np.array(
+            [bindings[k][1] for k in keys], dtype=np.int64
+        ),
+    }
+    meta = dict(meta or {})
+    meta["stream_keys"] = keys
+    tmp = f"{os.fspath(path)}.tmp"
+    save_artifact(state, tmp, kind=GATEWAY_KIND, meta=meta)
+    os.replace(tmp, path)
+
+
+def load_gateway_checkpoint(
+    path: str | os.PathLike, detector: CombinedDetector | None = None
+) -> GatewayCheckpoint:
+    """Restore a gateway checkpoint; every shard resumes bit-identically.
+
+    Pass ``detector`` to re-attach to an already-loaded framework;
+    otherwise the embedded copy is restored.
+    """
+    state = load_artifact(path, kind=GATEWAY_KIND)
+    meta = read_meta(path)["meta"]
+    if detector is None:
+        detector = CombinedDetector.from_state(state["detector"])
+    num_shards = int(state["num_shards"])
+    shards = state["shards"]
+    if sorted(shards) != [str(i) for i in range(num_shards)]:
+        raise ArtifactError(
+            f"gateway checkpoint names {sorted(shards)} shards, expected "
+            f"{num_shards}"
+        )
+    engines = [
+        StreamEngine.from_state(detector, shards[str(i)]) for i in range(num_shards)
+    ]
+    keys = list(meta.pop("stream_keys", []))
+    shard_idx = np.asarray(state["binding_shards"], dtype=np.int64)
+    stream_ids = np.asarray(state["binding_streams"], dtype=np.int64)
+    if not (len(keys) == shard_idx.shape[0] == stream_ids.shape[0]):
+        raise ArtifactError("gateway checkpoint binding table is torn")
+    bindings: dict[str, tuple[int, int]] = {}
+    for key, shard, stream_id in zip(keys, shard_idx, stream_ids):
+        shard, stream_id = int(shard), int(stream_id)
+        if not 0 <= shard < num_shards:
+            raise ArtifactError(f"binding {key!r} names missing shard {shard}")
+        if stream_id not in engines[shard].stream_ids:
+            raise ArtifactError(
+                f"binding {key!r} names stream {stream_id} not present in "
+                f"shard {shard}"
+            )
+        bindings[key] = (shard, stream_id)
+    return GatewayCheckpoint(
+        detector=detector, engines=engines, bindings=bindings, meta=meta
+    )

@@ -1,0 +1,56 @@
+"""repro.serve — the online detection gateway.
+
+Everything needed to put the trained framework *on the link*:
+Modbus/TCP transport with an incremental, garbage-tolerant decoder
+(:mod:`~repro.serve.transport`), the sharded asyncio gateway
+(:mod:`~repro.serve.gateway`), the alert pipeline
+(:mod:`~repro.serve.alerts`), and a replay client for load generation
+and fail-over drills (:mod:`~repro.serve.replay`).
+
+Quickstart::
+
+    from repro.serve import DetectionGateway, GatewayConfig, ReplayClient
+    from repro.serve.gateway import start_in_thread
+
+    handle = start_in_thread(detector, GatewayConfig(num_shards=4))
+    host, port = handle.address
+    result = ReplayClient(host, port, stream_key="plant-7").replay(capture)
+    handle.stop()
+"""
+
+from repro.serve.alerts import (
+    Alert,
+    AlertConfig,
+    AlertPipeline,
+    JsonlSink,
+    Severity,
+    stdout_sink,
+)
+from repro.serve.gateway import (
+    DetectionGateway,
+    GatewayConfig,
+    GatewayHandle,
+    start_in_thread,
+)
+from repro.serve.replay import ReplayClient, ReplayError, ReplayResult, replay_arff
+from repro.serve.transport import MbapDecoder, MbapFrame, TransportError
+
+__all__ = [
+    "Alert",
+    "AlertConfig",
+    "AlertPipeline",
+    "JsonlSink",
+    "Severity",
+    "stdout_sink",
+    "DetectionGateway",
+    "GatewayConfig",
+    "GatewayHandle",
+    "start_in_thread",
+    "ReplayClient",
+    "ReplayError",
+    "ReplayResult",
+    "replay_arff",
+    "MbapDecoder",
+    "MbapFrame",
+    "TransportError",
+]

@@ -1,0 +1,554 @@
+"""The online detection gateway: Modbus/TCP in, verdicts and alerts out.
+
+This is the serving layer the paper's Fig.-3 data path never shipped: a
+TCP server that terminates Modbus/TCP sessions from link taps, funnels
+their package streams through a pool of sharded
+:class:`~repro.core.stream_engine.StreamEngine` workers, answers every
+package with a verdict frame, feeds anomalies to an
+:class:`~repro.serve.alerts.AlertPipeline`, and periodically checkpoints
+the complete serving state through :mod:`repro.persistence` so a
+restarted gateway resumes every stream **bit-identically**.
+
+Architecture
+------------
+- Each client connection binds to a named *stream key* (its OPEN
+  frame).  A key maps to one recurrent stream on one shard, assigned
+  least-loaded on first sight and sticky forever after — reconnects
+  (including after a gateway restart from checkpoint) land on the same
+  LSTM state.
+- Each shard owns one engine and one worker task.  Packages arriving on
+  the shard's sessions accumulate in its bounded queue; the worker
+  drains the queue and advances all waiting streams with **one batched
+  LSTM step per tick**, so inference stays batched under load exactly
+  like the offline engine.
+- Backpressure is end-to-end: a full shard queue suspends that
+  session's reader coroutine, which stops draining the socket, which
+  fills the client's TCP window.  A client that stops *reading* its
+  verdicts past a high-water mark is evicted instead of wedging the
+  shard.
+- Because each stream's packages are processed strictly in sequence
+  order on a single engine row, verdicts per stream are independent of
+  shard count, batch composition of any tick, and connection timing —
+  batching changes wall-clock, never decisions.
+
+The module is std-lib asyncio only; :func:`start_in_thread` runs a
+gateway on a background event loop for tests, benchmarks and notebooks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.ics.modbus import CrcError
+from repro.persistence import (
+    load_gateway_checkpoint,
+    save_gateway_checkpoint,
+)
+from repro.serve.alerts import AlertPipeline
+from repro.serve.transport import (
+    KIND_DATA,
+    KIND_ERROR,
+    KIND_OPEN,
+    MbapDecoder,
+    MbapFrame,
+    TransportError,
+    decode_data,
+    decode_open,
+    encode_error,
+    encode_open_ack,
+    encode_verdict,
+    wrap_pdu,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.combined import CombinedDetector
+    from repro.core.stream_engine import StreamEngine
+
+
+class ProtocolViolation(Exception):
+    """Fatal per-connection protocol error; reported then disconnected."""
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Serving parameters of one gateway process."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port from .address
+    num_shards: int = 1
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 0  # packages between periodic checkpoints; 0 = off
+    max_pending: int = 256  # per-shard queue bound (backpressure trigger)
+    max_write_buffer: int = 1 << 20  # evict clients that stop reading verdicts
+    max_packages: int | None = None  # stop serving after N packages (tests/CLI)
+
+    def validate(self) -> "GatewayConfig":
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every and not self.checkpoint_path:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.max_write_buffer < 1024:
+            raise ValueError(
+                f"max_write_buffer must be >= 1024, got {self.max_write_buffer}"
+            )
+        if self.max_packages is not None and self.max_packages < 1:
+            raise ValueError(
+                f"max_packages must be >= 1, got {self.max_packages}"
+            )
+        return self
+
+
+class _Session:
+    """One live client connection."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.key: str | None = None
+        self.shard: "_Shard | None" = None
+        self.stream_id: int | None = None
+        self.next_seq = 0
+        self.evicted = False
+
+    def send(self, payload: bytes, max_buffer: int) -> None:
+        """Best-effort write; evict the peer if it stopped reading."""
+        if self.evicted:
+            return
+        try:
+            self.writer.write(payload)
+            transport = self.writer.transport
+            if transport.get_write_buffer_size() > max_buffer:
+                self.evicted = True
+                transport.abort()
+        except (ConnectionError, RuntimeError):
+            self.evicted = True
+
+
+class _Shard:
+    """One engine plus the worker that batches its streams' packages."""
+
+    def __init__(self, gateway: "DetectionGateway", index: int,
+                 engine: "StreamEngine", max_pending: int) -> None:
+        self.gateway = gateway
+        self.index = index
+        self.engine = engine
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
+        self.bound_streams = 0
+
+    async def run(self) -> None:
+        """Drain the queue forever, one batched engine tick at a time."""
+        while True:
+            items = [await self.queue.get()]
+            while True:
+                try:
+                    items.append(self.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            pending = deque(items)
+            while pending:
+                # One tick advances each stream by at most one package;
+                # extra packages of the same stream wait for the next
+                # tick, preserving per-stream order.
+                tick: dict[int, tuple] = {}
+                leftover: deque = deque()
+                for item in pending:
+                    session, seq, package = item
+                    if session.stream_id in tick:
+                        leftover.append(item)
+                    else:
+                        tick[session.stream_id] = item
+                batch = {
+                    stream_id: package
+                    for stream_id, (_, _, package) in tick.items()
+                }
+                verdicts, levels = self.engine.observe_batch(batch)
+                # Account (and maybe checkpoint) before delivery: a
+                # write can flush to the socket synchronously, so this
+                # ordering guarantees a client can never observe a
+                # verdict the gateway's own counters don't cover yet.
+                # Checkpoints land between ticks, where every stream's
+                # state and seen-count are mutually consistent.
+                self.gateway._after_work(len(tick))
+                self.gateway._deliver(tick, verdicts, levels)
+                pending = leftover
+
+
+class DetectionGateway:
+    """Async Modbus/TCP server multiplexing sessions onto sharded engines."""
+
+    def __init__(
+        self,
+        detector: "CombinedDetector",
+        config: GatewayConfig | None = None,
+        alerts: AlertPipeline | None = None,
+        _engines: "list[StreamEngine] | None" = None,
+        _bindings: dict[str, tuple[int, int]] | None = None,
+    ) -> None:
+        self.config = (config or GatewayConfig()).validate()
+        self.detector = detector
+        self.alerts = alerts if alerts is not None else AlertPipeline()
+        if _engines is None:
+            _engines = [detector.engine(0) for _ in range(self.config.num_shards)]
+        elif len(_engines) != self.config.num_shards:
+            raise ValueError(
+                f"{len(_engines)} restored shards for config.num_shards="
+                f"{self.config.num_shards}"
+            )
+        self._shards = [
+            _Shard(self, i, engine, self.config.max_pending)
+            for i, engine in enumerate(_engines)
+        ]
+        #: stream key -> (shard index, stream id); sticky across reconnects.
+        self._bindings: dict[str, tuple[int, int]] = dict(_bindings or {})
+        for shard_index, _ in self._bindings.values():
+            self._shards[shard_index].bound_streams += 1
+        self._live: dict[str, _Session] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._workers: list[asyncio.Task] = []
+        self._processed = 0
+        self._since_checkpoint = 0
+        self._checkpoints_written = 0
+        self._crc_errors = 0
+        self._malformed = 0
+        self._bytes_discarded = 0
+        self._done = asyncio.Event()
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        config: GatewayConfig | None = None,
+        alerts: AlertPipeline | None = None,
+        detector: "CombinedDetector | None" = None,
+    ) -> "DetectionGateway":
+        """Rebuild a gateway from a checkpoint; streams resume bit-identically.
+
+        The shard count is part of the checkpointed topology, so it
+        overrides ``config.num_shards``.
+        """
+        restored = load_gateway_checkpoint(path, detector)
+        config = replace(
+            config or GatewayConfig(), num_shards=len(restored.engines)
+        )
+        return cls(
+            restored.detector,
+            config,
+            alerts,
+            _engines=restored.engines,
+            _bindings=restored.bindings,
+        )
+
+    async def start(self) -> None:
+        """Bind the listening socket and launch the shard workers."""
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        self._workers = [
+            asyncio.get_running_loop().create_task(shard.run())
+            for shard in self._shards
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — read after :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("gateway is not listening")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def wait_done(self) -> None:
+        """Block until ``max_packages`` packages have been served."""
+        await self._done.wait()
+
+    async def stop(self, checkpoint: bool = True) -> None:
+        """Graceful shutdown; ``checkpoint=False`` models a hard crash."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except (asyncio.CancelledError, Exception):
+                pass
+        for session in list(self._live.values()):
+            try:
+                session.writer.close()
+            except RuntimeError:
+                pass
+        self._live.clear()
+        if checkpoint and self.config.checkpoint_path:
+            self._write_checkpoint()
+        self.alerts.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = _Session(writer)
+        decoder = MbapDecoder()
+        discard_mark = 0
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                frames = decoder.feed(data)
+                self._bytes_discarded += decoder.bytes_discarded - discard_mark
+                discard_mark = decoder.bytes_discarded
+                for frame in frames:
+                    await self._on_frame(session, frame)
+            await self._flush(session)
+        except ProtocolViolation as exc:
+            session.send(
+                wrap_pdu(encode_error(str(exc)), 0), self.config.max_write_buffer
+            )
+            await self._flush(session)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if session.key is not None and self._live.get(session.key) is session:
+                del self._live[session.key]
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _flush(self, session: _Session) -> None:
+        if not session.evicted:
+            try:
+                await session.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _on_frame(self, session: _Session, frame: MbapFrame) -> None:
+        kind = frame.kind
+        if kind == KIND_OPEN:
+            self._on_open(session, frame)
+            await self._flush(session)
+        elif kind == KIND_DATA:
+            await self._on_data(session, frame)
+        elif kind == KIND_ERROR:
+            raise ProtocolViolation("peer reported an error")
+        else:
+            raise ProtocolViolation(f"unexpected frame kind {kind:#04x}")
+
+    def _on_open(self, session: _Session, frame: MbapFrame) -> None:
+        if session.key is not None:
+            raise ProtocolViolation("session already bound to a stream")
+        try:
+            key = decode_open(frame.pdu)
+        except TransportError as exc:
+            raise ProtocolViolation(str(exc)) from exc
+        if key in self._live:
+            raise ProtocolViolation(f"stream key {key!r} already connected")
+
+        binding = self._bindings.get(key)
+        if binding is None:
+            # Least-loaded shard (ties to the lowest index) keeps the
+            # per-tick batches balanced as keys come and go.
+            shard = min(self._shards, key=lambda s: (s.bound_streams, s.index))
+            stream_id = shard.engine.attach()
+            shard.bound_streams += 1
+            self._bindings[key] = (shard.index, stream_id)
+        else:
+            shard = self._shards[binding[0]]
+            stream_id = binding[1]
+
+        session.key = key
+        session.shard = shard
+        session.stream_id = stream_id
+        session.next_seq = shard.engine.packages_seen(stream_id)
+        self._live[key] = session
+        session.send(
+            wrap_pdu(encode_open_ack(stream_id, session.next_seq), 0),
+            self.config.max_write_buffer,
+        )
+
+    async def _on_data(self, session: _Session, frame: MbapFrame) -> None:
+        if session.shard is None:
+            raise ProtocolViolation("DATA before OPEN")
+        try:
+            data = decode_data(frame.pdu)
+        except CrcError:
+            # Corrupt embedded frame: count it, drop the PDU, keep the
+            # session.  The DATA layer is reliable-in-order — a dropped
+            # PDU is treated as never received, so the sender must
+            # retransmit from its in-flight window (a stalled window
+            # times out, reconnects, and OPEN_ACK points it back at the
+            # exact next package).
+            self._crc_errors += 1
+            return
+        except (TransportError, ValueError):
+            self._malformed += 1
+            return
+        if data.seq != session.next_seq:
+            raise ProtocolViolation(
+                f"stream {session.key!r}: expected seq {session.next_seq}, "
+                f"got {data.seq}"
+            )
+        session.next_seq += 1
+        # Bounded queue: when the shard is saturated this await parks
+        # the reader, which stops draining the socket — backpressure
+        # reaches the client as a zero TCP window.
+        await session.shard.queue.put((session, data.seq, data.package))
+
+    # ------------------------------------------------------------------
+    # verdict delivery (called by shard workers)
+    # ------------------------------------------------------------------
+
+    def _deliver(self, tick: dict[int, tuple], verdicts, levels) -> None:
+        max_buffer = self.config.max_write_buffer
+        for (session, seq, package), verdict, level in zip(
+            tick.values(), verdicts, levels
+        ):
+            session.send(
+                wrap_pdu(encode_verdict(seq, bool(verdict), int(level)),
+                         transaction_id=(seq % 0xFFFF) + 1,
+                         unit_id=package.address & 0xFF),
+                max_buffer,
+            )
+            if verdict and session.key is not None:
+                self.alerts.submit(session.key, seq, package, int(level))
+
+    def _after_work(self, count: int) -> None:
+        self._processed += count
+        self._since_checkpoint += count
+        cfg = self.config
+        if cfg.checkpoint_every and self._since_checkpoint >= cfg.checkpoint_every:
+            self._write_checkpoint()
+        if cfg.max_packages is not None and self._processed >= cfg.max_packages:
+            self._done.set()
+
+    def _write_checkpoint(self) -> None:
+        # Deliberately synchronous on the loop: the engine states being
+        # snapshotted must not advance mid-save, and handing the numpy
+        # state arrays to a writer thread would race the next tick's
+        # in-place updates.  The stall is one compressed .npz write per
+        # checkpoint_every packages — size it accordingly.
+        if not self.config.checkpoint_path:
+            return
+        save_gateway_checkpoint(
+            self.config.checkpoint_path,
+            self.detector,
+            [shard.engine for shard in self._shards],
+            self._bindings,
+            meta={"processed": self._processed},
+        )
+        self._since_checkpoint = 0
+        self._checkpoints_written += 1
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Serving counters: per-shard engine stats plus edge health."""
+        return {
+            "processed": self._processed,
+            "streams": len(self._bindings),
+            "live_sessions": len(self._live),
+            "crc_errors": self._crc_errors,
+            "malformed": self._malformed,
+            "bytes_discarded": self._bytes_discarded,
+            "checkpoints_written": self._checkpoints_written,
+            "shards": [asdict(shard.engine.stats) for shard in self._shards],
+            "alerts": self.alerts.stats(),
+        }
+
+
+# ----------------------------------------------------------------------
+# background-thread driver
+# ----------------------------------------------------------------------
+
+
+class GatewayHandle:
+    """A gateway running on its own event-loop thread."""
+
+    def __init__(self, gateway: DetectionGateway, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.gateway = gateway
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.gateway.address
+
+    def stop(self, checkpoint: bool = True, timeout: float = 10.0) -> None:
+        """Stop the gateway and join its thread.
+
+        ``checkpoint=False`` skips the shutdown snapshot — the
+        fail-over drill: the next gateway must restart from the last
+        *periodic* checkpoint, exactly like after a crash.
+        """
+        future = asyncio.run_coroutine_threadsafe(
+            self.gateway.stop(checkpoint), self._loop
+        )
+        future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def stats(self) -> dict[str, Any]:
+        return self.gateway.stats()
+
+
+def start_in_thread(
+    detector: "CombinedDetector",
+    config: GatewayConfig | None = None,
+    alerts: AlertPipeline | None = None,
+    gateway: DetectionGateway | None = None,
+) -> GatewayHandle:
+    """Run a gateway on a daemon thread; returns once it is listening.
+
+    Pass ``gateway`` to drive a pre-built instance (e.g. one restored
+    via :meth:`DetectionGateway.from_checkpoint`).
+    """
+    if gateway is None:
+        gateway = DetectionGateway(detector, config, alerts)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(gateway.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-gateway", daemon=True)
+    thread.start()
+    started.wait()
+    if failure:
+        raise failure[0]
+    return GatewayHandle(gateway, loop, thread)

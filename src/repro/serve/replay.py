@@ -1,0 +1,197 @@
+"""Replay client: stream a recorded capture at a live gateway.
+
+The load-generation and fail-over-drill counterpart of the gateway: it
+plays a :class:`~repro.ics.dataset.GasPipelineDataset` capture (or an
+ARFF interchange file) over a real TCP socket, package by package, with
+a bounded in-flight window, and collects the gateway's verdicts.
+
+Replay is resume-aware: the OPEN_ACK tells the client how many packages
+the gateway has already judged on this stream key, and the client
+starts there — after a gateway fail-over, simply replay the same
+capture again and only the unjudged tail crosses the wire.
+
+``noise_every`` injects bursts of ``0xFF`` filler bytes between frames
+(idle-line noise on a serial tap); the gateway's incremental decoder
+must discard them and stay frame-synchronized, changing no decision.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ics.arff import read_arff
+from repro.ics.features import Package
+from repro.serve.transport import (
+    KIND_ERROR,
+    KIND_OPEN_ACK,
+    KIND_VERDICT,
+    MbapDecoder,
+    decode_error,
+    decode_open_ack,
+    decode_verdict,
+    encode_data,
+    encode_open,
+    wrap_pdu,
+)
+
+
+class ReplayError(RuntimeError):
+    """The gateway rejected the session or the link failed mid-replay."""
+
+
+@dataclass
+class ReplayResult:
+    """Verdicts collected by one replay run.
+
+    ``start`` is the resume offset the gateway assigned: decision
+    arrays cover ``packages[start:]`` and align index-for-index with
+    that slice.
+    """
+
+    stream_key: str
+    start: int
+    anomalies: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    levels: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    complete: bool = True
+
+    @property
+    def judged(self) -> int:
+        """Packages judged during this run."""
+        return len(self.anomalies)
+
+    @property
+    def alerts(self) -> int:
+        return int(self.anomalies.sum())
+
+
+class ReplayClient:
+    """Blocking-socket client replaying packages through a gateway."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        stream_key: str = "replay",
+        window: int = 32,
+        timeout: float = 30.0,
+        noise_every: int = 0,
+        noise_bytes: int = 16,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if noise_every < 0:
+            raise ValueError(f"noise_every must be >= 0, got {noise_every}")
+        self.host = host
+        self.port = port
+        self.stream_key = stream_key
+        self.window = window
+        self.timeout = timeout
+        self.noise_every = noise_every
+        self.noise_bytes = noise_bytes
+
+    def replay(self, packages: Sequence[Package]) -> ReplayResult:
+        """Stream ``packages`` and gather verdicts for the unjudged tail.
+
+        Keeps at most ``window`` packages in flight.  Returns a partial
+        result (``complete=False``) if the gateway goes away
+        mid-replay — the fail-over path: reconnect later and replay the
+        same capture; already-judged packages are skipped.
+        """
+        with socket.create_connection((self.host, self.port), self.timeout) as sock:
+            sock.settimeout(self.timeout)
+            decoder = MbapDecoder()
+            sock.sendall(wrap_pdu(encode_open(self.stream_key), transaction_id=1))
+            start = self._await_open_ack(sock, decoder)
+            if start > len(packages):
+                raise ReplayError(
+                    f"gateway has judged {start} packages on stream "
+                    f"{self.stream_key!r}, but the capture holds only "
+                    f"{len(packages)}"
+                )
+
+            total = len(packages) - start
+            anomalies: list[bool] = []
+            levels: list[int] = []
+            next_send = start
+            complete = True
+            while len(anomalies) < total:
+                payload = bytearray()
+                while (
+                    next_send < len(packages)
+                    and next_send - start - len(anomalies) < self.window
+                ):
+                    if self.noise_every and next_send % self.noise_every == 0:
+                        payload.extend(b"\xff" * self.noise_bytes)
+                    package = packages[next_send]
+                    payload.extend(
+                        wrap_pdu(
+                            encode_data(package, next_send),
+                            transaction_id=(next_send % 0xFFFF) + 1,
+                            unit_id=package.address & 0xFF,
+                        )
+                    )
+                    next_send += 1
+                if payload:
+                    sock.sendall(payload)
+                try:
+                    data = sock.recv(65536)
+                except (TimeoutError, ConnectionError):
+                    complete = False
+                    break
+                if not data:
+                    complete = False
+                    break
+                for frame in decoder.feed(data):
+                    if frame.kind == KIND_VERDICT:
+                        seq, anomaly, level = decode_verdict(frame.pdu)
+                        expected = start + len(anomalies)
+                        if seq != expected:
+                            raise ReplayError(
+                                f"verdict out of order: expected seq "
+                                f"{expected}, got {seq}"
+                            )
+                        anomalies.append(anomaly)
+                        levels.append(level)
+                    elif frame.kind == KIND_ERROR:
+                        raise ReplayError(
+                            f"gateway error: {decode_error(frame.pdu)}"
+                        )
+                    else:
+                        raise ReplayError(
+                            f"unexpected frame kind {frame.kind:#04x}"
+                        )
+            return ReplayResult(
+                stream_key=self.stream_key,
+                start=start,
+                anomalies=np.array(anomalies, dtype=bool),
+                levels=np.array(levels, dtype=np.int64),
+                complete=complete,
+            )
+
+    def _await_open_ack(self, sock: socket.socket, decoder: MbapDecoder) -> int:
+        while True:
+            try:
+                data = sock.recv(65536)
+            except (TimeoutError, ConnectionError) as exc:
+                raise ReplayError(f"no OPEN_ACK from gateway: {exc}") from exc
+            if not data:
+                raise ReplayError("gateway closed the connection before OPEN_ACK")
+            for frame in decoder.feed(data):
+                if frame.kind == KIND_OPEN_ACK:
+                    _, packages_seen = decode_open_ack(frame.pdu)
+                    return packages_seen
+                if frame.kind == KIND_ERROR:
+                    raise ReplayError(f"gateway error: {decode_error(frame.pdu)}")
+                raise ReplayError(f"unexpected frame kind {frame.kind:#04x}")
+
+
+def replay_arff(
+    path: str | os.PathLike, host: str, port: int, **kwargs
+) -> ReplayResult:
+    """Replay an ARFF interchange capture through a gateway."""
+    return ReplayClient(host, port, **kwargs).replay(read_arff(path))

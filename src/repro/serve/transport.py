@@ -1,0 +1,330 @@
+"""Modbus/TCP (MBAP) framing for the online detection gateway.
+
+The paper's detector taps a serial Modbus RTU link; a deployed gateway
+instead terminates **Modbus/TCP**: each message is an MBAP header
+(transaction id, protocol id, length, unit id) followed by a PDU.  This
+module layers that framing over the existing RTU codec
+(:mod:`repro.ics.modbus`) and defines the gateway's application PDUs:
+
+- ``OPEN`` / ``OPEN_ACK`` — a client binds its connection to a named
+  *stream key*; the ack returns the stream id and how many packages the
+  gateway has already seen on that stream (the resume offset after a
+  fail-over).
+- ``DATA`` — one captured package: the link tap's full-precision
+  telemetry record (timestamp, CRC-error rate, analog values, ground
+  truth label) followed by the embedded RTU frame bytes exactly as they
+  crossed the serial link, CRC included.  The telemetry row is
+  authoritative for the Table-I features (fixed-point registers cannot
+  carry the tap's float64 log losslessly); the RTU frame is CRC-checked
+  on receipt so line corruption is caught at the gateway edge.
+- ``VERDICT`` — the gateway's per-package decision (anomaly flag plus
+  which detection level fired), echoing the package sequence number.
+- ``ERROR`` — fatal protocol violation, human-readable reason.
+
+:class:`MbapDecoder` is an incremental parser built for a hostile wire:
+it survives partial reads (any split of the byte stream yields the same
+frames) and resynchronizes after garbage bytes by sliding one byte at a
+time until a plausible header — protocol id 0, sane length, known PDU
+kind — lines up again, counting every byte it had to discard.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+from repro.ics import modbus
+from repro.ics.features import FEATURE_NAMES, Package
+from repro.ics.modbus import FunctionCode, ModbusFrame, Register
+
+#: MBAP protocol identifier — 0 means Modbus.
+PROTOCOL_MODBUS = 0
+
+#: MBAP header: transaction id, protocol id, length, unit id.
+_MBAP = struct.Struct(">HHHB")
+
+#: Largest body (unit id + PDU) the decoder will buffer for one frame.
+#: Stream keys and telemetry records are small; anything bigger is noise.
+MAX_FRAME_BODY = 4096
+
+# Gateway PDU kinds (first PDU byte).  Values stay clear of real Modbus
+# function codes so a stray RTU frame fed to the decoder cannot alias a
+# control message.
+KIND_OPEN = 0x41
+KIND_OPEN_ACK = 0x42
+KIND_DATA = 0x43
+KIND_VERDICT = 0x44
+KIND_ERROR = 0x45
+
+KNOWN_KINDS = frozenset(
+    {KIND_OPEN, KIND_OPEN_ACK, KIND_DATA, KIND_VERDICT, KIND_ERROR}
+)
+
+#: Telemetry record: ground-truth label byte + the 17 Table-I features
+#: as IEEE-754 doubles (lossless, ``NaN`` marks inapplicable fields).
+_RECORD = struct.Struct(f">B{len(FEATURE_NAMES)}d")
+
+_OPEN_ACK = struct.Struct(">II")
+_VERDICT = struct.Struct(">IBB")
+_SEQ = struct.Struct(">I")
+
+
+class TransportError(ValueError):
+    """A structurally invalid gateway PDU."""
+
+
+@dataclass(frozen=True)
+class MbapFrame:
+    """One decoded Modbus/TCP message."""
+
+    transaction_id: int
+    unit_id: int
+    pdu: bytes
+
+    @property
+    def kind(self) -> int:
+        """First PDU byte — one of the ``KIND_*`` tags."""
+        if not self.pdu:
+            raise TransportError("empty PDU has no kind")
+        return self.pdu[0]
+
+
+def wrap_pdu(pdu: bytes, transaction_id: int, unit_id: int = 0) -> bytes:
+    """Frame a PDU with an MBAP header."""
+    if not pdu:
+        raise TransportError("refusing to frame an empty PDU")
+    if len(pdu) + 1 > MAX_FRAME_BODY:
+        raise TransportError(f"PDU too large: {len(pdu)} bytes")
+    if not 0 <= transaction_id <= 0xFFFF:
+        raise TransportError(f"transaction id out of range: {transaction_id}")
+    if not 0 <= unit_id <= 0xFF:
+        raise TransportError(f"unit id out of range: {unit_id}")
+    header = _MBAP.pack(transaction_id, PROTOCOL_MODBUS, len(pdu) + 1, unit_id)
+    return header + pdu
+
+
+class MbapDecoder:
+    """Incremental MBAP frame decoder with garbage resynchronization.
+
+    Feed arbitrary byte chunks; complete frames come out in order no
+    matter how the stream was split.  Bytes that cannot start a
+    plausible frame (wrong protocol id, absurd length, unknown PDU kind)
+    are discarded one at a time until the decoder locks back onto a
+    frame boundary — the behaviour a field gateway needs on a link that
+    also carries line noise and unrelated chatter.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+        self.bytes_discarded = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently awaiting a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[MbapFrame]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: list[MbapFrame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> MbapFrame | None:
+        buffer = self._buffer
+        while len(buffer) >= _MBAP.size:
+            transaction_id, protocol_id, length, unit_id = _MBAP.unpack_from(buffer)
+            plausible = (
+                protocol_id == PROTOCOL_MODBUS
+                and 2 <= length <= MAX_FRAME_BODY
+                and (
+                    len(buffer) <= _MBAP.size
+                    or buffer[_MBAP.size] in KNOWN_KINDS
+                )
+            )
+            if not plausible:
+                # Not a frame boundary: shed one byte and rescan.
+                del buffer[0]
+                self.bytes_discarded += 1
+                continue
+            end = _MBAP.size + length - 1  # length counts unit id + PDU
+            if len(buffer) < _MBAP.size + 1:
+                return None  # kind byte not here yet — wait for more
+            if len(buffer) < end:
+                return None
+            pdu = bytes(buffer[_MBAP.size : end])
+            del buffer[:end]
+            self.frames_decoded += 1
+            return MbapFrame(transaction_id, unit_id, pdu)
+        return None
+
+
+# ----------------------------------------------------------------------
+# application PDUs
+# ----------------------------------------------------------------------
+
+
+def encode_open(stream_key: str) -> bytes:
+    """Client → gateway: bind this connection to ``stream_key``."""
+    raw = stream_key.encode("utf-8")
+    if not raw:
+        raise TransportError("stream key must be non-empty")
+    if len(raw) > 255:
+        raise TransportError(f"stream key too long: {len(raw)} bytes")
+    return bytes([KIND_OPEN]) + raw
+
+
+def decode_open(pdu: bytes) -> str:
+    if len(pdu) < 2 or pdu[0] != KIND_OPEN:
+        raise TransportError("not an OPEN PDU")
+    try:
+        return pdu[1:].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TransportError(f"stream key is not valid UTF-8: {exc}") from exc
+
+
+def encode_open_ack(stream_id: int, packages_seen: int) -> bytes:
+    """Gateway → client: stream bound; resume sending at ``packages_seen``."""
+    return bytes([KIND_OPEN_ACK]) + _OPEN_ACK.pack(stream_id, packages_seen)
+
+
+def decode_open_ack(pdu: bytes) -> tuple[int, int]:
+    if len(pdu) != 1 + _OPEN_ACK.size or pdu[0] != KIND_OPEN_ACK:
+        raise TransportError("not an OPEN_ACK PDU")
+    stream_id, packages_seen = _OPEN_ACK.unpack(pdu[1:])
+    return stream_id, packages_seen
+
+
+def encode_verdict(seq: int, is_anomaly: bool, level: int) -> bytes:
+    """Gateway → client: decision for the package numbered ``seq``."""
+    return bytes([KIND_VERDICT]) + _VERDICT.pack(seq, int(is_anomaly), level)
+
+
+def decode_verdict(pdu: bytes) -> tuple[int, bool, int]:
+    if len(pdu) != 1 + _VERDICT.size or pdu[0] != KIND_VERDICT:
+        raise TransportError("not a VERDICT PDU")
+    seq, anomaly, level = _VERDICT.unpack(pdu[1:])
+    return seq, bool(anomaly), level
+
+
+def encode_error(message: str) -> bytes:
+    """Gateway → client: fatal protocol violation; connection will close."""
+    return bytes([KIND_ERROR]) + message.encode("utf-8")[:1024]
+
+
+def decode_error(pdu: bytes) -> str:
+    if not pdu or pdu[0] != KIND_ERROR:
+        raise TransportError("not an ERROR PDU")
+    return pdu[1:].decode("utf-8", errors="replace")
+
+
+# ----------------------------------------------------------------------
+# DATA: telemetry record + embedded RTU frame
+# ----------------------------------------------------------------------
+
+
+def rtu_frame_for(package: Package) -> ModbusFrame:
+    """Rebuild the on-wire RTU frame a package corresponds to.
+
+    Inverse of how the simulator fabricates packages: the transaction
+    type (function code × direction) selects the PDU shape, continuous
+    values ride as ×100 fixed-point register words.  Unknown function
+    codes (the MFCI attack repertoire) become bare frames — real
+    diagnostics payloads vary by vendor and carry no Table-I features.
+    """
+    def fixed(value: float | None) -> int:
+        return modbus.encode_fixed(0.0 if value is None else float(value))
+
+    def word(value: int | None) -> int:
+        # Attack-altered packages may carry out-of-range values; the
+        # wire encoder clamps rather than refusing to forward them.
+        return max(0, min(0xFFFF, int(value or 0)))
+
+    address = package.address & 0xFF
+    if package.function == FunctionCode.WRITE_MULTIPLE_REGISTERS:
+        if package.is_command:
+            words = [
+                fixed(package.setpoint),
+                fixed(package.gain),
+                fixed(package.reset_rate),
+                fixed(package.deadband),
+                fixed(package.cycle_time),
+                fixed(package.rate),
+                word(package.system_mode),
+                word(package.control_scheme),
+                word(package.pump),
+                word(package.solenoid),
+            ]
+            return modbus.build_write_request(address, Register.SETPOINT, words)
+        return modbus.build_write_response(
+            address, Register.SETPOINT, modbus.CONTROL_BLOCK_SIZE
+        )
+    if package.function == FunctionCode.READ_HOLDING_REGISTERS:
+        if package.is_command:
+            return modbus.build_read_request(address, Register.SYSTEM_MODE, 5)
+        words = [
+            word(package.system_mode),
+            word(package.control_scheme),
+            word(package.pump),
+            word(package.solenoid),
+            fixed(package.pressure_measurement),
+        ]
+        return modbus.build_read_response(address, words)
+    return ModbusFrame(address, package.function & 0xFF, b"")
+
+
+def encode_data(package: Package, seq: int) -> bytes:
+    """One captured package as a DATA PDU (telemetry + RTU bytes)."""
+    if not 0 <= seq <= 0xFFFFFFFF:
+        raise TransportError(f"sequence number out of range: {seq}")
+    if not 0 <= package.label <= 0xFF:
+        raise TransportError(f"label out of range: {package.label}")
+    record = _RECORD.pack(package.label, *package.to_row())
+    frame = rtu_frame_for(package).encode()
+    return bytes([KIND_DATA]) + _SEQ.pack(seq) + record + frame
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """A decoded DATA PDU."""
+
+    seq: int
+    package: Package
+    rtu: ModbusFrame
+
+
+def decode_data(pdu: bytes) -> DataFrame:
+    """Parse a DATA PDU; CRC-checks the embedded RTU frame.
+
+    Raises :class:`TransportError` on structural problems and lets
+    :class:`~repro.ics.modbus.CrcError` from the embedded frame
+    propagate, so the gateway can count line corruption separately from
+    protocol violations.
+    """
+    header = 1 + _SEQ.size + _RECORD.size
+    if len(pdu) < header or pdu[0] != KIND_DATA:
+        raise TransportError("not a DATA PDU (or truncated telemetry record)")
+    (seq,) = _SEQ.unpack_from(pdu, 1)
+    fields = _RECORD.unpack_from(pdu, 1 + _SEQ.size)
+    label, row = int(fields[0]), list(fields[1:])
+    for index, name in enumerate(FEATURE_NAMES):
+        # Integer-typed features must survive from_row's int() cast.
+        if name in ("setpoint", "gain", "reset_rate", "deadband", "cycle_time",
+                    "rate", "pressure_measurement", "crc_rate", "time"):
+            continue
+        value = row[index]
+        if math.isnan(value):
+            continue
+        if math.isinf(value) or value != int(value):
+            raise TransportError(f"feature {name} must be integral, got {value}")
+    try:
+        package = Package.from_row(row, label=label)
+    except (TypeError, ValueError) as exc:
+        raise TransportError(f"bad telemetry record: {exc}") from exc
+    rtu = modbus.parse_frame(pdu[header:])
+    return DataFrame(seq=seq, package=package, rtu=rtu)

@@ -120,6 +120,100 @@ class TestPduBuilders:
             parse_write_request_values(frame)
 
 
+class TestAdversarialBytes:
+    """Wire-exposure hardening: no input may escape as ``IndexError``.
+
+    The online gateway feeds socket bytes straight into these parsers,
+    so truncated, bit-flipped and garbage inputs must all fail with
+    clean ``ValueError``/``CrcError`` — never an internal crash.
+    """
+
+    FRAMES = [
+        build_read_request(4),
+        build_read_response(4, [2, 0, 1, 0, 1034]),
+        build_write_request(4, 0, [1000, 80, 20, 100, 100, 10, 2, 0, 0, 0]),
+        build_write_response(4, 0, 10),
+        ModbusFrame(4, 8, b"\x00\x00"),
+    ]
+
+    def test_truncation_at_every_prefix_length(self):
+        for frame in self.FRAMES:
+            raw = frame.encode()
+            for cut in range(len(raw)):
+                with pytest.raises(ValueError):  # CrcError is a ValueError
+                    parse_frame(raw[:cut])
+
+    def test_every_single_bit_flip_rejected(self):
+        """Exhaustive CRC fuzz via corrupt_frame: all bits of all frames."""
+        for frame in self.FRAMES:
+            raw = frame.encode()
+            for bit in range(len(raw) * 8):
+                with pytest.raises(ValueError):
+                    parse_frame(corrupt_frame(raw, bit))
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_arbitrary_bytes_never_crash_parse_frame(self, raw):
+        try:
+            frame = parse_frame(raw)
+        except ValueError:
+            return
+        # The astronomically rare CRC-valid blob must round-trip.
+        assert frame.encode() == raw
+
+    def test_non_bytes_input_rejected(self):
+        with pytest.raises(TypeError):
+            parse_frame("01 02 03 04")
+
+    @given(st.binary(min_size=0, max_size=40))
+    def test_read_response_parser_survives_any_payload(self, payload):
+        frame = ModbusFrame(4, FunctionCode.READ_HOLDING_REGISTERS, payload)
+        try:
+            registers = parse_read_response_registers(frame)
+        except ValueError:
+            return
+        assert parse_read_response_registers(build_read_response(4, registers)) == registers
+
+    @given(st.binary(min_size=0, max_size=40))
+    def test_write_request_parser_survives_any_payload(self, payload):
+        frame = ModbusFrame(4, FunctionCode.WRITE_MULTIPLE_REGISTERS, payload)
+        try:
+            start, values = parse_write_request_values(frame)
+        except ValueError:
+            return
+        assert parse_write_request_values(build_write_request(4, start, values)) == (
+            start,
+            values,
+        )
+
+    def test_empty_payload_read_response_rejected(self):
+        frame = ModbusFrame(4, FunctionCode.READ_HOLDING_REGISTERS, b"")
+        with pytest.raises(ValueError):
+            parse_read_response_registers(frame)
+
+    def test_short_payload_write_request_rejected(self):
+        for size in range(5):
+            frame = ModbusFrame(4, FunctionCode.WRITE_MULTIPLE_REGISTERS, bytes(size))
+            with pytest.raises(ValueError):
+                parse_write_request_values(frame)
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=0, max_size=16))
+    def test_read_response_roundtrip_property(self, registers):
+        assert parse_read_response_registers(build_read_response(4, registers)) == registers
+
+    @given(
+        st.integers(0, 0xFFFF),
+        st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=12),
+    )
+    def test_write_request_roundtrip_property(self, start, values):
+        parsed = parse_write_request_values(build_write_request(4, start, values))
+        assert parsed == (start, values)
+
+    def test_wire_roundtrip_through_encode(self):
+        """encode -> parse_frame is the identity for every frame shape."""
+        for frame in self.FRAMES:
+            assert parse_frame(frame.encode()) == frame
+
+
 class TestFixedPoint:
     @given(st.floats(min_value=0.0, max_value=600.0, allow_nan=False))
     def test_roundtrip_within_resolution(self, value):

@@ -1,0 +1,38 @@
+"""Shared serving-layer fixtures: one tiny trained framework per session.
+
+Training quality is irrelevant to transport/gateway semantics (the
+data path does identical work whatever the weights), so the detector
+is micro-sized to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.combined import CombinedDetector, DetectorConfig
+from repro.core.timeseries_detector import TimeSeriesDetectorConfig
+from repro.ics.dataset import DatasetConfig, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def serve_dataset():
+    return generate_dataset(DatasetConfig(num_cycles=250), seed=3)
+
+
+@pytest.fixture(scope="session")
+def detector(serve_dataset):
+    detector, _ = CombinedDetector.train(
+        serve_dataset.train_fragments,
+        serve_dataset.validation_fragments,
+        DetectorConfig(
+            timeseries=TimeSeriesDetectorConfig(hidden_sizes=(8,), epochs=1)
+        ),
+        rng=3,
+    )
+    return detector
+
+
+@pytest.fixture(scope="session")
+def capture(serve_dataset):
+    """A labelled test-stream slice with both attack and normal traffic."""
+    return serve_dataset.test_packages[:150]

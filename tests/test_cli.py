@@ -86,3 +86,78 @@ def test_info_on_garbage_is_an_error(tmp_path, capsys):
     path.write_bytes(b"not an artifact")
     assert main(["info", str(path)]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+class TestServeAndReplay:
+    def test_serve_and_replay_roundtrip(self, model_path, tmp_path):
+        """Full CLI loop: gateway serves, replay streams over real sockets."""
+        import threading
+        import time as _time
+
+        port_file = tmp_path / "port"
+        checkpoint = tmp_path / "gateway.npz"
+        report = tmp_path / "replay.json"
+        limit = 60
+
+        serve_rc: list[int] = []
+
+        def serve():
+            serve_rc.append(
+                main(
+                    ["serve", "--model", str(model_path), "--port", "0",
+                     "--shards", "2", "--checkpoint", str(checkpoint),
+                     "--quiet", "--port-file", str(port_file),
+                     "--max-packages", str(limit)]
+                )
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        deadline = _time.monotonic() + 30.0
+        while not port_file.exists():
+            assert _time.monotonic() < deadline, "gateway never came up"
+            assert thread.is_alive(), "serve exited before listening"
+            _time.sleep(0.02)
+        host, port = port_file.read_text().split()
+
+        rc = main(
+            ["replay", "--host", host, "--port", port, *MICRO, "--seed", "3",
+             "--limit", str(limit), "--key", "cli-drill", "--json", str(report)]
+        )
+        assert rc == 0
+        thread.join(30.0)
+        assert serve_rc == [0]
+        payload = json.loads(report.read_text())
+        assert payload["packages"] == limit
+        assert payload["offset"] == 0
+        assert payload["complete"] is True
+        # Graceful shutdown wrote the fail-over checkpoint.
+        assert checkpoint.exists()
+        assert main(["info", str(checkpoint)]) == 0
+
+    def test_serve_requires_model_or_resumable_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--resume", "--checkpoint", "/nonexistent/gw.npz"])
+
+    def test_bad_gateway_config_is_a_clean_cli_error(self, model_path):
+        # --checkpoint-every without --checkpoint, and a zero shard pool:
+        # both must exit with a message, not an unhandled traceback.
+        for argv in (
+            ["serve", "--model", str(model_path), "--checkpoint-every", "10"],
+            ["serve", "--model", str(model_path), "--shards", "0"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_bad_replay_window_is_a_clean_cli_error(self):
+        with pytest.raises(SystemExit):
+            main(["replay", *MICRO, "--window", "0", "--limit", "1"])
+
+    def test_replay_against_dead_gateway_is_an_error(self, capsys):
+        rc = main(
+            ["replay", "--host", "127.0.0.1", "--port", "1", *MICRO, "--limit", "1"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

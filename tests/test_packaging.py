@@ -1,0 +1,62 @@
+"""Packaging metadata: the ``repro`` console script must stay wired.
+
+The CLI installs as a command (``pip install .`` → ``repro ...``); these
+tests pin the entry point declared in ``pyproject.toml`` (and the
+legacy ``setup.py`` shim) to a callable that actually exists, so a
+refactor cannot silently break the installed command.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import tomllib
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_pyproject() -> dict:
+    return tomllib.loads((REPO / "pyproject.toml").read_text())
+
+
+def test_console_script_points_at_the_cli():
+    scripts = load_pyproject()["project"]["scripts"]
+    assert scripts["repro"] == "repro.cli:main"
+
+
+def test_console_script_target_resolves():
+    module_name, _, attribute = "repro.cli:main".partition(":")
+    module = __import__(module_name, fromlist=[attribute])
+    assert callable(getattr(module, attribute))
+
+
+def test_version_comes_from_the_package():
+    import repro
+
+    pyproject = load_pyproject()
+    assert "version" in pyproject["project"]["dynamic"]
+    attr = pyproject["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+    assert attr == "repro.__version__"
+    assert isinstance(repro.__version__, str) and repro.__version__
+
+
+def test_package_discovery_covers_src_layout():
+    pyproject = load_pyproject()
+    assert pyproject["tool"]["setuptools"]["package-dir"][""] == "src"
+    assert pyproject["tool"]["setuptools"]["packages"]["find"]["where"] == ["src"]
+
+
+def test_legacy_setup_shim_repeats_the_entry_point():
+    """The --no-use-pep517 path must install the same command."""
+    tree = ast.parse((REPO / "setup.py").read_text())
+    calls = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "setup"
+    ]
+    assert len(calls) == 1
+    keywords = {kw.arg: kw.value for kw in calls[0].keywords}
+    entry_points = ast.literal_eval(keywords["entry_points"])
+    assert entry_points["console_scripts"] == ["repro = repro.cli:main"]
