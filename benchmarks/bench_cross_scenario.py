@@ -1,0 +1,32 @@
+"""Cross-scenario evaluation matrix: train on X, detect on Y.
+
+Trains one framework per registered scenario (through the pipeline
+cache) and judges every scenario's test stream with every detector.
+The diagonal is in-scenario quality — the new plants must hold up
+against the paper's gas-pipeline baseline — and the off-diagonal
+quantifies how process-specific the learned signature database and
+LSTM are.
+
+Run:  REPRO_PROFILE=ci pytest benchmarks/bench_cross_scenario.py -s
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_json, emit_report
+from repro.experiments.comparison import run_cross_scenario
+from repro.experiments.reporting import format_cross_scenario_matrix
+
+
+def test_cross_scenario_matrix(profile):
+    result = run_cross_scenario(profile)
+    table = format_cross_scenario_matrix(result)
+    emit_report("cross_scenario", table)
+    emit_json("cross_scenario", result.to_json())
+
+    diagonal = result.diagonal()
+    gas = diagonal["gas_pipeline"]
+    for name, metrics in diagonal.items():
+        # In-scenario quality on every plant is comparable to the
+        # paper's testbed baseline.
+        assert metrics.f1_score >= 0.8 * gas.f1_score, (name, table)
+        assert metrics.recall > 0.5, (name, table)

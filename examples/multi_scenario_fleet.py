@@ -1,0 +1,64 @@
+"""Multi-plant scenarios: registry, cross-scenario eval, fleet serving.
+
+Tours the scenario framework in three stages:
+
+1. Scenarios — the three registered plants (gas pipeline, water tank,
+   power feeder) generate captures with the same package schema but
+   different physics, protocol maps and attack catalogs.
+2. Cross-scenario matrix — one framework trained per scenario judges
+   every scenario's test stream: the diagonal matches the paper-style
+   in-scenario quality, the off-diagonal shows how process-specific
+   the learned signature database is.
+3. Fleet — eight simulated sites across all three scenarios stream
+   concurrently into one sharded gateway; every site's verdicts are
+   verified bit-identical to offline ``detect()``.
+
+Run:  python examples/multi_scenario_fleet.py
+"""
+
+from repro import FleetConfig, FleetRunner, generate_dataset, get_scenario, scenario_names
+from repro.experiments.comparison import run_cross_scenario
+from repro.experiments.reporting import format_cross_scenario_matrix
+
+
+def main() -> None:
+    # --- stage 1: the registered plants ----------------------------------
+    print("--- registered scenarios ---")
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        dataset = generate_dataset(scenario.dataset_config(num_cycles=200), seed=1)
+        summary = dataset.summary()
+        print(
+            f"{name:<14} {scenario.process_variable} ({scenario.process_unit}); "
+            f"{summary['total']} packages, {summary['attack']} attack-labelled"
+        )
+
+    # --- stage 2: train on X, detect on Y --------------------------------
+    print("\n--- cross-scenario evaluation matrix (ci profile) ---")
+    matrix = run_cross_scenario("ci")
+    print(format_cross_scenario_matrix(matrix))
+
+    # --- stage 3: a heterogeneous fleet through one gateway --------------
+    print("\n--- 8-site fleet through one 2-shard gateway ---")
+    detector = matrix.pipelines["gas_pipeline"].detector
+    result = FleetRunner(
+        detector,
+        FleetConfig(num_sites=8, cycles_per_site=30, num_shards=2,
+                    verify_offline=True),
+    ).run()
+    for site in result.sites:
+        print(
+            f"{site.spec.name:<26} {site.packages:>4} pkgs "
+            f"{int(site.anomalies.sum()):>4} alerts  "
+            f"offline-match={site.matches_offline}"
+        )
+    print(
+        f"fleet: {result.total_packages} packages over "
+        f"{len(result.scenarios_streamed)} scenarios at "
+        f"{result.packages_per_second:.0f} pkg/s; "
+        f"all bit-identical to offline detect: {result.all_match_offline}"
+    )
+
+
+if __name__ == "__main__":
+    main()

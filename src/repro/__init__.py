@@ -18,10 +18,15 @@ and LSTM networks"* (DSN 2017):
 - :mod:`repro.persistence` — train-once artifacts and live-stream
   checkpoints (one versioned ``.npz`` per trained framework); the
   ``repro`` CLI drives train / detect / resume / serve from the shell.
+- :mod:`repro.scenarios` — pluggable simulation scenarios (gas
+  pipeline, water storage tank, power distribution feeder): per-process
+  plant physics, SCADA parameterizations and attack catalogs behind one
+  package schema, so a single detection stack covers every plant.
 - :mod:`repro.serve` — the online detection gateway: Modbus/TCP
   transport, sharded stream-engine serving with backpressure and
-  bit-identical checkpoint fail-over, the alert pipeline, and a replay
-  client for load generation and fail-over drills.
+  bit-identical checkpoint fail-over, the alert pipeline, a replay
+  client for load generation and fail-over drills, and the
+  multi-scenario fleet runner.
 
 Quickstart::
 
@@ -70,9 +75,18 @@ from repro.persistence import (
     save_detector,
     save_gateway_checkpoint,
 )
+from repro.scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.serve import (
     AlertPipeline,
     DetectionGateway,
+    FleetConfig,
+    FleetRunner,
     GatewayConfig,
     ReplayClient,
 )
@@ -112,8 +126,15 @@ __all__ = [
     "save_checkpoint",
     "save_detector",
     "save_gateway_checkpoint",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
     "AlertPipeline",
     "DetectionGateway",
+    "FleetConfig",
+    "FleetRunner",
     "GatewayConfig",
     "ReplayClient",
     "__version__",

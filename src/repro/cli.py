@@ -15,12 +15,19 @@ the gas-pipeline simulator:
   checkpoint periodically for bit-identical fail-over,
 - ``replay``  — stream a capture (generated profile or ARFF file) at a
   live gateway over real sockets and report its verdicts,
+- ``scenarios`` — list the registered simulation scenarios (plants,
+  actuators, per-scenario attack reinterpretations),
+- ``fleet``   — spin up N simulated sites across scenarios and stream
+  them concurrently through one sharded gateway, optionally verifying
+  every site's verdicts bit-for-bit against offline detection,
 - ``info``    — inspect any artifact's kind, schema version and
   provenance without loading its arrays.
 
-The trained artifact records its profile/seed provenance, so ``detect``
-and ``resume`` regenerate the matching package stream without repeating
-the flags given to ``train``.
+Profiles select a scenario with ``--scenario`` or the qualified
+``--profile ci@water_tank`` form.  The trained artifact records its
+profile/scenario/seed provenance, so ``detect`` and ``resume``
+regenerate the matching package stream without repeating the flags
+given to ``train``.
 """
 
 from __future__ import annotations
@@ -46,11 +53,14 @@ from repro.persistence import (
     checkpoint_meta,
     load_checkpoint,
     load_detector,
+    profile_provenance,
     save_checkpoint,
     save_detector,
 )
 from repro.ics.arff import read_arff
+from repro.scenarios import get_scenario, scenario_names
 from repro.serve.alerts import AlertPipeline, JsonlSink, stdout_sink
+from repro.serve.fleet import FleetConfig, FleetRunner
 from repro.serve.gateway import DetectionGateway, GatewayConfig
 from repro.serve.replay import ReplayClient, ReplayError
 from repro.utils.artifact import ArtifactError, read_meta
@@ -165,6 +175,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_cmd.add_argument("--json", dest="json_out", default=None)
 
+    scenarios_cmd = commands.add_parser(
+        "scenarios", help="list the registered simulation scenarios"
+    )
+    scenarios_cmd.add_argument(
+        "--json", dest="json_out", default=None, help="write full details here"
+    )
+    scenarios_cmd.add_argument(
+        "--verbose", action="store_true", help="print attack reinterpretations"
+    )
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="stream a multi-scenario site fleet through one gateway",
+    )
+    fleet.add_argument("--model", default=None, help="artifact from `train`")
+    fleet.add_argument(
+        "--profile",
+        default="ci",
+        help="train/load via the pipeline cache when no --model is given "
+        "(accepts profile[@scenario])",
+    )
+    fleet.add_argument("--sites", type=int, default=4)
+    fleet.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names cycled across sites "
+        "(default: all registered)",
+    )
+    fleet.add_argument(
+        "--cycles", type=int, default=60, help="polling cycles per site"
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=2, help="gateway engine worker pool size"
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=0, help="base seed for site captures"
+    )
+    fleet.add_argument(
+        "--window", type=int, default=32, help="per-site packages in flight"
+    )
+    fleet.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the offline bit-identity check on every site",
+    )
+    fleet.add_argument("--json", dest="json_out", default=None)
+
     info = commands.add_parser("info", help="inspect an artifact header")
     info.add_argument("path")
     return parser
@@ -177,8 +234,15 @@ def _add_profile_options(
     parser.add_argument(
         "--profile",
         default=default,
-        choices=sorted(PROFILES),
-        help="experiment size profile" + (" (default: from artifact)" if optional else ""),
+        metavar="NAME[@SCENARIO]",
+        help=f"experiment size profile ({', '.join(sorted(PROFILES))}), "
+        "optionally scenario-qualified, e.g. ci@water_tank"
+        + (" (default: from artifact)" if optional else ""),
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="simulation scenario (see `repro scenarios`)",
     )
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
@@ -198,8 +262,14 @@ def _resolve_profile(
     cycles: int | None,
     epochs: int | None,
     hidden: str | None,
+    scenario: str | None = None,
 ) -> Profile:
-    profile = get_profile(name)
+    try:
+        profile = get_profile(name)
+        if scenario is not None:
+            profile = profile.with_scenario(scenario)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from exc
     if seed is not None:
         profile = profile.with_seed(seed)
     if cycles is not None:
@@ -214,18 +284,19 @@ def _resolve_profile(
         profile = replace(
             profile, detector=replace(profile.detector, timeseries=timeseries)
         )
+    # Surface bad size/split combinations (e.g. a --cycles value whose
+    # split cannot hold one test fragment) as a clean CLI error at parse
+    # time, not as a traceback from deep inside dataset generation.
+    try:
+        profile.dataset.validate()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     return profile
 
 
 def _provenance(profile: Profile) -> dict[str, Any]:
     """Meta recorded in artifacts so later commands can rebuild the stream."""
-    return {
-        "profile": profile.name,
-        "seed": profile.seed,
-        "cycles": profile.dataset.num_cycles,
-        "epochs": profile.detector.timeseries.epochs,
-        "hidden": ",".join(str(h) for h in profile.detector.timeseries.hidden_sizes),
-    }
+    return profile_provenance(profile)
 
 
 def _profile_from_args_and_meta(args: argparse.Namespace, meta: dict[str, Any]) -> Profile:
@@ -241,6 +312,7 @@ def _profile_from_args_and_meta(args: argparse.Namespace, meta: dict[str, Any]) 
         args.cycles if args.cycles is not None else meta.get("cycles"),
         args.epochs if args.epochs is not None else meta.get("epochs"),
         args.hidden if args.hidden is not None else meta.get("hidden"),
+        args.scenario if args.scenario is not None else meta.get("scenario"),
     )
 
 
@@ -299,9 +371,13 @@ def _report(
 
 def _cmd_train(args: argparse.Namespace) -> int:
     profile = _resolve_profile(
-        args.profile, args.seed, args.cycles, args.epochs, args.hidden
+        args.profile, args.seed, args.cycles, args.epochs, args.hidden,
+        args.scenario,
     )
-    print(f"generating dataset ({profile.dataset.num_cycles} cycles) ...")
+    print(
+        f"generating {profile.dataset.scenario} dataset "
+        f"({profile.dataset.num_cycles} cycles) ..."
+    )
     dataset = generate_dataset(profile.dataset, seed=profile.seed)
     print(
         f"training on {sum(len(f) for f in dataset.train_fragments)} packages ..."
@@ -453,7 +529,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         packages = read_arff(args.arff)
     else:
         profile = _resolve_profile(
-            args.profile, args.seed, args.cycles, args.epochs, args.hidden
+            args.profile, args.seed, args.cycles, args.epochs, args.hidden,
+            args.scenario,
         )
         packages = generate_dataset(profile.dataset, seed=profile.seed).test_packages
     if args.limit is not None:
@@ -480,6 +557,126 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    details = []
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        details.append(scenario.describe())
+        drive, relief = scenario.actuators
+        print(f"{name}: {scenario.title}")
+        print(
+            f"  process variable: {scenario.process_variable} "
+            f"({scenario.process_unit}), station address "
+            f"{scenario.scada.station_address}"
+        )
+        print(f"  actuators: drive={drive}, relief={relief}")
+        if args.verbose:
+            for attack, note in details[-1]["attack_notes"].items():
+                print(f"    {attack:<6} {note}")
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(details, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.model:
+        detector = load_detector(args.model)
+    else:
+        from repro.experiments.pipeline import run_pipeline
+
+        print(f"resolving detector for profile {args.profile!r} ...")
+        try:
+            detector = run_pipeline(args.profile).detector
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from exc
+
+    scenarios: tuple[str, ...] = ()
+    if args.scenarios:
+        scenarios = tuple(s for s in args.scenarios.split(",") if s)
+        for name in scenarios:
+            try:
+                get_scenario(name)
+            except KeyError as exc:
+                raise SystemExit(f"error: {exc.args[0]}") from exc
+    try:
+        config = FleetConfig(
+            num_sites=args.sites,
+            scenarios=scenarios,
+            cycles_per_site=args.cycles,
+            num_shards=args.shards,
+            base_seed=args.seed,
+            window=args.window,
+            verify_offline=not args.no_verify,
+        ).validate()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    result = FleetRunner(detector, config).run()
+
+    for site in result.sites:
+        verified = (
+            ""
+            if site.matches_offline is None
+            else ("  offline-match" if site.matches_offline else "  MISMATCH")
+        )
+        status = "ok" if site.complete else "INCOMPLETE"
+        print(
+            f"{site.spec.name:<28}{site.packages:>7} pkgs"
+            f"{int(site.anomalies.sum()):>7} alerts  "
+            f"recall {site.metrics.recall:.2f}  {status}{verified}"
+        )
+    print(
+        f"fleet: {len(result.sites)} sites / "
+        f"{len(result.scenarios_streamed)} scenarios "
+        f"({', '.join(result.scenarios_streamed)}) through "
+        f"{config.num_shards} shard(s)"
+    )
+    print(
+        f"  streamed {result.total_packages} packages in "
+        f"{result.seconds:.2f}s ({result.packages_per_second:.0f} pkg/s)"
+    )
+    if not args.no_verify:
+        print(
+            "  per-stream verdicts bit-identical to offline detect(): "
+            + ("yes" if result.all_match_offline else "NO")
+        )
+    if args.json_out:
+        payload = {
+            "sites": [
+                {
+                    "name": site.spec.name,
+                    "scenario": site.spec.scenario,
+                    "seed": site.spec.seed,
+                    "packages": site.packages,
+                    "alerts": int(site.anomalies.sum()),
+                    "recall": site.metrics.recall,
+                    "precision": site.metrics.precision,
+                    "complete": site.complete,
+                    "matches_offline": site.matches_offline,
+                }
+                for site in result.sites
+            ],
+            "scenarios": list(result.scenarios_streamed),
+            "shards": config.num_shards,
+            "total_packages": result.total_packages,
+            "seconds": result.seconds,
+            "packages_per_second": result.packages_per_second,
+            # null when verification was skipped — a vacuous true would
+            # let CI gates "pass" a drill that never ran.
+            "all_match_offline": (
+                None if args.no_verify else result.all_match_offline
+            ),
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json_out}")
+    if not result.all_complete:
+        return 1
+    return 0 if (args.no_verify or result.all_match_offline) else 1
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     header = read_meta(args.path)
     print(f"kind:    {header['kind']}")
@@ -495,6 +692,8 @@ _COMMANDS = {
     "resume": _cmd_resume,
     "serve": _cmd_serve,
     "replay": _cmd_replay,
+    "scenarios": _cmd_scenarios,
+    "fleet": _cmd_fleet,
     "info": _cmd_info,
 }
 

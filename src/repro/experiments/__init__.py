@@ -5,7 +5,12 @@ DESIGN.md's per-experiment index) and one benchmark under
 ``benchmarks/`` that runs it and prints paper-vs-measured rows.
 """
 
-from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.experiments.comparison import (
+    ComparisonResult,
+    CrossScenarioResult,
+    run_comparison,
+    run_cross_scenario,
+)
 from repro.experiments.figures import (
     fig4_histograms,
     fig5_granularity,
@@ -17,7 +22,9 @@ from repro.experiments.profiles import PROFILES, Profile, get_profile
 
 __all__ = [
     "ComparisonResult",
+    "CrossScenarioResult",
     "run_comparison",
+    "run_cross_scenario",
     "fig4_histograms",
     "fig5_granularity",
     "fig6_topk_curves",

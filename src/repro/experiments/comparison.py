@@ -1,8 +1,14 @@
-"""The model comparison behind Tables IV and V.
+"""The model comparison behind Tables IV and V, plus cross-scenario eval.
 
 Runs the combined framework (package level) and all six baselines
 (4-package window level, as in §VIII-C) on one dataset, collecting the
 four headline metrics and the per-attack detected ratios.
+
+:func:`run_cross_scenario` generalizes the evaluation across simulation
+scenarios: one framework is trained per scenario, then every detector
+judges every scenario's test stream — the train-on-X / eval-on-Y matrix
+that shows how process-specific the learned signature database and LSTM
+really are (diagonal = in-scenario quality, off-diagonal = transfer).
 """
 
 from __future__ import annotations
@@ -101,4 +107,95 @@ def _run_comparison(profile: str, seed: int | None) -> ComparisonResult:
     ordered_recalls = {name: recalls[name] for name in MODEL_ORDER}
     return ComparisonResult(
         pipeline=pipeline, metrics=ordered_metrics, attack_recalls=ordered_recalls
+    )
+
+
+# ----------------------------------------------------------------------
+# cross-scenario evaluation matrix
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CrossScenarioResult:
+    """The train-on-X / eval-on-Y detection matrix.
+
+    ``metrics[(train, eval)]`` holds the four headline metrics of the
+    detector trained on scenario ``train`` judging scenario ``eval``'s
+    test stream; ``pipelines[name]`` the full in-scenario pipeline run.
+    """
+
+    profile: str
+    scenarios: tuple[str, ...]
+    metrics: dict[tuple[str, str], DetectionMetrics]
+    attack_recalls: dict[tuple[str, str], dict[int, float]]
+    pipelines: dict[str, PipelineResult]
+
+    def diagonal(self) -> dict[str, DetectionMetrics]:
+        """In-scenario metrics per scenario (train == eval)."""
+        return {name: self.metrics[(name, name)] for name in self.scenarios}
+
+    def to_json(self) -> dict:
+        """JSON-able form for reports and CI artifacts."""
+        return {
+            "profile": self.profile,
+            "scenarios": list(self.scenarios),
+            "cells": {
+                f"{train}->{eval_}": {
+                    "precision": m.precision,
+                    "recall": m.recall,
+                    "accuracy": m.accuracy,
+                    "f1": m.f1_score,
+                }
+                for (train, eval_), m in self.metrics.items()
+            },
+        }
+
+
+def run_cross_scenario(
+    profile: str = "default",
+    scenarios: tuple[str, ...] | None = None,
+    seed: int | None = None,
+) -> CrossScenarioResult:
+    """Train one framework per scenario; evaluate each on every scenario.
+
+    ``profile`` names the experiment size (any base profile name; a
+    ``@scenario`` qualifier is stripped).  Per-scenario pipeline runs go
+    through :func:`run_pipeline`, so trained detectors come from (and
+    land in) the two-layer pipeline cache.
+    """
+    from repro.scenarios import scenario_names
+
+    base = profile.split("@", 1)[0]
+    names = tuple(scenarios) if scenarios else scenario_names()
+    if not names:
+        raise ValueError("no scenarios to evaluate")
+
+    pipelines = {
+        name: run_pipeline(f"{base}@{name}", seed=seed) for name in names
+    }
+
+    metrics: dict[tuple[str, str], DetectionMetrics] = {}
+    recalls: dict[tuple[str, str], dict[int, float]] = {}
+    for train_name, pipeline in pipelines.items():
+        for eval_name in names:
+            if eval_name == train_name:
+                # The in-scenario run already judged its own test stream.
+                metrics[(train_name, eval_name)] = pipeline.metrics
+                recalls[(train_name, eval_name)] = pipeline.attack_recalls
+                continue
+            eval_packages = pipelines[eval_name].dataset.test_packages
+            detection = pipeline.detector.detect(eval_packages)
+            labels = pipelines[eval_name].labels
+            metrics[(train_name, eval_name)] = evaluate_detection(
+                labels, detection.is_anomaly
+            )
+            recalls[(train_name, eval_name)] = per_attack_recall(
+                labels, detection.is_anomaly
+            )
+    return CrossScenarioResult(
+        profile=base,
+        scenarios=names,
+        metrics=metrics,
+        attack_recalls=recalls,
+        pipelines=pipelines,
     )

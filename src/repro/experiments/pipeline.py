@@ -292,7 +292,10 @@ def run_pipeline(
     if isinstance(profile, str):
         resolved = get_profile(profile)
         effective_seed = resolved.seed if seed is None else seed
-        return _run_cached(profile, effective_seed)
+        # Memoize under the *resolved* name: scenario-qualified aliases
+        # that collapse to a base profile (``ci@gas_pipeline`` -> ``ci``)
+        # share one cache entry instead of retraining.
+        return _run_cached(resolved.name, effective_seed)
     if seed is not None:
         profile = profile.with_seed(seed)
     return _run(profile, verbose=verbose)

@@ -28,6 +28,35 @@ class Profile:
     def with_seed(self, seed: int) -> "Profile":
         return replace(self, seed=seed)
 
+    def with_scenario(self, scenario: str) -> "Profile":
+        """Re-target this profile at another simulation scenario.
+
+        The profile is renamed ``"<base>@<scenario>"`` so the pipeline's
+        in-process and disk caches key each scenario separately, and the
+        dataset config picks up the scenario's SCADA parameterization
+        and attack catalog while keeping this profile's size/split.
+
+        When the qualification lands exactly back on the registered base
+        profile's configuration (e.g. ``ci@gas_pipeline`` — the default
+        scenario), the bare base name is kept so the disk cache entry is
+        shared with plain ``run_pipeline("ci")`` runs instead of
+        retraining an identical detector under a second key.
+        """
+        from repro.scenarios import get_scenario
+
+        resolved = get_scenario(scenario)
+        base = self.name.split("@", 1)[0]
+        dataset = resolved.apply(self.dataset)
+        registered = PROFILES.get(base)
+        name = f"{base}@{resolved.name}"
+        if (
+            registered is not None
+            and dataset == registered.dataset
+            and self.detector == registered.detector
+        ):
+            name = base
+        return replace(self, name=name, dataset=dataset)
+
 
 PROFILES: dict[str, Profile] = {
     "ci": Profile(
@@ -55,10 +84,20 @@ PROFILES: dict[str, Profile] = {
 
 
 def get_profile(name: str) -> Profile:
-    """Look up a profile by name."""
+    """Look up a profile by name.
+
+    Accepts scenario-qualified names — ``"ci@water_tank"`` is the ``ci``
+    size re-targeted at the ``water_tank`` scenario — so every consumer
+    of named profiles (pipeline cache, CLI, benchmarks) selects a
+    scenario without new plumbing.
+    """
+    base, _, scenario = name.partition("@")
     try:
-        return PROFILES[name]
+        profile = PROFILES[base]
     except KeyError:
         raise KeyError(
-            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+            f"unknown profile {base!r}; available: {sorted(PROFILES)}"
         ) from None
+    if scenario:
+        profile = profile.with_scenario(scenario)
+    return profile

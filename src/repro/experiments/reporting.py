@@ -91,3 +91,30 @@ def format_curve(name: str, curve: dict[int, float]) -> str:
     """One top-k error curve as a compact row."""
     cells = "  ".join(f"k={k}:{v:.3f}" for k, v in sorted(curve.items()))
     return f"{name:<28} {cells}"
+
+
+def format_cross_scenario_matrix(result) -> str:
+    """The train-on-X / eval-on-Y matrix as ``F1 (P/R)`` cells.
+
+    Rows are the scenario the framework was trained on, columns the
+    scenario whose test stream it judged; the diagonal is in-scenario
+    quality (comparable to Table IV's "Our framework" row), the
+    off-diagonal shows how process-specific the learned models are.
+    ``result`` is a :class:`~repro.experiments.comparison.CrossScenarioResult`.
+    """
+    names = result.scenarios
+    width = max(22, max(len(n) for n in names) + 2)
+    corner = "train \\ eval"
+    header = f"{corner:<16}" + "".join(f"{n:>{width}}" for n in names)
+    lines = [header, "-" * len(header)]
+    for train_name in names:
+        row = f"{train_name:<16}"
+        for eval_name in names:
+            m = result.metrics[(train_name, eval_name)]
+            cell = f"{m.f1_score:.2f} ({m.precision:.2f}/{m.recall:.2f})"
+            row += f"{cell:>{width}}"
+        lines.append(row)
+    lines.append("")
+    lines.append("cell = F1 (precision/recall) of the row-trained framework")
+    lines.append("judging the column scenario's test stream")
+    return "\n".join(lines)

@@ -23,7 +23,13 @@ full generative reimplementation of that testbed:
 
 from repro.ics.arff import read_arff, write_arff
 from repro.ics.attacks import ATTACK_NAMES, AttackConfig, AttackInjector
-from repro.ics.dataset import DatasetConfig, GasPipelineDataset, generate_dataset
+from repro.ics.dataset import (
+    DatasetConfig,
+    GasPipelineDataset,
+    ScenarioDataset,
+    generate_dataset,
+    generate_stream,
+)
 from repro.ics.features import FEATURE_NAMES, Package
 from repro.ics.modbus import ModbusFrame, crc16_modbus
 from repro.ics.pid import PIDController
@@ -38,7 +44,9 @@ __all__ = [
     "AttackInjector",
     "DatasetConfig",
     "GasPipelineDataset",
+    "ScenarioDataset",
     "generate_dataset",
+    "generate_stream",
     "FEATURE_NAMES",
     "Package",
     "ModbusFrame",

@@ -69,6 +69,13 @@ class AttackConfig:
     episode_cycles_mean: float = 8.0
     enabled_types: tuple[int, ...] = (NMRI, CMRI, MSCI, MPCI, MFCI, DOS, RECON)
 
+    # MPCI randomizes the commanded setpoint over this band — per
+    # scenario it spans (and overshoots) the process variable's
+    # legitimate operating range, e.g. tank levels past the overflow
+    # line or feeder voltages past the equipment rating.
+    mpci_setpoint_low: float = 0.0
+    mpci_setpoint_high: float = 25.0
+
     dos_flood_min: int = 6
     dos_flood_max: int = 14
     dos_drop_response_p: float = 0.5
@@ -89,6 +96,11 @@ class AttackConfig:
         invalid = set(self.enabled_types) - (set(ATTACK_NAMES) - {0})
         if invalid:
             raise ValueError(f"invalid attack types: {sorted(invalid)}")
+        if self.mpci_setpoint_high <= self.mpci_setpoint_low:
+            raise ValueError(
+                "mpci_setpoint_high must be > mpci_setpoint_low, got "
+                f"[{self.mpci_setpoint_low}, {self.mpci_setpoint_high}]"
+            )
         if self.dos_flood_min < 1 or self.dos_flood_max < self.dos_flood_min:
             raise ValueError("invalid DoS flood bounds")
         if self.recon_scan_min < 1 or self.recon_scan_max < self.recon_scan_min:
@@ -178,7 +190,7 @@ class AttackInjector:
         def forge(genuine: Package) -> Package:
             changes: dict[str, float | int | None] = {
                 "pressure_measurement": float(
-                    rng.uniform(0.0, 1.2 * self.sim.plant.config.max_pressure)
+                    rng.uniform(0.0, 1.2 * self.sim.plant.limit)
                 ),
                 "label": NMRI,
             }
@@ -216,7 +228,7 @@ class AttackInjector:
             # Sloppier forgery: plausible-looking numbers, impossible combo.
             return genuine.replace(
                 pressure_measurement=float(
-                    rng.uniform(0.0, 1.1 * self.sim.plant.config.max_pressure)
+                    rng.uniform(0.0, 1.1 * self.sim.plant.limit)
                 ),
                 system_mode=MODE_OFF if rng.random() < 0.5 else genuine.system_mode,
                 pump=1,
@@ -257,8 +269,11 @@ class AttackInjector:
         rng = self._rng
 
         def alter(genuine: Package) -> Package:
+            cfg = self.config
             changes: dict[str, float | int | None] = {
-                "setpoint": float(rng.uniform(0.0, 25.0)),
+                "setpoint": float(
+                    rng.uniform(cfg.mpci_setpoint_low, cfg.mpci_setpoint_high)
+                ),
                 "label": MPCI,
             }
             if rng.random() < 0.5:

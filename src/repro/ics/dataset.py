@@ -7,6 +7,9 @@ contiguous normal *fragments*; fragments shorter than 10 packages are
 dropped "to guarantee the functionality of the time-series anomaly
 detector"; the test portion keeps its anomalies (and labels) for
 evaluation.
+
+The capture's physical process is selected by ``DatasetConfig.scenario``
+(see :mod:`repro.scenarios`); the split protocol is scenario-agnostic.
 """
 
 from __future__ import annotations
@@ -20,18 +23,34 @@ from repro.ics.plant import PlantConfig
 from repro.ics.scada import ScadaConfig, ScadaSimulator
 from repro.utils.rng import SeedLike, spawn_generators
 
+#: Every polling cycle emits at least these many packages (write
+#: command, write response, read command, read response); attacks only
+#: ever add frames on top.  Used as a conservative floor when checking
+#: that the configured split leaves a usable test set.
+MIN_PACKAGES_PER_CYCLE = 4
+
 
 @dataclass(frozen=True)
 class DatasetConfig:
-    """Everything needed to generate a reproducible labelled capture."""
+    """Everything needed to generate a reproducible labelled capture.
+
+    ``scada`` and ``attacks`` default to ``None``, meaning "the
+    scenario's own parameterization" — so a hand-built
+    ``DatasetConfig(scenario="water_tank")`` runs with the tank's
+    setpoint band and attack catalog rather than the gas pipeline's.
+    Pass explicit configs to override them wholesale.  ``plant`` only
+    applies to the gas-pipeline scenario (other plants carry their own
+    physics configs and reject a customized one).
+    """
 
     num_cycles: int = 6000
     train_fraction: float = 0.6
     validation_fraction: float = 0.2
     min_fragment_len: int = 10
-    scada: ScadaConfig = field(default_factory=ScadaConfig)
+    scenario: str = "gas_pipeline"
+    scada: ScadaConfig | None = None
     plant: PlantConfig = field(default_factory=PlantConfig)
-    attacks: AttackConfig = field(default_factory=AttackConfig)
+    attacks: AttackConfig | None = None
 
     def validate(self) -> "DatasetConfig":
         if self.num_cycles < 1:
@@ -49,6 +68,23 @@ class DatasetConfig:
         if self.min_fragment_len < 2:
             raise ValueError(
                 f"min_fragment_len must be >= 2, got {self.min_fragment_len}"
+            )
+        if not self.scenario:
+            raise ValueError("scenario must be a non-empty scenario name")
+        # The test slice must be able to hold at least one fragment's
+        # worth of packages, or detection runs on an empty/degenerate
+        # stream.  The bound uses the guaranteed 4 packages per cycle;
+        # attacks only add more, so a config passing this check can
+        # never produce a shorter test split.
+        test_fraction = 1.0 - self.train_fraction - self.validation_fraction
+        guaranteed_test = int(self.num_cycles * MIN_PACKAGES_PER_CYCLE * test_fraction)
+        if guaranteed_test < self.min_fragment_len:
+            raise ValueError(
+                f"train_fraction={self.train_fraction} + validation_fraction="
+                f"{self.validation_fraction} leave a test split of ~"
+                f"{guaranteed_test} packages at num_cycles={self.num_cycles}, "
+                f"shorter than min_fragment_len={self.min_fragment_len}; "
+                "lower the fractions or generate more cycles"
             )
         return self
 
@@ -79,6 +115,10 @@ def split_into_fragments(
 @dataclass
 class GasPipelineDataset:
     """A generated capture split per the paper's protocol.
+
+    Despite the historical name this holds captures of *any* registered
+    scenario; ``config.scenario`` records which physical process
+    produced it (:data:`ScenarioDataset` is the neutral alias).
 
     Attributes
     ----------
@@ -122,15 +162,58 @@ class GasPipelineDataset:
         }
 
 
+def generate_stream(
+    scenario_name: str,
+    num_cycles: int,
+    seed: SeedLike = 0,
+    scada: ScadaConfig | None = None,
+    attacks: AttackConfig | None = None,
+    plant_config: PlantConfig | None = None,
+) -> list[Package]:
+    """Generate a raw labelled capture, no split protocol applied.
+
+    The single source of the stream-generation rng plumbing: both
+    :func:`generate_dataset` and live-serving capture producers (the
+    fleet runner's sites) ride this function, so a capture is always
+    identical for the same ``(scenario, num_cycles, seed)`` regardless
+    of which layer asked for it.  ``scada``/``attacks`` default to the
+    scenario's own parameterization.
+    """
+    # Imported lazily: repro.scenarios builds DatasetConfig objects.
+    from repro.scenarios import get_scenario
+
+    scenario = get_scenario(scenario_name)
+    scada = scada if scada is not None else scenario.scada
+    attacks = attacks if attacks is not None else scenario.attacks
+    sim_rng, attack_rng = spawn_generators(seed, 2)
+    simulator = ScadaSimulator(
+        scada,
+        rng=sim_rng,
+        plant_factory=lambda rng: scenario.make_plant(
+            rng=rng, plant_config=plant_config
+        ),
+    )
+    return AttackInjector(simulator, attacks, rng=attack_rng).run(num_cycles)
+
+
 def generate_dataset(
     config: DatasetConfig | None = None, seed: SeedLike = 0
 ) -> GasPipelineDataset:
-    """Generate a labelled capture and split it per the paper's protocol."""
+    """Generate a labelled capture and split it per the paper's protocol.
+
+    ``config.scenario`` selects the physical process (and with it the
+    plant physics the SCADA loop drives); the paper's gas pipeline is
+    the default, so historical captures are bit-identical.
+    """
     config = (config or DatasetConfig()).validate()
-    sim_rng, attack_rng = spawn_generators(seed, 2)
-    simulator = ScadaSimulator(config.scada, config.plant, rng=sim_rng)
-    injector = AttackInjector(simulator, config.attacks, rng=attack_rng)
-    stream = injector.run(config.num_cycles)
+    stream = generate_stream(
+        config.scenario,
+        config.num_cycles,
+        seed,
+        scada=config.scada,
+        attacks=config.attacks,
+        plant_config=config.plant,
+    )
 
     train_end = int(len(stream) * config.train_fraction)
     val_end = int(len(stream) * (config.train_fraction + config.validation_fraction))
@@ -144,3 +227,7 @@ def generate_dataset(
         all_packages=list(stream),
         config=config,
     )
+
+
+#: Scenario-neutral alias for :class:`GasPipelineDataset`.
+ScenarioDataset = GasPipelineDataset

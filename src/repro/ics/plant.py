@@ -18,8 +18,42 @@ discusses in §VIII-D.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.utils.rng import SeedLike, as_generator
+
+
+@runtime_checkable
+class Plant(Protocol):
+    """What the SCADA loop needs from a physical process.
+
+    Every scenario plant is a first-order-ish process with one
+    continuous *process variable* (pressure, tank level, bus voltage …)
+    driven up by a ``drive`` actuator in ``[0, 1]`` (compressor duty,
+    inlet pump, voltage regulator) and pulled down by a boolean
+    ``relief`` actuator (solenoid valve, drain valve, shunt load
+    breaker).  The PLC control loop and the attack catalogs are written
+    against this protocol only, so a new physical process plugs in
+    without touching the SCADA or detection layers.
+    """
+
+    @property
+    def process_value(self) -> float:
+        """Current value of the controlled process variable."""
+        ...
+
+    @property
+    def limit(self) -> float:
+        """Upper bound of the process variable's physical range."""
+        ...
+
+    def step(self, drive: float, relief_open: bool, dt: float) -> float:
+        """Advance the physics by ``dt`` seconds; returns the new value."""
+        ...
+
+    def measure(self, sensor_noise_std: float = 0.05) -> float:
+        """Read the process variable through the (noisy) field sensor."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -62,6 +96,16 @@ class GasPipelinePlant:
         self.config = (config or PlantConfig()).validate()
         self._rng = as_generator(rng)
         self.pressure = self.config.initial_pressure
+
+    @property
+    def process_value(self) -> float:
+        """The controlled process variable (:class:`Plant` protocol)."""
+        return self.pressure
+
+    @property
+    def limit(self) -> float:
+        """Physical range ceiling (the relief burst disc rating)."""
+        return self.config.max_pressure
 
     def step(self, duty: float, solenoid_open: bool, dt: float) -> float:
         """Advance the plant by ``dt`` seconds; returns the new pressure.

@@ -33,11 +33,14 @@ from repro.ics.features import (
 )
 from repro.ics.modbus import FunctionCode, Register
 from repro.ics.pid import PIDController, PIDParameters
-from repro.ics.plant import GasPipelinePlant, PlantConfig
+from repro.ics.plant import GasPipelinePlant, Plant, PlantConfig
 from repro.utils.rng import SeedLike, as_generator
 
 #: Man-in-the-middle alteration hook: genuine package → on-wire package.
 PackageHook = Callable[[Package], Package]
+
+#: Scenario hook constructing a plant that shares the simulator's rng.
+PlantFactory = Callable[..., Plant]
 
 
 @dataclass(frozen=True)
@@ -122,10 +125,24 @@ class ScadaSimulator:
         config: ScadaConfig | None = None,
         plant_config: PlantConfig | None = None,
         rng: SeedLike = None,
+        plant_factory: PlantFactory | None = None,
     ) -> None:
         self.config = (config or ScadaConfig()).validate()
         self._rng = as_generator(rng)
-        self.plant = GasPipelinePlant(plant_config, rng=self._rng)
+        # Scenarios inject their physical process through ``plant_factory``
+        # (called with the simulator's generator so one rng stream drives
+        # operator, link and physics noise); the default is the paper's
+        # gas pipeline.
+        if plant_factory is not None:
+            if plant_config is not None:
+                raise ValueError(
+                    "pass plant_config or plant_factory, not both — a "
+                    "factory builds its own plant and would silently "
+                    "ignore the config"
+                )
+            self.plant: Plant = plant_factory(rng=self._rng)
+        else:
+            self.plant = GasPipelinePlant(plant_config, rng=self._rng)
         self.pid = PIDController(PIDParameters())
         self.time = 0.0
 
@@ -188,10 +205,10 @@ class ScadaSimulator:
                 self.system_mode = MODE_AUTO
                 self.pid.reset()
             elif self.system_mode == MODE_MANUAL:
-                # Operator nudges actuators to hold pressure manually.
-                if self.plant.pressure < self.setpoint - 1.0:
+                # Operator nudges actuators to hold the process manually.
+                if self.plant.process_value < self.setpoint - 1.0:
                     self.manual_pump, self.manual_solenoid = 1, 0
-                elif self.plant.pressure > self.setpoint + 1.0:
+                elif self.plant.process_value > self.setpoint + 1.0:
                     self.manual_pump, self.manual_solenoid = 0, 1
                 else:
                     self.manual_solenoid = 0
@@ -201,7 +218,7 @@ class ScadaSimulator:
                 self._episode_cycles_left = max(
                     2, int(rng.poisson(cfg.manual_cycles_mean))
                 )
-                self.manual_pump = 1 if self.plant.pressure < self.setpoint else 0
+                self.manual_pump = 1 if self.plant.process_value < self.setpoint else 0
                 self.manual_solenoid = 0
             elif rng.random() < cfg.p_off_episode:
                 self.system_mode = MODE_OFF
@@ -238,19 +255,21 @@ class ScadaSimulator:
         """
         if self.plc_mode == MODE_AUTO:
             if self.plc_scheme == SCHEME_PUMP:
-                self._duty = self.pid.update(self.plant.pressure, self.plc_setpoint)
+                self._duty = self.pid.update(
+                    self.plant.process_value, self.plc_setpoint
+                )
                 self._solenoid_state = int(
-                    self.plant.pressure > 0.9 * self.plant.config.max_pressure
+                    self.plant.process_value > 0.9 * self.plant.limit
                 )
                 self._pump_state = int(self._duty > 0.05)
             else:
-                # Solenoid scheme: compressor at fixed duty, bang-bang relief.
+                # Solenoid scheme: drive at fixed duty, bang-bang relief.
                 self._duty = 0.7
                 self._pump_state = 1
                 half_band = self.pid.params.deadband / 2.0
-                if self.plant.pressure > self.plc_setpoint + half_band:
+                if self.plant.process_value > self.plc_setpoint + half_band:
                     self._solenoid_state = 1
-                elif self.plant.pressure < self.plc_setpoint - half_band:
+                elif self.plant.process_value < self.plc_setpoint - half_band:
                     self._solenoid_state = 0
         elif self.plc_mode == MODE_MANUAL:
             self._duty = 0.7 if self.plc_pump else 0.0

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -37,9 +37,32 @@ from repro.utils.artifact import (
     save_artifact,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.profiles import Profile
+
 DETECTOR_KIND = "combined-detector"
 CHECKPOINT_KIND = "stream-checkpoint"
 GATEWAY_KIND = "gateway-checkpoint"
+
+
+def profile_provenance(profile: "Profile") -> dict[str, Any]:
+    """Provenance meta recorded inside artifacts trained from a profile.
+
+    Carries everything needed to regenerate the matching package stream
+    later — profile name, simulation scenario, seed and the size
+    overrides — so ``detect``/``resume``/``replay`` can rebuild the
+    capture a detector was trained against without re-supplying flags.
+    """
+    return {
+        "profile": profile.name,
+        "scenario": profile.dataset.scenario,
+        "seed": profile.seed,
+        "cycles": profile.dataset.num_cycles,
+        "epochs": profile.detector.timeseries.epochs,
+        "hidden": ",".join(
+            str(h) for h in profile.detector.timeseries.hidden_sizes
+        ),
+    }
 
 
 def save_detector(

@@ -1,0 +1,51 @@
+"""Multi-plant simulation scenarios.
+
+The detection framework is process-agnostic — it consumes the 17
+Table-I package features — so "which physical process, which protocol
+map, which attack catalog" is a pluggable :class:`Scenario`.  Three
+scenarios ship in-tree:
+
+- :mod:`repro.scenarios.gas_pipeline` — the paper's testbed (pressure
+  control with compressor + solenoid relief valve),
+- :mod:`repro.scenarios.water_tank` — water storage tank level control
+  (inlet pump + drain valve against consumer demand),
+- :mod:`repro.scenarios.power_feeder` — distribution feeder voltage
+  regulation (regulator + shunt-load breaker against aggregate load).
+
+Each reinterprets the seven Table-II attack types against its process
+(MPCI randomizes tank setpoints, MSCI flips breakers, …).  Register a
+new scenario with :func:`register_scenario`; dataset generation,
+experiment profiles (``"ci@water_tank"``), the cross-scenario
+evaluation matrix, the fleet runner and the CLI all resolve scenarios
+through :func:`get_scenario`.
+"""
+
+from repro.scenarios.base import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.gas_pipeline import GAS_PIPELINE
+from repro.scenarios.power_feeder import (
+    POWER_FEEDER,
+    PowerFeederConfig,
+    PowerFeederPlant,
+)
+from repro.scenarios.water_tank import WATER_TANK, WaterTankConfig, WaterTankPlant
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "GAS_PIPELINE",
+    "WATER_TANK",
+    "POWER_FEEDER",
+    "WaterTankConfig",
+    "WaterTankPlant",
+    "PowerFeederConfig",
+    "PowerFeederPlant",
+]

@@ -1,0 +1,68 @@
+"""The paper's original scenario: the laboratory gas pipeline testbed.
+
+This wraps the existing :mod:`repro.ics` substrate — pipeline pressure
+physics, the PID loop and the Table-II attack catalog — as a registered
+:class:`~repro.scenarios.base.Scenario`, so the original testbed and the
+new plants share one code path end to end.  Its defaults are exactly the
+legacy ``DatasetConfig()`` defaults, keeping every historical capture
+(and pipeline cache key) unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.ics.attacks import CMRI, DOS, MFCI, MPCI, MSCI, NMRI, RECON, AttackConfig
+from repro.ics.plant import GasPipelinePlant, Plant, PlantConfig
+from repro.ics.scada import ScadaConfig
+from repro.scenarios.base import Scenario, register_scenario
+from repro.utils.rng import SeedLike
+
+
+def _build_plant(rng: SeedLike = None, plant_config: PlantConfig | None = None) -> Plant:
+    return GasPipelinePlant(plant_config, rng=rng)
+
+
+GAS_PIPELINE = register_scenario(
+    Scenario(
+        name="gas_pipeline",
+        title="Gas pipeline (paper testbed)",
+        description=(
+            "Airtight pipeline with a compressor, pressure meter and a "
+            "solenoid relief valve; a PID loop holds pipeline pressure "
+            "(paper Section VII)."
+        ),
+        process_variable="pipeline pressure",
+        process_unit="PSI",
+        actuators=("compressor duty", "solenoid relief valve"),
+        plant_builder=_build_plant,
+        scada=ScadaConfig(),
+        attacks=AttackConfig(),
+        feature_aliases={
+            "pressure_measurement": "pipeline pressure (PSI)",
+            "setpoint": "pressure setpoint (PSI)",
+            "pump": "compressor on/off",
+            "solenoid": "relief valve open/closed",
+        },
+        attack_notes={
+            NMRI: "fabricated pressure readings, often past the burst disc",
+            CMRI: "stale pressure snapshots replayed to hide the real state",
+            MSCI: "pump/solenoid flipped in flight (impossible OFF+pump combos)",
+            MPCI: "randomized pressure setpoint and PID retunes",
+            MFCI: "diagnostics/exception function codes the master never uses",
+            DOS: "malformed frame flood delaying the legitimate poll",
+            RECON: "scans of other station addresses on the serial link",
+        },
+        register_names=(
+            "setpoint",
+            "gain",
+            "reset_rate",
+            "deadband",
+            "cycle_time",
+            "rate",
+            "system_mode",
+            "control_scheme",
+            "pump",
+            "solenoid",
+            "pressure",
+        ),
+    )
+)

@@ -1,0 +1,184 @@
+"""Power distribution feeder scenario: voltage regulation with load shedding.
+
+Modelled after grid/SCADA simulation rigs (cf. the
+``power-and-light-sim`` reference testbed's grid physics): a
+distribution feeder's bus voltage sags under a fluctuating aggregate
+load and is held up by a voltage regulator (tap-changer duty).  The
+relief actuator is a shunt-load breaker — closing a brake/dump bank
+onto the bus drags overvoltage down, the classic protection against a
+regulator runaway.  The bus voltage plays the Table-I
+``pressure_measurement`` role; the breaker rides the ``solenoid``
+field, so MSCI on this scenario literally flips breakers.
+
+Voltage dynamics (first-order quasi-steady-state):
+
+.. math::
+
+    \\dot V = r_{reg} · duty − r_{sag} · V · load(t) − r_{shunt} · V · closed + ε
+
+with ``load`` a mean-reverting (Ornstein–Uhlenbeck) per-unit draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ics.attacks import CMRI, DOS, MFCI, MPCI, MSCI, NMRI, RECON, AttackConfig
+from repro.ics.plant import Plant, PlantConfig
+from repro.ics.scada import ScadaConfig
+from repro.scenarios.base import Scenario, register_scenario
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class PowerFeederConfig:
+    """Electrical constants of the feeder section."""
+
+    max_voltage: float = 160.0  # V, insulation/equipment rating
+    regulator_rate: float = 30.0  # V/s at full regulator duty
+    sag_rate: float = 0.125  # 1/s voltage drag per unit load
+    shunt_rate: float = 0.06  # 1/s extra drag with the shunt bank closed
+    load_mean: float = 1.0  # per-unit aggregate feeder load
+    load_reversion: float = 0.2  # 1/s pull of load toward its mean
+    load_std: float = 0.06  # per-unit/sqrt(s) load fluctuation
+    load_min: float = 0.5
+    load_max: float = 1.6
+    noise_std: float = 0.3  # V/sqrt(s) process noise
+    initial_voltage: float = 120.0
+
+    def validate(self) -> "PowerFeederConfig":
+        for name in ("max_voltage", "regulator_rate", "sag_rate", "load_reversion"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        for name in ("shunt_rate", "load_std", "noise_std"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if not 0 < self.load_min <= self.load_mean <= self.load_max:
+            raise ValueError(
+                "load bounds must satisfy 0 < load_min <= load_mean <= load_max"
+            )
+        if not 0 <= self.initial_voltage <= self.max_voltage:
+            raise ValueError(
+                f"initial_voltage must be in [0, {self.max_voltage}], "
+                f"got {self.initial_voltage}"
+            )
+        return self
+
+
+class PowerFeederPlant:
+    """Stateful feeder voltage simulation (:class:`~repro.ics.plant.Plant`).
+
+    ``drive`` is the regulator (tap-changer) duty, ``relief`` the shunt
+    dump-load breaker.  Aggregate load evolves as a mean-reverting
+    process, so the regulator continuously chases the sag exactly like
+    the pipeline compressor chases its seal leak.
+    """
+
+    def __init__(self, config: PowerFeederConfig | None = None, rng: SeedLike = None) -> None:
+        self.config = (config or PowerFeederConfig()).validate()
+        self._rng = as_generator(rng)
+        self.voltage = self.config.initial_voltage
+        self.load = self.config.load_mean
+
+    @property
+    def process_value(self) -> float:
+        return self.voltage
+
+    @property
+    def limit(self) -> float:
+        return self.config.max_voltage
+
+    def step(self, drive: float, relief_open: bool, dt: float) -> float:
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        drive = max(0.0, min(1.0, drive))
+        cfg = self.config
+        # Aggregate load: Ornstein–Uhlenbeck around the feeder's mean.
+        self.load += cfg.load_reversion * (cfg.load_mean - self.load) * dt
+        self.load += cfg.load_std * self._rng.normal(0.0, 1.0) * dt**0.5
+        self.load = max(cfg.load_min, min(cfg.load_max, self.load))
+
+        boost = cfg.regulator_rate * drive
+        drag = cfg.sag_rate * self.voltage * self.load
+        if relief_open:
+            drag += cfg.shunt_rate * self.voltage
+        noise = self._rng.normal(0.0, cfg.noise_std) * dt**0.5
+        self.voltage += (boost - drag) * dt + noise
+        self.voltage = max(0.0, min(cfg.max_voltage, self.voltage))
+        return self.voltage
+
+    def measure(self, sensor_noise_std: float = 0.05) -> float:
+        if sensor_noise_std < 0:
+            raise ValueError(f"sensor_noise_std must be >= 0, got {sensor_noise_std}")
+        reading = self.voltage + self._rng.normal(0.0, sensor_noise_std)
+        return max(0.0, min(self.config.max_voltage, reading))
+
+
+def _build_plant(rng: SeedLike = None, plant_config: PlantConfig | None = None) -> Plant:
+    # The legacy gas PlantConfig does not apply; a customized one must
+    # not be silently ignored.
+    if plant_config is not None and plant_config != PlantConfig():
+        raise ValueError(
+            "scenario 'power_feeder' does not use the gas-pipeline PlantConfig; "
+            "customize PowerFeederConfig via a registered Scenario instead"
+        )
+    return PowerFeederPlant(rng=rng)
+
+
+POWER_FEEDER = register_scenario(
+    Scenario(
+        name="power_feeder",
+        title="Power distribution feeder",
+        description=(
+            "Distribution feeder section whose bus voltage sags under a "
+            "fluctuating aggregate load; a regulator holds the voltage "
+            "and a shunt dump-load breaker absorbs overvoltage."
+        ),
+        process_variable="bus voltage",
+        process_unit="V",
+        actuators=("regulator duty", "shunt-load breaker"),
+        plant_builder=_build_plant,
+        scada=ScadaConfig(
+            station_address=9,
+            setpoint_mean=120.0,
+            setpoint_std=3.0,
+            setpoint_min=112.0,
+            setpoint_max=128.0,
+            setpoint_step=1.0,
+            sensor_noise_std=0.25,
+        ),
+        attacks=AttackConfig(
+            # MPCI dials voltage setpoints up to the equipment rating.
+            mpci_setpoint_low=0.0,
+            mpci_setpoint_high=160.0,
+        ),
+        feature_aliases={
+            "pressure_measurement": "bus voltage (V)",
+            "setpoint": "voltage setpoint (V)",
+            "pump": "regulator boosting on/off",
+            "solenoid": "shunt-load breaker closed/open",
+        },
+        attack_notes={
+            NMRI: "fabricated voltage readings past the equipment rating",
+            CMRI: "stale voltage snapshots masking a sagging or runaway bus",
+            MSCI: "breakers flipped in flight (regulator off + shunt closed)",
+            MPCI: "randomized voltage setpoints up to the insulation limit",
+            MFCI: "diagnostics/exception function codes the master never uses",
+            DOS: "malformed frame flood delaying the voltage poll",
+            RECON: "scans for other feeder RTUs on the substation bus",
+        },
+        register_names=(
+            "voltage_setpoint",
+            "gain",
+            "reset_rate",
+            "deadband",
+            "cycle_time",
+            "rate",
+            "system_mode",
+            "control_scheme",
+            "regulator",
+            "shunt_breaker",
+            "bus_voltage",
+        ),
+    )
+)

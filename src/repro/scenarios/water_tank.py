@@ -1,0 +1,181 @@
+"""Water storage tank scenario: level control with pump and drain valve.
+
+Modelled after municipal water-controller rigs (cf. the
+``Water-Controller`` reference testbed): an elevated storage tank is
+filled by an inlet pump and drained by both consumer demand and a
+motorised drain/flush valve.  The PLC holds the tank level at a
+setpoint; the level plays the role the pipeline pressure plays in the
+paper's testbed, so every Table-I feature keeps its wire format and
+only its *meaning* changes.
+
+Level dynamics (first-order, Torricelli outflow through the drain):
+
+.. math::
+
+    \\dot L = r_{in} · duty − q_{demand}(t) − r_{drain} · \\sqrt{L} · open + ε
+
+where consumer demand ``q_demand`` is a mean-reverting
+(Ornstein–Uhlenbeck) draw — the slowly varying diurnal load a real
+district imposes — and ``ε`` is process noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ics.attacks import CMRI, DOS, MFCI, MPCI, MSCI, NMRI, RECON, AttackConfig
+from repro.ics.plant import Plant, PlantConfig
+from repro.ics.scada import ScadaConfig
+from repro.scenarios.base import Scenario, register_scenario
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class WaterTankConfig:
+    """Physical constants of the storage tank."""
+
+    tank_height: float = 8.0  # m, overflow line
+    inflow_rate: float = 0.5  # m/s of level at full pump duty
+    drain_rate: float = 0.25  # m^(1/2)/s Torricelli drain coefficient
+    demand_mean: float = 0.18  # m/s of level drawn by consumers
+    demand_reversion: float = 0.25  # 1/s pull of demand toward its mean
+    demand_std: float = 0.04  # m/s/sqrt(s) demand fluctuation
+    demand_max: float = 0.5  # burst demand ceiling
+    noise_std: float = 0.02  # m/sqrt(s) process noise
+    initial_level: float = 4.0
+
+    def validate(self) -> "WaterTankConfig":
+        for name in ("tank_height", "inflow_rate", "drain_rate", "demand_reversion"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        for name in ("demand_mean", "demand_std", "noise_std"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.demand_max < self.demand_mean:
+            raise ValueError("demand_max must be >= demand_mean")
+        if not 0 <= self.initial_level <= self.tank_height:
+            raise ValueError(
+                f"initial_level must be in [0, {self.tank_height}], "
+                f"got {self.initial_level}"
+            )
+        return self
+
+
+class WaterTankPlant:
+    """Stateful tank level simulation (:class:`~repro.ics.plant.Plant`).
+
+    ``drive`` is the inlet pump duty, ``relief`` the drain/flush valve.
+    Consumer demand evolves as its own mean-reverting process, so the
+    pump works continuously even with the drain shut — the same
+    "always busy" property that makes the pipeline compressor's traffic
+    informative.
+    """
+
+    def __init__(self, config: WaterTankConfig | None = None, rng: SeedLike = None) -> None:
+        self.config = (config or WaterTankConfig()).validate()
+        self._rng = as_generator(rng)
+        self.level = self.config.initial_level
+        self.demand = self.config.demand_mean
+
+    @property
+    def process_value(self) -> float:
+        return self.level
+
+    @property
+    def limit(self) -> float:
+        return self.config.tank_height
+
+    def step(self, drive: float, relief_open: bool, dt: float) -> float:
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        drive = max(0.0, min(1.0, drive))
+        cfg = self.config
+        # Demand: Ornstein–Uhlenbeck around the district's mean draw.
+        self.demand += cfg.demand_reversion * (cfg.demand_mean - self.demand) * dt
+        self.demand += cfg.demand_std * self._rng.normal(0.0, 1.0) * dt**0.5
+        self.demand = max(0.0, min(cfg.demand_max, self.demand))
+
+        inflow = cfg.inflow_rate * drive
+        outflow = self.demand
+        if relief_open:
+            outflow += cfg.drain_rate * max(0.0, self.level) ** 0.5
+        noise = self._rng.normal(0.0, cfg.noise_std) * dt**0.5
+        self.level += (inflow - outflow) * dt + noise
+        self.level = max(0.0, min(cfg.tank_height, self.level))
+        return self.level
+
+    def measure(self, sensor_noise_std: float = 0.05) -> float:
+        if sensor_noise_std < 0:
+            raise ValueError(f"sensor_noise_std must be >= 0, got {sensor_noise_std}")
+        reading = self.level + self._rng.normal(0.0, sensor_noise_std)
+        return max(0.0, min(self.config.tank_height, reading))
+
+
+def _build_plant(rng: SeedLike = None, plant_config: PlantConfig | None = None) -> Plant:
+    # The legacy gas PlantConfig does not apply here; a customized one
+    # must not be silently ignored.
+    if plant_config is not None and plant_config != PlantConfig():
+        raise ValueError(
+            "scenario 'water_tank' does not use the gas-pipeline PlantConfig; "
+            "customize WaterTankConfig via a registered Scenario instead"
+        )
+    return WaterTankPlant(rng=rng)
+
+
+WATER_TANK = register_scenario(
+    Scenario(
+        name="water_tank",
+        title="Water storage tank",
+        description=(
+            "Elevated storage tank with an inlet pump and a motorised "
+            "drain valve; the PLC holds the water level against "
+            "mean-reverting consumer demand."
+        ),
+        process_variable="tank level",
+        process_unit="m",
+        actuators=("inlet pump duty", "drain valve"),
+        plant_builder=_build_plant,
+        scada=ScadaConfig(
+            station_address=7,
+            setpoint_mean=4.0,
+            setpoint_std=0.8,
+            setpoint_min=2.5,
+            setpoint_max=6.0,
+            setpoint_step=0.5,
+            sensor_noise_std=0.03,
+        ),
+        attacks=AttackConfig(
+            # MPCI dials tank setpoints past the overflow line (8 m).
+            mpci_setpoint_low=0.0,
+            mpci_setpoint_high=12.0,
+        ),
+        feature_aliases={
+            "pressure_measurement": "tank level (m)",
+            "setpoint": "level setpoint (m)",
+            "pump": "inlet pump on/off",
+            "solenoid": "drain valve open/closed",
+        },
+        attack_notes={
+            NMRI: "fabricated level readings, often past the overflow line",
+            CMRI: "stale level snapshots masking a draining or flooding tank",
+            MSCI: "inlet pump / drain valve flipped in flight (pump+drain combos)",
+            MPCI: "randomized level setpoints up to 1.5x the tank height",
+            MFCI: "diagnostics/exception function codes the master never uses",
+            DOS: "malformed frame flood delaying the level poll",
+            RECON: "scans for other RTUs on the district's serial bus",
+        },
+        register_names=(
+            "level_setpoint",
+            "gain",
+            "reset_rate",
+            "deadband",
+            "cycle_time",
+            "rate",
+            "system_mode",
+            "control_scheme",
+            "inlet_pump",
+            "drain_valve",
+            "tank_level",
+        ),
+    )
+)

@@ -4,8 +4,10 @@ Everything needed to put the trained framework *on the link*:
 Modbus/TCP transport with an incremental, garbage-tolerant decoder
 (:mod:`~repro.serve.transport`), the sharded asyncio gateway
 (:mod:`~repro.serve.gateway`), the alert pipeline
-(:mod:`~repro.serve.alerts`), and a replay client for load generation
-and fail-over drills (:mod:`~repro.serve.replay`).
+(:mod:`~repro.serve.alerts`), a replay client for load generation
+and fail-over drills (:mod:`~repro.serve.replay`), and the
+multi-scenario fleet runner that streams N simulated sites through one
+gateway concurrently (:mod:`~repro.serve.fleet`).
 
 Quickstart::
 
@@ -26,6 +28,13 @@ from repro.serve.alerts import (
     Severity,
     stdout_sink,
 )
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetResult,
+    FleetRunner,
+    SiteResult,
+    SiteSpec,
+)
 from repro.serve.gateway import (
     DetectionGateway,
     GatewayConfig,
@@ -43,6 +52,11 @@ __all__ = [
     "Severity",
     "stdout_sink",
     "DetectionGateway",
+    "FleetConfig",
+    "FleetResult",
+    "FleetRunner",
+    "SiteResult",
+    "SiteSpec",
     "GatewayConfig",
     "GatewayHandle",
     "start_in_thread",

@@ -1,0 +1,227 @@
+"""Fleet serving: N simulated sites streaming into one sharded gateway.
+
+A production monitor does not watch one testbed — it terminates links
+from a *fleet* of heterogeneous sites: some gas pipelines, some water
+tanks, some feeder sections, each with its own capture timeline.  The
+:class:`FleetRunner` reproduces exactly that load shape against a live
+:class:`~repro.serve.gateway.DetectionGateway`:
+
+- each :class:`SiteSpec` names a scenario and a seed and generates its
+  own capture (different physics, different attack schedule),
+- every site replays concurrently over a real TCP socket with its own
+  stream key, so sessions shard across the gateway's engine workers and
+  each tick batches whatever the fleet delivered,
+- because the gateway pins every stream to one engine row and processes
+  it strictly in sequence order, each site's verdicts are **bit-identical
+  to running its capture through offline** ``detector.detect()`` — which
+  :meth:`FleetRunner.run` can verify in-process.
+
+The runner is the substrate for the ``repro fleet`` CLI and the fleet
+throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.combined import CombinedDetector
+from repro.core.metrics import DetectionMetrics, evaluate_detection
+from repro.ics.features import Package
+from repro.serve.alerts import AlertConfig, AlertPipeline
+from repro.serve.gateway import GatewayConfig, start_in_thread
+from repro.serve.replay import ReplayClient
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One simulated site: a named stream bound to a scenario capture."""
+
+    name: str
+    scenario: str
+    seed: int
+    num_cycles: int = 60
+
+    def capture(self) -> list[Package]:
+        """Generate this site's package stream (deterministic per spec).
+
+        A live site has no train/validation/test split, so the raw
+        stream is generated directly — the offline split's minimum-size
+        rules do not apply and any ``num_cycles >= 1`` is streamable.
+        Sharing :func:`~repro.ics.dataset.generate_stream` guarantees a
+        site capture equals ``generate_dataset(...).all_packages`` for
+        the same scenario/seed/cycles.
+        """
+        from repro.ics.dataset import generate_stream
+
+        return generate_stream(self.scenario, self.num_cycles, self.seed)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one fleet run."""
+
+    num_sites: int = 4
+    scenarios: tuple[str, ...] = ()  # empty = all registered scenarios
+    cycles_per_site: int = 60
+    num_shards: int = 2
+    base_seed: int = 0
+    window: int = 32  # per-site replay in-flight window
+    verify_offline: bool = False  # re-run every capture through detect()
+
+    def validate(self) -> "FleetConfig":
+        if self.num_sites < 1:
+            raise ValueError(f"num_sites must be >= 1, got {self.num_sites}")
+        if self.cycles_per_site < 1:
+            raise ValueError(
+                f"cycles_per_site must be >= 1, got {self.cycles_per_site}"
+            )
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        return self
+
+    def sites(self) -> list[SiteSpec]:
+        """The fleet roster: scenarios assigned round-robin across sites."""
+        from repro.scenarios import scenario_names
+
+        names = self.scenarios or scenario_names()
+        return [
+            SiteSpec(
+                name=f"site-{i:02d}-{names[i % len(names)]}",
+                scenario=names[i % len(names)],
+                seed=self.base_seed + i,
+                num_cycles=self.cycles_per_site,
+            )
+            for i in range(self.num_sites)
+        ]
+
+
+@dataclass
+class SiteResult:
+    """Verdicts one site collected from the gateway."""
+
+    spec: SiteSpec
+    packages: int
+    anomalies: np.ndarray
+    levels: np.ndarray
+    metrics: DetectionMetrics
+    complete: bool
+    matches_offline: bool | None = None  # None = verification not requested
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of one fleet run."""
+
+    sites: list[SiteResult]
+    seconds: float
+    gateway_stats: dict = field(default_factory=dict)
+
+    @property
+    def total_packages(self) -> int:
+        return sum(site.packages for site in self.sites)
+
+    @property
+    def packages_per_second(self) -> float:
+        return self.total_packages / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def scenarios_streamed(self) -> tuple[str, ...]:
+        return tuple(sorted({site.spec.scenario for site in self.sites}))
+
+    @property
+    def all_complete(self) -> bool:
+        return all(site.complete for site in self.sites)
+
+    @property
+    def all_match_offline(self) -> bool:
+        """True when every verified site matched offline detection."""
+        return all(site.matches_offline is not False for site in self.sites)
+
+
+class FleetRunner:
+    """Drive a multi-scenario site fleet through one detection gateway."""
+
+    def __init__(self, detector: CombinedDetector, config: FleetConfig | None = None) -> None:
+        self.detector = detector
+        self.config = (config or FleetConfig()).validate()
+
+    def run(self) -> FleetResult:
+        """Start a gateway, stream every site concurrently, gather verdicts."""
+        config = self.config
+        sites = config.sites()
+        captures = {site.name: site.capture() for site in sites}
+
+        handle = start_in_thread(
+            self.detector,
+            GatewayConfig(num_shards=config.num_shards,
+                          max_pending=max(256, 4 * config.window)),
+            # Silent pipeline: alert bookkeeping runs, nothing prints.
+            AlertPipeline(config=AlertConfig()),
+        )
+        results: dict[str, SiteResult] = {}
+        errors: list[BaseException] = []
+        try:
+            host, port = handle.address
+
+            def stream(site: SiteSpec) -> None:
+                try:
+                    client = ReplayClient(
+                        host, port, stream_key=site.name, window=config.window
+                    )
+                    replayed = client.replay(captures[site.name])
+                    labels = np.array([p.label for p in captures[site.name]])
+                    results[site.name] = SiteResult(
+                        spec=site,
+                        packages=replayed.judged,
+                        anomalies=replayed.anomalies,
+                        levels=replayed.levels,
+                        metrics=evaluate_detection(
+                            labels[replayed.start : replayed.start + replayed.judged],
+                            replayed.anomalies,
+                        ),
+                        complete=replayed.complete,
+                    )
+                except BaseException as exc:  # noqa: BLE001 - joined below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=stream, args=(site,), name=site.name)
+                for site in sites
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            seconds = time.perf_counter() - started
+            stats = handle.stats()
+        finally:
+            handle.stop()
+        if errors:
+            raise errors[0]
+
+        if config.verify_offline:
+            for site in sites:
+                result = results[site.name]
+                offline = self.detector.detect(captures[site.name])
+                result.matches_offline = bool(
+                    result.complete
+                    and len(offline) == result.packages
+                    and np.array_equal(offline.is_anomaly, result.anomalies)
+                    and np.array_equal(
+                        np.where(offline.is_anomaly, offline.level, 0),
+                        np.where(result.anomalies, result.levels, 0),
+                    )
+                )
+
+        return FleetResult(
+            sites=[results[site.name] for site in sites],
+            seconds=seconds,
+            gateway_stats=stats,
+        )

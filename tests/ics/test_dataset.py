@@ -28,11 +28,36 @@ class TestConfig:
             {"validation_fraction": 0.0},
             {"train_fraction": 0.8, "validation_fraction": 0.3},
             {"min_fragment_len": 1},
+            {"scenario": ""},
         ],
     )
     def test_invalid_rejected(self, kwargs):
         with pytest.raises(ValueError):
             DatasetConfig(**kwargs).validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            # 5 cycles * 4 packages * 0.2 test = 4 < min_fragment_len 10.
+            {"num_cycles": 5},
+            # Fractions squeeze the test split below one fragment.
+            {"num_cycles": 100, "train_fraction": 0.79,
+             "validation_fraction": 0.2},
+            # Larger fragment floor needs a larger guaranteed test split.
+            {"num_cycles": 50, "min_fragment_len": 41},
+        ],
+    )
+    def test_degenerate_test_split_rejected(self, kwargs):
+        """Splits that cannot hold one fragment of test traffic fail fast
+        instead of silently producing an empty/degenerate test set."""
+        with pytest.raises(ValueError, match="test split"):
+            DatasetConfig(**kwargs).validate()
+
+    def test_smallest_viable_split_accepted(self):
+        # 13 cycles * 4 * 0.2 = 10 packages: exactly one fragment's worth.
+        config = DatasetConfig(num_cycles=13).validate()
+        dataset = generate_dataset(config, seed=0)
+        assert len(dataset.test_packages) >= config.min_fragment_len
 
 
 class TestSplitIntoFragments:
@@ -63,6 +88,27 @@ class TestSplitIntoFragments:
 
     def test_empty_input(self):
         assert split_into_fragments([], min_len=10) == []
+
+    def test_all_attack_capture_yields_nothing(self):
+        packages = self._packages([4] * 25)
+        assert split_into_fragments(packages, min_len=10) == []
+
+    def test_capture_shorter_than_min_fragment_dropped(self):
+        packages = self._packages([0] * 9)
+        assert split_into_fragments(packages, min_len=10) == []
+
+    def test_fragment_exactly_at_boundary_kept(self):
+        # Both the trailing run and an attack-terminated run of exactly
+        # min_len packages survive; min_len - 1 does not.
+        exact_tail = self._packages([0] * 10)
+        assert [len(f) for f in split_into_fragments(exact_tail, min_len=10)] == [10]
+
+        exact_cut = self._packages([0] * 10 + [2] + [0] * 9)
+        assert [len(f) for f in split_into_fragments(exact_cut, min_len=10)] == [10]
+
+    def test_alternating_attacks_leave_no_fragment(self):
+        labels = ([0] * 9 + [6]) * 4
+        assert split_into_fragments(self._packages(labels), min_len=10) == []
 
 
 class TestGeneratedDataset:

@@ -34,6 +34,18 @@ class TestConfig:
         with pytest.raises(ValueError):
             ScadaConfig(**kwargs).validate()
 
+    def test_plant_config_and_factory_are_mutually_exclusive(self):
+        # A factory builds its own plant; a simultaneously supplied
+        # PlantConfig would be silently ignored otherwise.
+        from repro.ics.plant import GasPipelinePlant, PlantConfig
+
+        with pytest.raises(ValueError, match="not both"):
+            ScadaSimulator(
+                plant_config=PlantConfig(),
+                plant_factory=lambda rng: GasPipelinePlant(rng=rng),
+                rng=0,
+            )
+
 
 class TestCycleStructure:
     def test_four_packages_per_cycle(self, stream):

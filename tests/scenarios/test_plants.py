@@ -1,0 +1,134 @@
+"""Physics sanity for the scenario plants behind the Plant protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ics.plant import GasPipelinePlant, Plant
+from repro.scenarios import (
+    PowerFeederConfig,
+    PowerFeederPlant,
+    WaterTankConfig,
+    WaterTankPlant,
+)
+
+ALL_PLANTS = [GasPipelinePlant, WaterTankPlant, PowerFeederPlant]
+
+
+@pytest.mark.parametrize("plant_cls", ALL_PLANTS)
+class TestPlantProtocol:
+    def test_satisfies_protocol(self, plant_cls):
+        plant = plant_cls(rng=0)
+        assert isinstance(plant, Plant)
+        assert 0.0 <= plant.process_value <= plant.limit
+
+    def test_step_returns_process_value(self, plant_cls):
+        plant = plant_cls(rng=0)
+        value = plant.step(0.5, False, 1.0)
+        assert value == plant.process_value
+
+    def test_clamped_to_physical_range(self, plant_cls):
+        plant = plant_cls(rng=0)
+        for _ in range(500):
+            plant.step(1.0, False, 1.0)
+            assert 0.0 <= plant.process_value <= plant.limit
+        for _ in range(500):
+            plant.step(0.0, True, 1.0)
+            assert 0.0 <= plant.process_value <= plant.limit
+
+    def test_rejects_nonpositive_dt(self, plant_cls):
+        with pytest.raises(ValueError):
+            plant_cls(rng=0).step(0.5, False, 0.0)
+
+    def test_rejects_negative_sensor_noise(self, plant_cls):
+        with pytest.raises(ValueError):
+            plant_cls(rng=0).measure(-1.0)
+
+    def test_deterministic_per_seed(self, plant_cls):
+        a, b = plant_cls(rng=11), plant_cls(rng=11)
+        for _ in range(50):
+            assert a.step(0.6, False, 1.0) == b.step(0.6, False, 1.0)
+        assert a.measure() == b.measure()
+
+
+class TestWaterTankPhysics:
+    def test_pump_fills_demand_drains(self):
+        plant = WaterTankPlant(WaterTankConfig(noise_std=0.0, demand_std=0.0), rng=0)
+        start = plant.level
+        for _ in range(10):
+            plant.step(1.0, False, 1.0)
+        assert plant.level > start
+        filled = plant.level
+        for _ in range(10):
+            plant.step(0.0, False, 1.0)
+        assert plant.level < filled
+
+    def test_drain_valve_is_the_relief_actuator(self):
+        cfg = WaterTankConfig(noise_std=0.0, demand_std=0.0)
+        closed = WaterTankPlant(cfg, rng=0)
+        opened = WaterTankPlant(cfg, rng=0)
+        for _ in range(10):
+            closed.step(0.6, False, 1.0)
+            opened.step(0.6, True, 1.0)
+        assert opened.level < closed.level
+
+    def test_demand_stays_bounded(self):
+        plant = WaterTankPlant(rng=3)
+        for _ in range(1000):
+            plant.step(0.5, False, 1.0)
+            assert 0.0 <= plant.demand <= plant.config.demand_max
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tank_height": 0.0},
+            {"inflow_rate": -1.0},
+            {"demand_max": 0.0},
+            {"initial_level": 99.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WaterTankConfig(**kwargs).validate()
+
+
+class TestPowerFeederPhysics:
+    def test_regulator_boosts_load_sags(self):
+        plant = PowerFeederPlant(PowerFeederConfig(noise_std=0.0, load_std=0.0), rng=0)
+        start = plant.voltage
+        for _ in range(10):
+            plant.step(1.0, False, 1.0)
+        assert plant.voltage > start
+        boosted = plant.voltage
+        for _ in range(10):
+            plant.step(0.0, False, 1.0)
+        assert plant.voltage < boosted
+
+    def test_shunt_breaker_is_the_relief_actuator(self):
+        cfg = PowerFeederConfig(noise_std=0.0, load_std=0.0)
+        open_bank = PowerFeederPlant(cfg, rng=0)
+        closed_bank = PowerFeederPlant(cfg, rng=0)
+        for _ in range(10):
+            open_bank.step(0.6, False, 1.0)
+            closed_bank.step(0.6, True, 1.0)
+        assert closed_bank.voltage < open_bank.voltage
+
+    def test_load_stays_bounded(self):
+        plant = PowerFeederPlant(rng=3)
+        for _ in range(1000):
+            plant.step(0.5, False, 1.0)
+            assert plant.config.load_min <= plant.load <= plant.config.load_max
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_voltage": 0.0},
+            {"regulator_rate": -1.0},
+            {"load_min": 0.0},
+            {"load_max": 0.8},
+            {"initial_voltage": 200.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PowerFeederConfig(**kwargs).validate()

@@ -1,0 +1,194 @@
+"""Scenario registry, dataset plumbing and profile qualification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.profiles import get_profile
+from repro.ics.dataset import DatasetConfig, generate_dataset
+from repro.ics.features import FEATURE_NAMES
+from repro.scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+EXPECTED = ("gas_pipeline", "power_feeder", "water_tank")
+
+
+class TestRegistry:
+    def test_three_scenarios_registered(self):
+        assert scenario_names() == EXPECTED
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(KeyError):
+            get_scenario("steel_mill")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scenario(SCENARIOS["gas_pipeline"])
+
+    def test_register_and_use_a_custom_scenario(self):
+        from repro.scenarios.water_tank import WaterTankConfig, WaterTankPlant
+
+        custom = Scenario(
+            name="big_tank",
+            title="Oversized tank",
+            description="water tank with a taller column",
+            process_variable="tank level",
+            process_unit="m",
+            actuators=("pump", "drain"),
+            plant_builder=lambda rng=None, plant_config=None: WaterTankPlant(
+                WaterTankConfig(tank_height=20.0, initial_level=10.0), rng=rng
+            ),
+        )
+        try:
+            register_scenario(custom)
+            dataset = generate_dataset(
+                custom.dataset_config(num_cycles=40), seed=0
+            )
+            assert dataset.config.scenario == "big_tank"
+            assert len(dataset.all_packages) >= 160
+        finally:
+            SCENARIOS.pop("big_tank", None)
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_describe_is_json_able(self, name):
+        import json
+
+        detail = get_scenario(name).describe()
+        payload = json.loads(json.dumps(detail))
+        assert payload["name"] == name
+        assert len(payload["registers"]) == 11
+        assert len(payload["attack_notes"]) == 7
+
+
+class TestScenarioDatasets:
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_dataset_config_round_trip(self, name):
+        scenario = get_scenario(name)
+        config = scenario.dataset_config(num_cycles=40)
+        assert config.scenario == name
+        # None = "the scenario's own parameterization", resolved by
+        # generate_dataset from the scenario definition.
+        assert config.scada is None
+        assert config.attacks is None
+
+    def test_apply_keeps_size_and_split(self):
+        base = DatasetConfig(num_cycles=123, train_fraction=0.5)
+        applied = get_scenario("water_tank").apply(base)
+        assert applied.num_cycles == 123
+        assert applied.train_fraction == 0.5
+        assert applied.scenario == "water_tank"
+
+    def test_scenarios_produce_distinct_captures(self):
+        captures = {}
+        for name in EXPECTED:
+            config = get_scenario(name).dataset_config(num_cycles=40)
+            captures[name] = generate_dataset(config, seed=5).all_packages
+        # Same wire schema everywhere ...
+        for packages in captures.values():
+            assert all(len(p.to_row()) == len(FEATURE_NAMES) for p in packages[:8])
+        # ... but different station addresses and process values.
+        addresses = {
+            name: {p.address for p in packages if p.label == 0}
+            for name, packages in captures.items()
+        }
+        assert addresses["gas_pipeline"] == {4}
+        assert addresses["water_tank"] == {7}
+        assert addresses["power_feeder"] == {9}
+
+    def test_unknown_scenario_fails_at_generation(self):
+        with pytest.raises(KeyError):
+            generate_dataset(DatasetConfig(num_cycles=40, scenario="nope"), seed=0)
+
+    def test_bare_scenario_name_resolves_scenario_configs(self):
+        # A hand-built DatasetConfig(scenario=...) with untouched
+        # scada/attacks defaults must use the scenario's own
+        # parameterization, not the gas pipeline's (whose setpoints sit
+        # past the tank's overflow line).
+        dataset = generate_dataset(
+            DatasetConfig(num_cycles=40, scenario="water_tank"), seed=0
+        )
+        scenario = get_scenario("water_tank")
+        addresses = {p.address for p in dataset.all_packages if p.label == 0}
+        assert addresses == {scenario.scada.station_address}
+        setpoints = [
+            p.setpoint for p in dataset.all_packages
+            if p.setpoint is not None and p.label == 0
+        ]
+        assert max(setpoints) <= scenario.scada.setpoint_max
+
+    def test_explicit_scada_override_is_honored(self):
+        from repro.ics.scada import ScadaConfig
+
+        custom = ScadaConfig(station_address=42)
+        dataset = generate_dataset(
+            DatasetConfig(num_cycles=40, scenario="water_tank", scada=custom),
+            seed=0,
+        )
+        addresses = {p.address for p in dataset.all_packages if p.label == 0}
+        assert addresses == {42}
+
+    @pytest.mark.parametrize("name", ["water_tank", "power_feeder"])
+    def test_customized_gas_plant_config_rejected(self, name):
+        # A gas PlantConfig makes no sense on the other plants; it must
+        # fail loudly instead of being silently ignored.
+        from repro.ics.plant import PlantConfig
+
+        config = DatasetConfig(
+            num_cycles=40, scenario=name, plant=PlantConfig(max_pressure=50.0)
+        )
+        config = get_scenario(name).apply(config)
+        with pytest.raises(ValueError, match="PlantConfig"):
+            generate_dataset(config, seed=0)
+
+    def test_scenario_keys_the_cache_fingerprint(self):
+        # The pipeline disk cache fingerprints repr(profile); two
+        # scenarios of one base profile must never collide.
+        a = get_profile("ci@water_tank")
+        b = get_profile("ci@power_feeder")
+        assert repr(a) != repr(b)
+        assert a.name != b.name
+
+
+class TestProfileQualification:
+    def test_qualified_profile_resolves(self):
+        profile = get_profile("ci@water_tank")
+        assert profile.name == "ci@water_tank"
+        assert profile.dataset.scenario == "water_tank"
+        # scada/attacks stay None so generate_dataset resolves them from
+        # the scenario definition (single source of truth).
+        assert profile.dataset.scada is None
+        assert profile.dataset.attacks is None
+
+    def test_bare_profile_stays_gas_pipeline(self):
+        profile = get_profile("ci")
+        assert profile.name == "ci"
+        assert profile.dataset.scenario == "gas_pipeline"
+
+    def test_default_scenario_qualification_collapses_to_base(self):
+        # ci@gas_pipeline is the base config exactly, so it shares the
+        # base cache key instead of retraining under a second name.
+        profile = get_profile("ci@gas_pipeline")
+        assert profile.name == "ci"
+        assert profile == get_profile("ci")
+
+    def test_with_scenario_is_idempotent(self):
+        once = get_profile("ci").with_scenario("power_feeder")
+        twice = once.with_scenario("power_feeder")
+        assert once == twice
+
+    def test_with_scenario_keeps_size(self):
+        base = get_profile("ci")
+        qualified = base.with_scenario("water_tank")
+        assert qualified.dataset.num_cycles == base.dataset.num_cycles
+        assert qualified.detector == base.detector
+
+    def test_unknown_pieces_raise(self):
+        with pytest.raises(KeyError):
+            get_profile("nope@water_tank")
+        with pytest.raises(KeyError):
+            get_profile("ci@nope")
