@@ -1,0 +1,210 @@
+"""Model registry benchmarks: resolve latency, identification, fleet gain.
+
+Three questions the heterogeneous serving stack must answer with
+numbers:
+
+1. **Resolve latency** — what does routing cost?  Cold resolve (first
+   ``.npz`` load of a scenario's active artifact) vs a warm resolve
+   (in-process LRU hit) per registered scenario.
+2. **Auto-identification accuracy** — scoring probe windows from every
+   plant's capture against every registered signature database: the
+   identification matrix must be perfectly diagonal, and traffic from a
+   plant *missing* from the registry must abstain, not misroute.
+3. **Heterogeneous fleet throughput** — the same multi-scenario fleet
+   served (a) by one shared detector (the PR-4 baseline) and (b) routed
+   per scenario through the registry: aggregate pkg/s side by side,
+   showing what per-scenario quality costs at the gateway.
+
+Run:  REPRO_PROFILE=ci pytest benchmarks/bench_registry.py -s
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from benchmarks.conftest import emit_json, emit_report
+from repro.experiments.pipeline import run_pipeline
+from repro.persistence import profile_provenance
+from repro.registry import ModelRegistry, ScenarioIdentifier
+from repro.scenarios import scenario_names
+from repro.serve.fleet import FleetConfig, FleetRunner
+
+#: profile -> (polling cycles per fleet site, identification probes)
+FLEET_CYCLES = {"ci": 40, "default": 60, "paper": 80}
+PROBE_WINDOW = 16
+PROBES_PER_SCENARIO = 8
+
+
+def _probes(pipeline):
+    """Probe windows spread across one scenario's full capture.
+
+    The first window is the capture head — what a gateway actually sees
+    when an untagged stream OPENs.  Later windows can land inside attack
+    episodes (whose fabricated signatures no database knows); there the
+    identifier is expected to *abstain*, never to misroute.
+    """
+    packages = pipeline.dataset.all_packages
+    stride = max(PROBE_WINDOW, len(packages) // PROBES_PER_SCENARIO)
+    starts = [i * stride for i in range(PROBES_PER_SCENARIO)]
+    return [
+        packages[s : s + PROBE_WINDOW]
+        for s in starts
+        if s + PROBE_WINDOW <= len(packages)
+    ]
+
+
+def test_registry_benchmark(profile):
+    scenarios = scenario_names()
+    pipelines = {
+        name: run_pipeline(f"{profile}@{name}") for name in scenarios
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench-registry-") as root:
+        registry = ModelRegistry(root)
+        for name, pipeline in pipelines.items():
+            registry.publish(
+                pipeline.detector, name,
+                meta=profile_provenance(pipeline.profile),
+            )
+
+        # -- 1. resolve latency: cold load vs LRU hit -------------------
+        latency_rows = []
+        latency = {}
+        for name in scenarios:
+            cold_registry = ModelRegistry(root)
+            started = time.perf_counter()
+            cold_registry.resolve(name)
+            cold_ms = 1000.0 * (time.perf_counter() - started)
+            started = time.perf_counter()
+            cold_registry.resolve(name)
+            warm_ms = 1000.0 * (time.perf_counter() - started)
+            latency[name] = {"cold_ms": cold_ms, "warm_ms": warm_ms}
+            latency_rows.append(
+                f"{name:>14}{cold_ms:>12.2f}{warm_ms:>12.4f}"
+                f"{cold_ms / max(warm_ms, 1e-6):>10.0f}x"
+            )
+
+        # -- 2. auto-identification accuracy matrix ---------------------
+        identifier = ScenarioIdentifier(registry)
+        matrix: dict[str, dict[str, int]] = {}
+        head_picks: dict[str, str] = {}
+        correct = misrouted = total = 0
+        for true_name in scenarios:
+            counts: dict[str, int] = {}
+            for index, probe in enumerate(_probes(pipelines[true_name])):
+                outcome = identifier.identify(probe)
+                picked = outcome.scenario or "abstained"
+                if index == 0:
+                    head_picks[true_name] = picked
+                counts[picked] = counts.get(picked, 0) + 1
+                correct += picked == true_name
+                misrouted += picked not in (true_name, "abstained")
+                total += 1
+            matrix[true_name] = counts
+        accuracy = correct / total if total else 0.0
+
+        # Unknown traffic: drop each scenario in turn from a partial
+        # registry and demand abstention on its probes.
+        abstentions = {}
+        for held_out in scenarios:
+            with tempfile.TemporaryDirectory(prefix="bench-partial-") as partial_root:
+                partial = ModelRegistry(partial_root)
+                for name in scenarios:
+                    if name != held_out:
+                        partial.publish(pipelines[name].detector, name)
+                partial_identifier = ScenarioIdentifier(partial)
+                outcomes = [
+                    partial_identifier.identify(probe)
+                    for probe in _probes(pipelines[held_out])
+                ]
+                abstentions[held_out] = sum(o.abstained for o in outcomes) / len(
+                    outcomes
+                )
+
+        # -- 3. heterogeneous fleet vs single-detector baseline ---------
+        cycles = FLEET_CYCLES.get(profile, FLEET_CYCLES["default"])
+        fleet_config = FleetConfig(
+            num_sites=2 * len(scenarios),
+            cycles_per_site=cycles,
+            num_shards=2,
+            base_seed=7,
+            verify_offline=True,
+        )
+        hetero = FleetRunner(config=fleet_config, registry=registry).run()
+        assert hetero.all_complete and hetero.all_match_offline
+        baseline = FleetRunner(
+            pipelines["gas_pipeline"].detector, fleet_config
+        ).run()
+        assert baseline.all_complete
+
+    corner = "true / picked"
+    matrix_header = f"{corner:>14}" + "".join(
+        f"{name[:10]:>12}" for name in scenarios
+    ) + f"{'abstained':>12}"
+    matrix_rows = [
+        f"{true_name:>14}"
+        + "".join(
+            f"{matrix[true_name].get(name, 0):>12}" for name in scenarios
+        )
+        + f"{matrix[true_name].get('abstained', 0):>12}"
+        for true_name in scenarios
+    ]
+    table = "\n".join(
+        [
+            f"resolve latency ({profile} profile)",
+            f"{'scenario':>14}{'cold ms':>12}{'LRU ms':>12}{'speedup':>11}",
+            *latency_rows,
+            "",
+            f"auto-identification over {PROBE_WINDOW}-package probes "
+            f"(accuracy {accuracy:.0%}, misroutes {misrouted})",
+            matrix_header,
+            *matrix_rows,
+            "",
+            "held-out plant abstention rate: "
+            + ", ".join(f"{k}={v:.0%}" for k, v in abstentions.items()),
+            "",
+            f"fleet throughput ({fleet_config.num_sites} sites, "
+            f"{fleet_config.num_shards} shards)",
+            f"{'serving':>16}{'packages':>10}{'pkg/s':>12}{'own-model':>11}",
+            f"{'single (PR 4)':>16}{baseline.total_packages:>10}"
+            f"{baseline.packages_per_second:>12.0f}{'no':>11}",
+            f"{'heterogeneous':>16}{hetero.total_packages:>10}"
+            f"{hetero.packages_per_second:>12.0f}{'yes':>11}",
+        ]
+    )
+    emit_report("registry_bench", table)
+    emit_json(
+        "registry_bench",
+        {
+            "profile": profile,
+            "resolve_latency_ms": latency,
+            "identification": {
+                "probe_window": PROBE_WINDOW,
+                "accuracy": accuracy,
+                "misroutes": misrouted,
+                "capture_head_picks": head_picks,
+                "matrix": matrix,
+                "held_out_abstention": abstentions,
+            },
+            "fleet": {
+                "sites": fleet_config.num_sites,
+                "shards": fleet_config.num_shards,
+                "single_pkg_per_sec": baseline.packages_per_second,
+                "heterogeneous_pkg_per_sec": hetero.packages_per_second,
+                "heterogeneous_all_match_offline": hetero.all_match_offline,
+            },
+        },
+    )
+
+    # The acceptance bar: every plant's capture identifies as itself at
+    # the stream head, nothing is ever misrouted (mid-attack probes may
+    # abstain — fabricated signatures are unknown everywhere), and
+    # unknown plants abstain rather than ride a foreign model.
+    assert head_picks == {name: name for name in scenarios}, table
+    assert misrouted == 0, table
+    assert all(rate == 1.0 for rate in abstentions.values()), table
+    # An LRU hit must be orders of magnitude cheaper than a cold load.
+    assert all(
+        entry["warm_ms"] < entry["cold_ms"] for entry in latency.values()
+    ), table

@@ -19,14 +19,19 @@ and LSTM networks"* (DSN 2017):
   checkpoints (one versioned ``.npz`` per trained framework); the
   ``repro`` CLI drives train / detect / resume / serve from the shell.
 - :mod:`repro.scenarios` — pluggable simulation scenarios (gas
-  pipeline, water storage tank, power distribution feeder): per-process
-  plant physics, SCADA parameterizations and attack catalogs behind one
-  package schema, so a single detection stack covers every plant.
+  pipeline, water storage tank, power distribution feeder, HVAC
+  chiller loop): per-process plant physics, SCADA parameterizations and
+  attack catalogs behind one package schema, so a single detection
+  stack covers every plant.
+- :mod:`repro.registry` — the versioned per-scenario model registry:
+  publish/resolve/promote detector artifacts, auto-identify which
+  registered scenario an unlabeled stream belongs to, and route
+  heterogeneous fleets to their own models.
 - :mod:`repro.serve` — the online detection gateway: Modbus/TCP
   transport, sharded stream-engine serving with backpressure and
-  bit-identical checkpoint fail-over, the alert pipeline, a replay
-  client for load generation and fail-over drills, and the
-  multi-scenario fleet runner.
+  bit-identical checkpoint fail-over, per-scenario model routing with
+  hot-swap, the alert pipeline, a replay client for load generation and
+  fail-over drills, and the multi-scenario fleet runner.
 
 Quickstart::
 
@@ -74,6 +79,13 @@ from repro.persistence import (
     save_checkpoint,
     save_detector,
     save_gateway_checkpoint,
+)
+from repro.registry import (
+    ModelRegistry,
+    RegistryEntry,
+    RegistryError,
+    ScenarioIdentifier,
+    ScenarioRouter,
 )
 from repro.scenarios import (
     SCENARIOS,
@@ -126,6 +138,11 @@ __all__ = [
     "save_checkpoint",
     "save_detector",
     "save_gateway_checkpoint",
+    "ModelRegistry",
+    "RegistryEntry",
+    "RegistryError",
+    "ScenarioIdentifier",
+    "ScenarioRouter",
     "SCENARIOS",
     "Scenario",
     "get_scenario",

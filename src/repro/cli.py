@@ -19,7 +19,13 @@ the gas-pipeline simulator:
   actuators, per-scenario attack reinterpretations),
 - ``fleet``   — spin up N simulated sites across scenarios and stream
   them concurrently through one sharded gateway, optionally verifying
-  every site's verdicts bit-for-bit against offline detection,
+  every site's verdicts bit-for-bit against offline detection;
+  ``--heterogeneous`` serves every site with its own scenario's
+  registry artifact instead of one shared model,
+- ``registry`` — manage the versioned per-scenario model registry:
+  ``publish`` a trained artifact as a scenario's next version, ``list``
+  the published lineages, ``promote`` (or roll back to) a version —
+  a live ``repro serve --registry`` gateway hot-swaps on promotion,
 - ``info``    — inspect any artifact's kind, schema version and
   provenance without loading its arrays.
 
@@ -58,6 +64,7 @@ from repro.persistence import (
     save_detector,
 )
 from repro.ics.arff import read_arff
+from repro.registry import ModelRegistry, RegistryError
 from repro.scenarios import get_scenario, scenario_names
 from repro.serve.alerts import AlertPipeline, JsonlSink, stdout_sink
 from repro.serve.fleet import FleetConfig, FleetRunner
@@ -114,6 +121,18 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the online detection gateway on a trained artifact"
     )
     serve.add_argument("--model", default=None, help="artifact from `train`")
+    serve.add_argument(
+        "--registry",
+        default=None,
+        help="serve heterogeneously from this model registry directory "
+        "(per-scenario routing, auto-identification, hot-swap)",
+    )
+    serve.add_argument(
+        "--registry-poll",
+        type=float,
+        default=1.0,
+        help="seconds between hot-swap polls of --registry (0 = off)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=5020)
     serve.add_argument(
@@ -220,7 +239,60 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the offline bit-identity check on every site",
     )
+    fleet.add_argument(
+        "--heterogeneous",
+        action="store_true",
+        help="route every site to its own scenario's registry artifact "
+        "(training and publishing any missing scenario models first)",
+    )
+    fleet.add_argument(
+        "--registry",
+        default=None,
+        help="model registry directory for --heterogeneous "
+        "(default: <cache dir>/registry)",
+    )
+    fleet.add_argument(
+        "--no-tag",
+        action="store_true",
+        help="omit scenario tags from OPEN frames so the gateway must "
+        "auto-identify every site (--heterogeneous only)",
+    )
     fleet.add_argument("--json", dest="json_out", default=None)
+
+    registry_cmd = commands.add_parser(
+        "registry", help="manage the versioned per-scenario model registry"
+    )
+    registry_sub = registry_cmd.add_subparsers(
+        dest="registry_command", required=True
+    )
+    publish = registry_sub.add_parser(
+        "publish", help="publish a trained artifact as a scenario's next version"
+    )
+    publish.add_argument("--registry", required=True, help="registry directory")
+    publish.add_argument("--model", required=True, help="artifact from `train`")
+    publish.add_argument(
+        "--scenario",
+        default=None,
+        help="override the scenario recorded in the artifact's provenance",
+    )
+    publish.add_argument(
+        "--no-activate",
+        action="store_true",
+        help="publish dark: the currently active version keeps serving",
+    )
+    listing = registry_sub.add_parser(
+        "list", help="list published scenario model lineages"
+    )
+    listing.add_argument("--registry", required=True, help="registry directory")
+    listing.add_argument("--scenario", default=None, help="one scenario only")
+    listing.add_argument("--json", dest="json_out", default=None)
+    promote = registry_sub.add_parser(
+        "promote",
+        help="pin a scenario to a published version (rollout or rollback)",
+    )
+    promote.add_argument("--registry", required=True, help="registry directory")
+    promote.add_argument("--scenario", required=True)
+    promote.add_argument("--version", type=int, required=True)
 
     info = commands.add_parser("info", help="inspect an artifact header")
     info.add_argument("path")
@@ -455,8 +527,16 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    if args.model is None and not (args.resume and args.checkpoint):
-        raise SystemExit("serve needs --model (or --resume with --checkpoint)")
+    if args.model and args.registry:
+        raise SystemExit("serve takes --model or --registry, not both")
+    if (
+        args.model is None
+        and args.registry is None
+        and not (args.resume and args.checkpoint)
+    ):
+        raise SystemExit(
+            "serve needs --model or --registry (or --resume with --checkpoint)"
+        )
     try:
         config = GatewayConfig(
             host=args.host,
@@ -465,6 +545,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             max_packages=args.max_packages,
+            registry_poll_seconds=args.registry_poll,
         ).validate()
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -473,16 +554,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sinks.append(JsonlSink(args.alerts_jsonl))
     pipeline = AlertPipeline(sinks)
 
+    registry = ModelRegistry(args.registry) if args.registry else None
     detector = load_detector(args.model) if args.model else None
+    model_info = read_meta(args.model)["meta"] if args.model else None
     if args.resume and args.checkpoint and os.path.exists(args.checkpoint):
-        gateway = DetectionGateway.from_checkpoint(
-            args.checkpoint, config, pipeline, detector
-        )
+        try:
+            gateway = DetectionGateway.from_checkpoint(
+                args.checkpoint, config, pipeline, detector,
+                registry=registry, model_info=model_info,
+            )
+        except ValueError as exc:
+            # Checkpoint kind / serving mode mismatch (e.g. a routed
+            # checkpoint without --registry): a clean message, not a
+            # traceback.
+            raise SystemExit(f"error: {exc}") from exc
         print(f"resumed gateway from {args.checkpoint}")
+    elif registry is not None:
+        if not registry.scenarios():
+            raise SystemExit(
+                f"error: registry {args.registry} has no published models; "
+                "run `repro registry publish` first"
+            )
+        gateway = DetectionGateway(config=config, alerts=pipeline, registry=registry)
+        print(
+            f"serving heterogeneously from {args.registry} "
+            f"({', '.join(registry.scenarios())})"
+        )
     else:
         if detector is None:
             raise SystemExit(f"no checkpoint at {args.checkpoint}; pass --model")
-        gateway = DetectionGateway(detector, config, pipeline)
+        gateway = DetectionGateway(detector, config, pipeline, model_info=model_info)
 
     async def run() -> None:
         await gateway.start()
@@ -521,6 +622,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(suppressed {stats['alerts']['suppressed']}), "
         f"checkpoints {stats['checkpoints_written']}"
     )
+    if stats["mode"] == "registry":
+        print(
+            f"routes: identified {stats['identified']}, abstained "
+            f"{stats['abstained']}, hot-swaps {stats['swaps_applied']}"
+        )
+        for key, route in sorted(stats["routes"].items()):
+            print(
+                f"  {key:<24} -> {route['scenario']}@{route['version']} "
+                f"({route['packages']} pkgs)"
+            )
     return 0
 
 
@@ -580,8 +691,46 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_registry(args: argparse.Namespace, scenarios: tuple[str, ...]) -> ModelRegistry:
+    """Open (and, if needed, populate) the registry for --heterogeneous."""
+    from repro.experiments.pipeline import cache_dir, run_pipeline
+    from repro.persistence import profile_provenance
+
+    root = args.registry or str(cache_dir() / "registry")
+    registry = ModelRegistry(root)
+    base_profile = (args.profile or "ci").split("@", 1)[0]
+    for name in scenarios or scenario_names():
+        if registry.versions(name):
+            continue
+        print(f"registry has no {name!r} model; training {base_profile}@{name} ...")
+        try:
+            pipeline = run_pipeline(f"{base_profile}@{name}")
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from exc
+        entry = registry.publish(
+            pipeline.detector, name, meta=profile_provenance(pipeline.profile)
+        )
+        print(f"  published {entry.label}")
+    return registry
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    if args.model:
+    scenarios: tuple[str, ...] = ()
+    if args.scenarios:
+        scenarios = tuple(s for s in args.scenarios.split(",") if s)
+        for name in scenarios:
+            try:
+                get_scenario(name)
+            except KeyError as exc:
+                raise SystemExit(f"error: {exc.args[0]}") from exc
+
+    registry = None
+    detector = None
+    if args.heterogeneous:
+        if args.model:
+            raise SystemExit("--heterogeneous routes per scenario; drop --model")
+        registry = _fleet_registry(args, scenarios)
+    elif args.model:
         detector = load_detector(args.model)
     else:
         from repro.experiments.pipeline import run_pipeline
@@ -592,14 +741,6 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         except KeyError as exc:
             raise SystemExit(f"error: {exc.args[0]}") from exc
 
-    scenarios: tuple[str, ...] = ()
-    if args.scenarios:
-        scenarios = tuple(s for s in args.scenarios.split(",") if s)
-        for name in scenarios:
-            try:
-                get_scenario(name)
-            except KeyError as exc:
-                raise SystemExit(f"error: {exc.args[0]}") from exc
     try:
         config = FleetConfig(
             num_sites=args.sites,
@@ -609,11 +750,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             base_seed=args.seed,
             window=args.window,
             verify_offline=not args.no_verify,
+            tag_streams=not args.no_tag,
         ).validate()
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
 
-    result = FleetRunner(detector, config).run()
+    result = FleetRunner(detector, config, registry=registry).run()
 
     for site in result.sites:
         verified = (
@@ -622,16 +764,22 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             else ("  offline-match" if site.matches_offline else "  MISMATCH")
         )
         status = "ok" if site.complete else "INCOMPLETE"
+        model = (
+            f"  [{site.route_scenario}@{site.route_version}]"
+            if result.heterogeneous and site.route_scenario is not None
+            else ""
+        )
         print(
             f"{site.spec.name:<28}{site.packages:>7} pkgs"
             f"{int(site.anomalies.sum()):>7} alerts  "
-            f"recall {site.metrics.recall:.2f}  {status}{verified}"
+            f"recall {site.metrics.recall:.2f}  {status}{verified}{model}"
         )
     print(
         f"fleet: {len(result.sites)} sites / "
         f"{len(result.scenarios_streamed)} scenarios "
         f"({', '.join(result.scenarios_streamed)}) through "
         f"{config.num_shards} shard(s)"
+        + (" [heterogeneous]" if result.heterogeneous else "")
     )
     print(
         f"  streamed {result.total_packages} packages in "
@@ -655,10 +803,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                     "precision": site.metrics.precision,
                     "complete": site.complete,
                     "matches_offline": site.matches_offline,
+                    "route_scenario": site.route_scenario,
+                    "route_version": site.route_version,
                 }
                 for site in result.sites
             ],
             "scenarios": list(result.scenarios_streamed),
+            "heterogeneous": result.heterogeneous,
             "shards": config.num_shards,
             "total_packages": result.total_packages,
             "seconds": result.seconds,
@@ -675,6 +826,48 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if not result.all_complete:
         return 1
     return 0 if (args.no_verify or result.all_match_offline) else 1
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    registry = ModelRegistry(args.registry)
+    if args.registry_command == "publish":
+        entry = registry.publish_path(
+            args.model, scenario=args.scenario, activate=not args.no_activate
+        )
+        state = "active" if entry.active else "dark"
+        print(f"published {entry.label} ({state}) -> {entry.path}")
+        return 0
+    if args.registry_command == "promote":
+        entry = registry.promote(args.scenario, args.version)
+        print(f"promoted {entry.label} to active")
+        return 0
+    # list
+    entries = registry.entries(args.scenario)
+    if not entries:
+        print("registry is empty")
+    for entry in entries:
+        marker = "*" if entry.active else " "
+        profile = entry.meta.get("profile", "-")
+        seed = entry.meta.get("seed", "-")
+        print(
+            f"{marker} {entry.scenario:<16} v{entry.version:<4} "
+            f"profile={profile} seed={seed}"
+        )
+    if args.json_out:
+        payload = [
+            {
+                "scenario": entry.scenario,
+                "version": entry.version,
+                "active": entry.active,
+                "path": entry.path,
+                "meta": entry.meta,
+            }
+            for entry in entries
+        ]
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -694,6 +887,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "scenarios": _cmd_scenarios,
     "fleet": _cmd_fleet,
+    "registry": _cmd_registry,
     "info": _cmd_info,
 }
 
@@ -702,7 +896,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ArtifactError, FileNotFoundError, ConnectionError, ReplayError) as exc:
+    except (
+        ArtifactError,
+        RegistryError,
+        FileNotFoundError,
+        ConnectionError,
+        ReplayError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 DETECTOR_KIND = "combined-detector"
 CHECKPOINT_KIND = "stream-checkpoint"
 GATEWAY_KIND = "gateway-checkpoint"
+ROUTED_GATEWAY_KIND = "routed-gateway-checkpoint"
 
 
 def profile_provenance(profile: "Profile") -> dict[str, Any]:
@@ -231,3 +232,195 @@ def load_gateway_checkpoint(
     return GatewayCheckpoint(
         detector=detector, engines=engines, bindings=bindings, meta=meta
     )
+
+
+# ----------------------------------------------------------------------
+# routed gateway checkpoints: per-shard engine pools keyed by model route
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RouteBinding:
+    """One stream key's home in a routed (heterogeneous) gateway.
+
+    ``seq_base`` is the number of packages judged by *earlier* model
+    versions on this key (hot-swaps reset the engine-side counter); the
+    stream's resume offset is ``seq_base + packages_seen``.
+    """
+
+    shard: int
+    scenario: str
+    version: int
+    stream_id: int
+    seq_base: int = 0
+
+    @property
+    def route(self) -> tuple[str, int]:
+        return (self.scenario, self.version)
+
+    @property
+    def label(self) -> str:
+        return route_label(self.scenario, self.version)
+
+
+@dataclass
+class RoutedGatewayCheckpoint:
+    """A restored heterogeneous gateway: engine pools plus route table."""
+
+    shards: list[dict[tuple[str, int], StreamEngine]]
+    bindings: dict[str, RouteBinding]
+    meta: dict[str, Any]
+
+
+def route_label(scenario: str, version: int) -> str:
+    """Canonical ``scenario@version`` label used in checkpoints/stats."""
+    return f"{scenario}@{int(version)}"
+
+
+def parse_route_label(label: str) -> tuple[str, int]:
+    scenario, sep, version = label.rpartition("@")
+    if not sep or not scenario:
+        raise ArtifactError(f"malformed route label {label!r}")
+    try:
+        return scenario, int(version)
+    except ValueError as exc:
+        raise ArtifactError(f"malformed route label {label!r}") from exc
+
+
+def save_routed_gateway_checkpoint(
+    path: str | os.PathLike,
+    shards: "list[dict[tuple[str, int], StreamEngine]]",
+    bindings: dict[str, RouteBinding],
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Snapshot a registry-backed gateway atomically.
+
+    Unlike the single-detector format, no model weights are embedded:
+    every engine is keyed by its ``(scenario, version)`` registry route,
+    and restore re-loads those exact artifacts from the registry.  The
+    checkpoint is therefore small (recurrent states + route table) and
+    the registry stays the single source of model truth.
+    """
+    keys = sorted(bindings)
+    for key in keys:
+        binding = bindings[key]
+        if not 0 <= binding.shard < len(shards):
+            raise ValueError(
+                f"binding {key!r} names shard {binding.shard} of {len(shards)}"
+            )
+        pool = shards[binding.shard]
+        engine = pool.get(binding.route)
+        if engine is None:
+            raise ValueError(
+                f"binding {key!r} names route {binding.label} absent from "
+                f"shard {binding.shard}"
+            )
+        if binding.stream_id not in engine.stream_ids:
+            raise ValueError(
+                f"binding {key!r} names stream {binding.stream_id} not "
+                f"attached to route {binding.label} on shard {binding.shard}"
+            )
+        if binding.seq_base < 0:
+            raise ValueError(f"binding {key!r} has negative seq_base")
+    state: dict[str, Any] = {
+        "num_shards": len(shards),
+        "shards": {
+            str(i): {
+                route_label(*route): engine.state_dict()
+                for route, engine in pool.items()
+            }
+            for i, pool in enumerate(shards)
+        },
+        "binding_shards": np.array(
+            [bindings[k].shard for k in keys], dtype=np.int64
+        ),
+        "binding_streams": np.array(
+            [bindings[k].stream_id for k in keys], dtype=np.int64
+        ),
+        "binding_seq_bases": np.array(
+            [bindings[k].seq_base for k in keys], dtype=np.int64
+        ),
+    }
+    meta = dict(meta or {})
+    meta["stream_keys"] = keys
+    meta["stream_routes"] = [bindings[k].label for k in keys]
+    tmp = f"{os.fspath(path)}.tmp"
+    save_artifact(state, tmp, kind=ROUTED_GATEWAY_KIND, meta=meta)
+    os.replace(tmp, path)
+
+
+def load_routed_gateway_checkpoint(
+    path: str | os.PathLike,
+    resolver: "Any",
+) -> RoutedGatewayCheckpoint:
+    """Restore a routed gateway checkpoint bit-identically.
+
+    ``resolver(scenario, version)`` must return the
+    :class:`CombinedDetector` for an exact registry route — normally
+    :meth:`repro.registry.ModelRegistry.load` (or a
+    :class:`~repro.registry.ScenarioRouter`'s ``load``).  Exact versions
+    are required: restoring against "whatever is active now" would
+    resume recurrent states under a different model.
+    """
+    state = load_artifact(path, kind=ROUTED_GATEWAY_KIND)
+    meta = read_meta(path)["meta"]
+    num_shards = int(state["num_shards"])
+    shard_states = state["shards"]
+    if sorted(shard_states) != [str(i) for i in range(num_shards)]:
+        raise ArtifactError(
+            f"routed gateway checkpoint names {sorted(shard_states)} shards, "
+            f"expected {num_shards}"
+        )
+    detectors: dict[tuple[str, int], CombinedDetector] = {}
+
+    def detector_for(route: tuple[str, int]) -> CombinedDetector:
+        if route not in detectors:
+            detectors[route] = resolver(*route)
+        return detectors[route]
+
+    shards: list[dict[tuple[str, int], StreamEngine]] = []
+    for i in range(num_shards):
+        pool: dict[tuple[str, int], StreamEngine] = {}
+        for label, engine_state in shard_states[str(i)].items():
+            route = parse_route_label(label)
+            pool[route] = StreamEngine.from_state(
+                detector_for(route), engine_state
+            )
+        shards.append(pool)
+    keys = list(meta.pop("stream_keys", []))
+    labels = list(meta.pop("stream_routes", []))
+    shard_idx = np.asarray(state["binding_shards"], dtype=np.int64)
+    stream_ids = np.asarray(state["binding_streams"], dtype=np.int64)
+    seq_bases = np.asarray(state["binding_seq_bases"], dtype=np.int64)
+    if not (
+        len(keys)
+        == len(labels)
+        == shard_idx.shape[0]
+        == stream_ids.shape[0]
+        == seq_bases.shape[0]
+    ):
+        raise ArtifactError("routed gateway checkpoint binding table is torn")
+    bindings: dict[str, RouteBinding] = {}
+    for key, label, shard, stream_id, seq_base in zip(
+        keys, labels, shard_idx, stream_ids, seq_bases
+    ):
+        scenario, version = parse_route_label(str(label))
+        binding = RouteBinding(
+            shard=int(shard),
+            scenario=scenario,
+            version=version,
+            stream_id=int(stream_id),
+            seq_base=int(seq_base),
+        )
+        if not 0 <= binding.shard < num_shards:
+            raise ArtifactError(
+                f"binding {key!r} names missing shard {binding.shard}"
+            )
+        engine = shards[binding.shard].get(binding.route)
+        if engine is None or binding.stream_id not in engine.stream_ids:
+            raise ArtifactError(
+                f"binding {key!r} names stream {binding.stream_id} of route "
+                f"{binding.label} not present in shard {binding.shard}"
+            )
+        bindings[key] = binding
+    return RoutedGatewayCheckpoint(shards=shards, bindings=bindings, meta=meta)

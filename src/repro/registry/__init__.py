@@ -1,0 +1,35 @@
+"""Model registry: versioned per-scenario detectors and routing policy.
+
+The serving-side answer to "signatures are learned per-process": a
+directory-backed store of versioned detector artifacts
+(:class:`ModelRegistry`), a signature-database classifier that
+identifies which registered scenario an unlabeled stream belongs to
+(:class:`ScenarioIdentifier`), and the routing policy combining both
+(:class:`ScenarioRouter`) that the heterogeneous detection gateway and
+fleet runner consult.
+"""
+
+from repro.registry.identify import (
+    Identification,
+    ScenarioIdentifier,
+    ScenarioScore,
+)
+from repro.registry.router import RoutingError, ScenarioRouter
+from repro.registry.store import (
+    ACTIVE_FILE,
+    ModelRegistry,
+    RegistryEntry,
+    RegistryError,
+)
+
+__all__ = [
+    "ACTIVE_FILE",
+    "Identification",
+    "ModelRegistry",
+    "RegistryEntry",
+    "RegistryError",
+    "RoutingError",
+    "ScenarioIdentifier",
+    "ScenarioScore",
+    "ScenarioRouter",
+]

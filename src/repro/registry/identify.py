@@ -1,0 +1,155 @@
+"""Scenario auto-identification from a probe of unlabeled traffic.
+
+A stream that connects to the gateway without declaring its scenario
+must still be routed to the right per-process detector.  The signature
+databases themselves are the classifier: a scenario's vocabulary holds
+(nearly) every signature its own normal traffic produces, while a
+foreign plant's packages — different station address, different value
+ranges, different timing — discretize to signatures the database has
+never seen (the same effect that collapses off-diagonal precision in
+the cross-scenario matrix).
+
+:class:`ScenarioIdentifier` scores a probe window against every
+registered scenario's active detector: the probe is discretized with
+*that scenario's* fitted discretizer and the **hit rate** — the fraction
+of probe signatures present in that scenario's signature database — is
+the match score.  The best-scoring scenario wins if it clears an
+absolute confidence floor *and* leads the runner-up by a margin;
+otherwise the identifier **abstains**, which the router turns into a
+refusal to serve rather than a silent misroute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.signatures import signature_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ics.features import Package
+    from repro.registry.store import ModelRegistry
+
+
+@dataclass(frozen=True)
+class ScenarioScore:
+    """One candidate's match against the probe."""
+
+    scenario: str
+    version: int
+    hit_rate: float
+
+
+@dataclass(frozen=True)
+class Identification:
+    """Outcome of one probe: the pick (or an abstention) plus evidence."""
+
+    scenario: str | None  # None = abstained
+    version: int | None
+    scores: tuple[ScenarioScore, ...]  # best first
+    probe_size: int
+
+    @property
+    def abstained(self) -> bool:
+        return self.scenario is None
+
+    @property
+    def best_hit_rate(self) -> float:
+        return self.scores[0].hit_rate if self.scores else 0.0
+
+    @property
+    def margin(self) -> float:
+        """Lead of the best candidate over the runner-up."""
+        if len(self.scores) < 2:
+            return self.best_hit_rate
+        return self.scores[0].hit_rate - self.scores[1].hit_rate
+
+    def describe(self) -> str:
+        """One-line summary for logs and gateway error frames."""
+        ranking = ", ".join(
+            f"{s.scenario}={s.hit_rate:.2f}" for s in self.scores
+        )
+        verdict = self.scenario if self.scenario else "abstained"
+        return f"{verdict} (probe={self.probe_size}, hit-rates: {ranking})"
+
+
+class ScenarioIdentifier:
+    """Pick the registered scenario whose signature database fits a probe.
+
+    Parameters
+    ----------
+    registry:
+        The model registry whose scenarios are the candidate set; each
+        candidate is scored with its *active* detector.
+    min_hit_rate:
+        Absolute confidence floor — the winner must recognize at least
+        this fraction of the probe's signatures.  In-scenario normal
+        traffic scores near ``1 - package_validation_error`` (≈ 0.95+);
+        foreign traffic scores near zero.
+    min_margin:
+        Required lead over the runner-up; a near-tie abstains instead of
+        guessing between two plausible plants.
+    """
+
+    def __init__(
+        self,
+        registry: "ModelRegistry",
+        min_hit_rate: float = 0.5,
+        min_margin: float = 0.1,
+    ) -> None:
+        if not 0.0 < min_hit_rate <= 1.0:
+            raise ValueError(
+                f"min_hit_rate must be in (0, 1], got {min_hit_rate}"
+            )
+        if not 0.0 <= min_margin <= 1.0:
+            raise ValueError(f"min_margin must be in [0, 1], got {min_margin}")
+        self.registry = registry
+        self.min_hit_rate = min_hit_rate
+        self.min_margin = min_margin
+
+    @staticmethod
+    def _score(detector, probe: "list[Package]") -> float:
+        """Hit rate of ``probe`` against one detector's signature database."""
+        codes = detector.discretizer.transform_sequence(probe)
+        if not codes:
+            return 0.0
+        vocabulary = detector.vocabulary
+        return sum(signature_of(c) in vocabulary for c in codes) / len(codes)
+
+    def hit_rate(self, probe: Sequence["Package"], scenario: str) -> float:
+        """Fraction of probe signatures one scenario's database knows."""
+        detector, _ = self.registry.resolve(scenario)
+        return self._score(detector, list(probe))
+
+    def identify(self, probe: Sequence["Package"]) -> Identification:
+        """Score ``probe`` against every registered scenario.
+
+        Returns an abstaining :class:`Identification` (``scenario is
+        None``) for an empty probe, an empty registry, a best score
+        under the confidence floor, or a lead under the margin.
+        """
+        probe = list(probe)
+        scores: list[ScenarioScore] = []
+        if probe:
+            for scenario in self.registry.scenarios():
+                detector, entry = self.registry.resolve(scenario)
+                scores.append(
+                    ScenarioScore(
+                        scenario=scenario,
+                        version=entry.version,
+                        hit_rate=self._score(detector, probe),
+                    )
+                )
+        scores.sort(key=lambda s: (-s.hit_rate, s.scenario))
+        ranked = tuple(scores)
+        if not ranked:
+            return Identification(None, None, ranked, len(probe))
+        best = ranked[0]
+        confident = best.hit_rate >= self.min_hit_rate and (
+            len(ranked) < 2
+            or best.hit_rate - ranked[1].hit_rate >= self.min_margin
+        )
+        if not confident:
+            return Identification(None, None, ranked, len(probe))
+        return Identification(best.scenario, best.version, ranked, len(probe))

@@ -1,0 +1,395 @@
+"""Directory-backed model registry: versioned detector artifacts per scenario.
+
+The paper's detectors are per-process artifacts — the signature database
+and the LSTM are learned from *one* plant's anomaly-free traffic, and
+the cross-scenario matrix shows they do not transfer.  A deployment that
+monitors a heterogeneous fleet therefore manages a *population* of
+trained frameworks: one lineage of versioned artifacts per scenario,
+with exactly one **active** version serving at any time.
+
+:class:`ModelRegistry` is that population's store.  It is a plain
+directory tree (no daemon, no database)::
+
+    <root>/
+      gas_pipeline/
+        v0001.npz      # repro detector artifacts (persistence.save_detector)
+        v0002.npz
+        ACTIVE         # pin file naming the active version ("1")
+      water_tank/
+        v0001.npz
+
+- :meth:`publish` assigns the next version number and writes the
+  artifact atomically (same-directory temp file + ``os.replace``, the
+  :mod:`repro.utils.artifact` convention), so a reader never sees a torn
+  file where an artifact should be.
+- :meth:`resolve` returns the active detector for a scenario — the
+  pinned version if an ``ACTIVE`` file exists, else the newest — through
+  an in-process LRU of loaded detectors, so a serving gateway pays the
+  ``.npz`` load once per (scenario, version), not once per stream.
+- :meth:`promote` re-pins a scenario to any published version (the
+  rollback/rollout primitive behind ``repro registry promote``).
+- :meth:`subscribe` notifies in-process listeners when a scenario's
+  active version changes — the hook the serving gateway uses to
+  drain-and-swap live shards without restarting.
+
+Old versions are never deleted: gateway checkpoints reference exact
+``(scenario, version)`` pairs, and a bit-identical restore needs the
+artifact that actually scored the checkpointed streams.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.persistence import load_detector, save_detector
+from repro.utils.artifact import ArtifactError, read_meta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.combined import CombinedDetector
+
+#: Pin file naming a scenario's active version.
+ACTIVE_FILE = "ACTIVE"
+
+_VERSION_FILE = re.compile(r"^v(\d{4,})\.npz$")
+
+
+class RegistryError(ValueError):
+    """A registry operation named a missing scenario/version or bad input."""
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One published artifact: where it lives and what it claims to be."""
+
+    scenario: str
+    version: int
+    path: str
+    meta: dict[str, Any]
+    active: bool
+
+    @property
+    def label(self) -> str:
+        """Canonical ``scenario@version`` route label."""
+        return f"{self.scenario}@{self.version}"
+
+
+def _artifact_name(version: int) -> str:
+    return f"v{version:04d}.npz"
+
+
+class ModelRegistry:
+    """Versioned per-scenario detector store with an in-process LRU.
+
+    Thread-safe: the serving gateway's event loop, fleet site threads
+    and a publisher can share one instance.  Listener callbacks run on
+    the publishing thread — subscribers needing loop affinity must hop
+    themselves (the gateway uses ``call_soon_threadsafe``).
+    """
+
+    def __init__(self, root: str | os.PathLike, cache_size: int = 8) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.cache_size = cache_size
+        self._lock = threading.RLock()
+        self._cache: "OrderedDict[tuple[str, int], CombinedDetector]" = OrderedDict()
+        self._listeners: list[Callable[[str, int], None]] = []
+        self._cold_loads = 0
+        self._cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+
+    def _scenario_dir(self, scenario: str) -> Path:
+        if not scenario or not scenario.replace("_", "").isalnum():
+            raise RegistryError(f"scenario name must be a slug, got {scenario!r}")
+        return self.root / scenario
+
+    def artifact_path(self, scenario: str, version: int) -> Path:
+        """On-disk path of one published artifact."""
+        return self._scenario_dir(scenario) / _artifact_name(version)
+
+    def scenarios(self) -> tuple[str, ...]:
+        """Scenario names with at least one published version, sorted."""
+        names = []
+        for entry in sorted(self.root.iterdir()) if self.root.exists() else []:
+            if entry.is_dir() and self._versions_in(entry):
+                names.append(entry.name)
+        return tuple(names)
+
+    @staticmethod
+    def _versions_in(directory: Path) -> list[int]:
+        versions = []
+        for entry in directory.iterdir():
+            match = _VERSION_FILE.match(entry.name)
+            if match and entry.is_file():
+                versions.append(int(match.group(1)))
+        return sorted(versions)
+
+    def versions(self, scenario: str) -> tuple[int, ...]:
+        """Published versions of one scenario, oldest first."""
+        directory = self._scenario_dir(scenario)
+        if not directory.is_dir():
+            return ()
+        return tuple(self._versions_in(directory))
+
+    # ------------------------------------------------------------------
+    # publishing / promotion
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        detector: "CombinedDetector",
+        scenario: str,
+        meta: dict[str, Any] | None = None,
+        activate: bool = True,
+    ) -> RegistryEntry:
+        """Store ``detector`` as the scenario's next version.
+
+        ``activate=True`` (default) pins the new version as the
+        scenario's active model and notifies subscribers — a live
+        gateway hot-swaps its shards.  ``activate=False`` publishes a
+        dark version: the currently active version keeps serving (it is
+        pinned explicitly if it was only implicit) until a later
+        :meth:`promote`.  A scenario's *first* publish cannot be dark —
+        with no previous version to keep serving, the newcomer would
+        become active by latest-fallback anyway.
+        """
+        with self._lock:
+            directory = self._scenario_dir(scenario)
+            directory.mkdir(parents=True, exist_ok=True)
+            existing = self._versions_in(directory)
+            previous_active = self._active_version_in(directory, existing)
+            if not activate and previous_active is None:
+                raise RegistryError(
+                    f"scenario {scenario!r} has no active version to keep "
+                    "serving; its first publish must activate"
+                )
+            stamped = {**(meta or {}), "scenario": scenario}
+            tmp = directory / f".publish.tmp{os.getpid()}"
+            try:
+                # os.link refuses to clobber an existing name, so a
+                # concurrent publisher from another process that won the
+                # race for this version number is detected instead of
+                # silently overwritten — retry with the next number.
+                version = (existing[-1] if existing else 0) + 1
+                while True:
+                    stamped["registry_version"] = version
+                    save_detector(detector, tmp, meta=stamped)
+                    path = directory / _artifact_name(version)
+                    try:
+                        os.link(tmp, path)
+                        break
+                    except FileExistsError:
+                        version += 1
+            finally:
+                tmp.unlink(missing_ok=True)
+            if activate:
+                self._write_pin(directory, version)
+            elif previous_active is not None:
+                # Keep the previous version serving even though the new
+                # one is now "latest": make the implicit pin explicit.
+                self._write_pin(directory, previous_active)
+            entry = RegistryEntry(
+                scenario=scenario,
+                version=version,
+                path=str(path),
+                meta=stamped,
+                active=self.active_version(scenario) == version,
+            )
+        if activate:
+            self._notify(scenario, version)
+        return entry
+
+    def publish_path(
+        self,
+        artifact: str | os.PathLike,
+        scenario: str | None = None,
+        activate: bool = True,
+    ) -> RegistryEntry:
+        """Publish an existing ``save_detector`` artifact file.
+
+        ``scenario`` defaults to the provenance recorded in the artifact
+        header (``repro train`` stamps it); an artifact with no scenario
+        provenance must name one explicitly.
+        """
+        meta = read_meta(artifact)["meta"]
+        scenario = scenario or meta.get("scenario")
+        if not scenario:
+            raise RegistryError(
+                f"{artifact!s} carries no scenario provenance; pass scenario="
+            )
+        detector = load_detector(artifact)
+        published = dict(meta)
+        published.pop("registry_version", None)
+        return self.publish(detector, scenario, meta=published, activate=activate)
+
+    def promote(self, scenario: str, version: int) -> RegistryEntry:
+        """Pin ``scenario`` to an already-published ``version``.
+
+        Promotion (or rollback — any published version qualifies)
+        notifies subscribers exactly like an activating publish.
+        """
+        with self._lock:
+            if version not in self.versions(scenario):
+                raise RegistryError(
+                    f"scenario {scenario!r} has no published version {version}; "
+                    f"available: {list(self.versions(scenario))}"
+                )
+            self._write_pin(self._scenario_dir(scenario), version)
+            entry = self.entry(scenario, version)
+        self._notify(scenario, version)
+        return entry
+
+    def _write_pin(self, directory: Path, version: int) -> None:
+        tmp = directory / f".{ACTIVE_FILE}.tmp{os.getpid()}"
+        try:
+            tmp.write_text(f"{version}\n")
+            os.replace(tmp, directory / ACTIVE_FILE)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def _active_version_in(
+        self, directory: Path, versions: list[int]
+    ) -> int | None:
+        if not versions:
+            return None
+        pin = directory / ACTIVE_FILE
+        if pin.is_file():
+            try:
+                pinned = int(pin.read_text().strip())
+            except ValueError:
+                pinned = None
+            if pinned in versions:
+                return pinned
+            # Stale or corrupt pin (artifact gone): fall back to latest.
+        return versions[-1]
+
+    def active_version(self, scenario: str) -> int:
+        """The version :meth:`resolve` would serve for ``scenario``."""
+        directory = self._scenario_dir(scenario)
+        versions = self._versions_in(directory) if directory.is_dir() else []
+        active = self._active_version_in(directory, versions)
+        if active is None:
+            raise RegistryError(
+                f"no published versions for scenario {scenario!r}; "
+                f"registered: {list(self.scenarios())}"
+            )
+        return active
+
+    def load(self, scenario: str, version: int) -> "CombinedDetector":
+        """Load one exact published version through the LRU cache.
+
+        Exact-version loads back gateway checkpoint restores and
+        hot-swap: both must get the artifact named, not whatever is
+        active now.
+        """
+        key = (scenario, int(version))
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._cache_hits += 1
+                return cached
+            path = self.artifact_path(scenario, version)
+            if not path.is_file():
+                raise RegistryError(
+                    f"scenario {scenario!r} has no published version {version}; "
+                    f"available: {list(self.versions(scenario))}"
+                )
+            try:
+                detector = load_detector(path)
+            except ArtifactError as exc:
+                raise RegistryError(
+                    f"registry artifact {path} is unreadable: {exc}"
+                ) from exc
+            self._cold_loads += 1
+            self._cache[key] = detector
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+            return detector
+
+    def resolve(self, scenario: str) -> "tuple[CombinedDetector, RegistryEntry]":
+        """The active detector for ``scenario`` plus its registry entry."""
+        with self._lock:
+            version = self.active_version(scenario)
+            return self.load(scenario, version), self.entry(scenario, version)
+
+    def entry(self, scenario: str, version: int) -> RegistryEntry:
+        """Metadata of one published version (header only, no arrays)."""
+        path = self.artifact_path(scenario, version)
+        if not path.is_file():
+            raise RegistryError(
+                f"scenario {scenario!r} has no published version {version}; "
+                f"available: {list(self.versions(scenario))}"
+            )
+        try:
+            meta = read_meta(path)["meta"]
+        except ArtifactError as exc:
+            raise RegistryError(
+                f"registry artifact {path} is unreadable: {exc}"
+            ) from exc
+        return RegistryEntry(
+            scenario=scenario,
+            version=version,
+            path=str(path),
+            meta=meta,
+            active=self.active_version(scenario) == version,
+        )
+
+    def entries(self, scenario: str | None = None) -> list[RegistryEntry]:
+        """All published entries (optionally one scenario's), sorted."""
+        names = (scenario,) if scenario is not None else self.scenarios()
+        listed = []
+        for name in names:
+            for version in self.versions(name):
+                listed.append(self.entry(name, version))
+        return listed
+
+    # ------------------------------------------------------------------
+    # change notification / stats
+    # ------------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[str, int], None]) -> None:
+        """Call ``listener(scenario, version)`` on activation changes."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[str, int], None]) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify(self, scenario: str, version: int) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(scenario, version)
+
+    def stats(self) -> dict[str, Any]:
+        """Load-path counters: LRU effectiveness of :meth:`load`."""
+        with self._lock:
+            return {
+                "cold_loads": self._cold_loads,
+                "cache_hits": self._cache_hits,
+                "cached": len(self._cache),
+                "cache_size": self.cache_size,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelRegistry(root={str(self.root)!r}, scenarios={list(self.scenarios())})"

@@ -10,7 +10,10 @@ scenarios ship in-tree:
 - :mod:`repro.scenarios.water_tank` — water storage tank level control
   (inlet pump + drain valve against consumer demand),
 - :mod:`repro.scenarios.power_feeder` — distribution feeder voltage
-  regulation (regulator + shunt-load breaker against aggregate load).
+  regulation (regulator + shunt-load breaker against aggregate load),
+- :mod:`repro.scenarios.hvac_chiller` — chiller coil supply-air cooling
+  (compressor + bypass damper against a drifting heat load; slow
+  thermal time constant).
 
 Each reinterprets the seven Table-II attack types against its process
 (MPCI randomizes tank setpoints, MSCI flips breakers, …).  Register a
@@ -28,6 +31,11 @@ from repro.scenarios.base import (
     scenario_names,
 )
 from repro.scenarios.gas_pipeline import GAS_PIPELINE
+from repro.scenarios.hvac_chiller import (
+    HVAC_CHILLER,
+    HvacChillerConfig,
+    HvacChillerPlant,
+)
 from repro.scenarios.power_feeder import (
     POWER_FEEDER,
     PowerFeederConfig,
@@ -44,8 +52,11 @@ __all__ = [
     "GAS_PIPELINE",
     "WATER_TANK",
     "POWER_FEEDER",
+    "HVAC_CHILLER",
     "WaterTankConfig",
     "WaterTankPlant",
     "PowerFeederConfig",
     "PowerFeederPlant",
+    "HvacChillerConfig",
+    "HvacChillerPlant",
 ]

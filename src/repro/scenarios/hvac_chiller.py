@@ -1,0 +1,193 @@
+"""HVAC chiller loop scenario: supply-air cooling with compressor and bypass.
+
+Modelled after building-automation rigs (cf. the ``power-and-light-sim``
+reference testbed's ``hvac_physics``): an air handler's cooling coil,
+fed by a chiller compressor, depresses the supply-air temperature below
+the return-air temperature while the building's heat load fights back.
+The PLC controls the **coil temperature depression** ΔT = return-air −
+supply-air temperature: the compressor duty raises it, thermal leakage
+through the coil and the (slowly varying) occupant/equipment heat load
+pull it down, and a motorised **bypass damper** — routing warm return
+air around the coil — collapses it fast, the relief against driving the
+coil toward freeze-up.  ΔT plays the role the pipeline pressure plays
+in the paper's testbed, so every Table-I feature keeps its wire format
+and only its *meaning* changes.
+
+Depression dynamics (first-order, deliberately *slow* — the thermal
+time constant of a coil + duct run is tens of seconds, which stresses
+the LSTM's long-horizon prediction):
+
+.. math::
+
+    \\dot{ΔT} = r_{cool} · duty − r_{loss} · ΔT − q_{load}(t)
+                − r_{bypass} · ΔT · open + ε
+
+where the heat load ``q_load`` is a mean-reverting (Ornstein–Uhlenbeck)
+draw — occupancy and solar gain drifting over the day — and ``ε`` is
+process noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ics.attacks import CMRI, DOS, MFCI, MPCI, MSCI, NMRI, RECON, AttackConfig
+from repro.ics.plant import Plant, PlantConfig
+from repro.ics.scada import ScadaConfig
+from repro.scenarios.base import Scenario, register_scenario
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class HvacChillerConfig:
+    """Thermal constants of the chiller coil and its zone."""
+
+    max_depression: float = 25.0  # K, coil freeze-protection ceiling
+    cool_rate: float = 1.5  # K/s of depression at full compressor duty
+    loss_rate: float = 0.04  # 1/s thermal leakage (slow ~25 s constant)
+    bypass_rate: float = 0.2  # 1/s extra collapse with the bypass open
+    load_mean: float = 0.25  # K/s depression eaten by the heat load
+    load_reversion: float = 0.15  # 1/s pull of the load toward its mean
+    load_std: float = 0.05  # K/s/sqrt(s) load fluctuation
+    load_max: float = 0.6  # peak-occupancy load ceiling
+    noise_std: float = 0.03  # K/sqrt(s) process noise
+    initial_depression: float = 8.0
+
+    def validate(self) -> "HvacChillerConfig":
+        for name in ("max_depression", "cool_rate", "loss_rate", "load_reversion"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        for name in ("bypass_rate", "load_mean", "load_std", "noise_std"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.load_max < self.load_mean:
+            raise ValueError("load_max must be >= load_mean")
+        if not 0 <= self.initial_depression <= self.max_depression:
+            raise ValueError(
+                f"initial_depression must be in [0, {self.max_depression}], "
+                f"got {self.initial_depression}"
+            )
+        return self
+
+
+class HvacChillerPlant:
+    """Stateful coil-depression simulation (:class:`~repro.ics.plant.Plant`).
+
+    ``drive`` is the chiller compressor duty, ``relief`` the bypass
+    damper.  The heat load evolves as its own mean-reverting process, so
+    the compressor works continuously even with the bypass shut — the
+    same "always busy" property that makes the pipeline compressor's
+    traffic informative.
+    """
+
+    def __init__(
+        self, config: HvacChillerConfig | None = None, rng: SeedLike = None
+    ) -> None:
+        self.config = (config or HvacChillerConfig()).validate()
+        self._rng = as_generator(rng)
+        self.depression = self.config.initial_depression
+        self.load = self.config.load_mean
+
+    @property
+    def process_value(self) -> float:
+        return self.depression
+
+    @property
+    def limit(self) -> float:
+        return self.config.max_depression
+
+    def step(self, drive: float, relief_open: bool, dt: float) -> float:
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        drive = max(0.0, min(1.0, drive))
+        cfg = self.config
+        # Heat load: Ornstein–Uhlenbeck around the zone's mean gain.
+        self.load += cfg.load_reversion * (cfg.load_mean - self.load) * dt
+        self.load += cfg.load_std * self._rng.normal(0.0, 1.0) * dt**0.5
+        self.load = max(0.0, min(cfg.load_max, self.load))
+
+        cooling = cfg.cool_rate * drive
+        losses = cfg.loss_rate * self.depression + self.load
+        if relief_open:
+            losses += cfg.bypass_rate * self.depression
+        noise = self._rng.normal(0.0, cfg.noise_std) * dt**0.5
+        self.depression += (cooling - losses) * dt + noise
+        self.depression = max(0.0, min(cfg.max_depression, self.depression))
+        return self.depression
+
+    def measure(self, sensor_noise_std: float = 0.05) -> float:
+        if sensor_noise_std < 0:
+            raise ValueError(f"sensor_noise_std must be >= 0, got {sensor_noise_std}")
+        reading = self.depression + self._rng.normal(0.0, sensor_noise_std)
+        return max(0.0, min(self.config.max_depression, reading))
+
+
+def _build_plant(rng: SeedLike = None, plant_config: PlantConfig | None = None) -> Plant:
+    # The legacy gas PlantConfig does not apply here; a customized one
+    # must not be silently ignored.
+    if plant_config is not None and plant_config != PlantConfig():
+        raise ValueError(
+            "scenario 'hvac_chiller' does not use the gas-pipeline PlantConfig; "
+            "customize HvacChillerConfig via a registered Scenario instead"
+        )
+    return HvacChillerPlant(rng=rng)
+
+
+HVAC_CHILLER = register_scenario(
+    Scenario(
+        name="hvac_chiller",
+        title="HVAC chiller loop",
+        description=(
+            "Air-handler cooling coil fed by a chiller compressor; the "
+            "PLC holds the supply-air temperature depression against a "
+            "drifting building heat load, with a bypass damper as the "
+            "freeze-protection relief."
+        ),
+        process_variable="coil temperature depression",
+        process_unit="K",
+        actuators=("compressor duty", "bypass damper"),
+        plant_builder=_build_plant,
+        scada=ScadaConfig(
+            station_address=11,
+            setpoint_mean=10.0,
+            setpoint_std=2.0,
+            setpoint_min=6.0,
+            setpoint_max=14.0,
+            setpoint_step=0.5,
+            sensor_noise_std=0.04,
+        ),
+        attacks=AttackConfig(
+            # MPCI dials depression setpoints past the freeze line (25 K).
+            mpci_setpoint_low=0.0,
+            mpci_setpoint_high=30.0,
+        ),
+        feature_aliases={
+            "pressure_measurement": "coil temperature depression (K)",
+            "setpoint": "depression setpoint (K)",
+            "pump": "chiller compressor on/off",
+            "solenoid": "bypass damper open/closed",
+        },
+        attack_notes={
+            NMRI: "fabricated depression readings, often past the freeze line",
+            CMRI: "stale temperature snapshots masking a freezing or stalled coil",
+            MSCI: "compressor/bypass flipped in flight (compressor+bypass combos)",
+            MPCI: "randomized depression setpoints up to 1.2x the freeze limit",
+            MFCI: "diagnostics/exception function codes the master never uses",
+            DOS: "malformed frame flood delaying the temperature poll",
+            RECON: "scans for other AHU controllers on the building bus",
+        },
+        register_names=(
+            "depression_setpoint",
+            "gain",
+            "reset_rate",
+            "deadband",
+            "cycle_time",
+            "rate",
+            "system_mode",
+            "control_scheme",
+            "compressor",
+            "bypass_damper",
+            "coil_depression",
+        ),
+    )
+)

@@ -16,8 +16,16 @@ tanks, some feeder sections, each with its own capture timeline.  The
   to running its capture through offline** ``detector.detect()`` — which
   :meth:`FleetRunner.run` can verify in-process.
 
+The runner serves in two modes.  **Homogeneous** (``detector=``): one
+trained framework scores every site — in-scenario quality on at most
+one plant, the PR-4 baseline.  **Heterogeneous** (``registry=``): the
+gateway routes every stream to its scenario's active registry artifact
+(tagged OPENs by default, or auto-identified probes with
+``tag_streams=False``), and verification checks each site against *its
+own scenario's* model — in-scenario quality everywhere.
+
 The runner is the substrate for the ``repro fleet`` CLI and the fleet
-throughput benchmark.
+and registry benchmarks.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,8 +41,11 @@ from repro.core.combined import CombinedDetector
 from repro.core.metrics import DetectionMetrics, evaluate_detection
 from repro.ics.features import Package
 from repro.serve.alerts import AlertConfig, AlertPipeline
-from repro.serve.gateway import GatewayConfig, start_in_thread
+from repro.serve.gateway import DetectionGateway, GatewayConfig, start_in_thread
 from repro.serve.replay import ReplayClient
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.registry.store import ModelRegistry
 
 
 @dataclass(frozen=True)
@@ -71,6 +83,9 @@ class FleetConfig:
     base_seed: int = 0
     window: int = 32  # per-site replay in-flight window
     verify_offline: bool = False  # re-run every capture through detect()
+    #: Heterogeneous mode only: tag each site's OPEN with its scenario
+    #: (False = untagged, the gateway auto-identifies from the probe).
+    tag_streams: bool = True
 
     def validate(self) -> "FleetConfig":
         if self.num_sites < 1:
@@ -112,6 +127,9 @@ class SiteResult:
     metrics: DetectionMetrics
     complete: bool
     matches_offline: bool | None = None  # None = verification not requested
+    #: Model that scored this site (heterogeneous mode; from gateway stats).
+    route_scenario: str | None = None
+    route_version: int | None = None
 
 
 @dataclass
@@ -121,6 +139,7 @@ class FleetResult:
     sites: list[SiteResult]
     seconds: float
     gateway_stats: dict = field(default_factory=dict)
+    heterogeneous: bool = False
 
     @property
     def total_packages(self) -> int:
@@ -145,25 +164,65 @@ class FleetResult:
 
 
 class FleetRunner:
-    """Drive a multi-scenario site fleet through one detection gateway."""
+    """Drive a multi-scenario site fleet through one detection gateway.
 
-    def __init__(self, detector: CombinedDetector, config: FleetConfig | None = None) -> None:
+    Pass ``detector=`` for the homogeneous baseline (one model serves
+    every site) or ``registry=`` for heterogeneous serving (the gateway
+    routes every site to its scenario's active registry artifact, and
+    offline verification checks each site against its *own* model).
+    """
+
+    def __init__(
+        self,
+        detector: CombinedDetector | None = None,
+        config: FleetConfig | None = None,
+        registry: "ModelRegistry | None" = None,
+    ) -> None:
+        if (detector is None) == (registry is None):
+            raise ValueError(
+                "pass exactly one of detector= (homogeneous) or "
+                "registry= (heterogeneous)"
+            )
         self.detector = detector
+        self.registry = registry
         self.config = (config or FleetConfig()).validate()
+
+    @property
+    def heterogeneous(self) -> bool:
+        return self.registry is not None
+
+    def _reference_detector(self, scenario: str) -> CombinedDetector:
+        """The model a site's verdicts are verified against."""
+        if self.registry is None:
+            assert self.detector is not None
+            return self.detector
+        return self.registry.resolve(scenario)[0]
 
     def run(self) -> FleetResult:
         """Start a gateway, stream every site concurrently, gather verdicts."""
         config = self.config
         sites = config.sites()
         captures = {site.name: site.capture() for site in sites}
+        if self.registry is not None:
+            # Resolve every scenario up front: a missing registry entry
+            # must fail loudly here, not as a mid-replay protocol error
+            # on some site thread.
+            for scenario in sorted({site.scenario for site in sites}):
+                self.registry.resolve(scenario)
 
-        handle = start_in_thread(
-            self.detector,
-            GatewayConfig(num_shards=config.num_shards,
-                          max_pending=max(256, 4 * config.window)),
-            # Silent pipeline: alert bookkeeping runs, nothing prints.
-            AlertPipeline(config=AlertConfig()),
+        gateway_config = GatewayConfig(
+            num_shards=config.num_shards,
+            max_pending=max(256, 4 * config.window),
         )
+        # Silent pipeline: alert bookkeeping runs, nothing prints.
+        alerts = AlertPipeline(config=AlertConfig())
+        if self.registry is not None:
+            gateway = DetectionGateway(
+                config=gateway_config, alerts=alerts, registry=self.registry
+            )
+            handle = start_in_thread(None, gateway=gateway)
+        else:
+            handle = start_in_thread(self.detector, gateway_config, alerts)
         results: dict[str, SiteResult] = {}
         errors: list[BaseException] = []
         try:
@@ -172,7 +231,15 @@ class FleetRunner:
             def stream(site: SiteSpec) -> None:
                 try:
                     client = ReplayClient(
-                        host, port, stream_key=site.name, window=config.window
+                        host,
+                        port,
+                        stream_key=site.name,
+                        window=config.window,
+                        scenario=(
+                            site.scenario
+                            if self.heterogeneous and config.tag_streams
+                            else None
+                        ),
                     )
                     replayed = client.replay(captures[site.name])
                     labels = np.array([p.label for p in captures[site.name]])
@@ -206,10 +273,18 @@ class FleetRunner:
         if errors:
             raise errors[0]
 
+        routes = stats.get("routes", {})
+        for site in sites:
+            route = routes.get(site.name, {})
+            results[site.name].route_scenario = route.get("scenario")
+            results[site.name].route_version = route.get("version")
+
         if config.verify_offline:
             for site in sites:
                 result = results[site.name]
-                offline = self.detector.detect(captures[site.name])
+                offline = self._reference_detector(site.scenario).detect(
+                    captures[site.name]
+                )
                 result.matches_offline = bool(
                     result.complete
                     and len(offline) == result.packages
@@ -218,10 +293,17 @@ class FleetRunner:
                         np.where(offline.is_anomaly, offline.level, 0),
                         np.where(result.anomalies, result.levels, 0),
                     )
+                    # A heterogeneous site must really have been scored
+                    # by its own scenario's artifact, not a lucky match.
+                    and (
+                        not self.heterogeneous
+                        or result.route_scenario == site.scenario
+                    )
                 )
 
         return FleetResult(
             sites=[results[site.name] for site in sites],
             seconds=seconds,
             gateway_stats=stats,
+            heterogeneous=self.heterogeneous,
         )

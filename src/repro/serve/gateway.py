@@ -16,11 +16,12 @@ Architecture
   least-loaded on first sight and sticky forever after — reconnects
   (including after a gateway restart from checkpoint) land on the same
   LSTM state.
-- Each shard owns one engine and one worker task.  Packages arriving on
-  the shard's sessions accumulate in its bounded queue; the worker
-  drains the queue and advances all waiting streams with **one batched
-  LSTM step per tick**, so inference stays batched under load exactly
-  like the offline engine.
+- Each shard owns a pool of engines — one per *model route* — and one
+  worker task.  Packages arriving on the shard's sessions accumulate in
+  its bounded queue; the worker drains the queue and advances all
+  waiting streams with **one batched LSTM step per engine per tick**,
+  so inference stays batched under load exactly like the offline
+  engine.
 - Backpressure is end-to-end: a full shard queue suspends that
   session's reader coroutine, which stops draining the socket, which
   fills the client's TCP window.  A client that stops *reading* its
@@ -30,6 +31,31 @@ Architecture
   order on a single engine row, verdicts per stream are independent of
   shard count, batch composition of any tick, and connection timing —
   batching changes wall-clock, never decisions.
+
+Heterogeneous serving
+---------------------
+A gateway built over a :class:`~repro.registry.ModelRegistry` (via
+``registry=`` or a prebuilt :class:`~repro.registry.ScenarioRouter`)
+serves a *mixed fleet*: every stream key is routed at OPEN time to a
+versioned per-scenario detector —
+
+- an OPEN frame carrying an explicit scenario tag resolves to that
+  scenario's active registry version;
+- an untagged stream is **auto-identified** by scoring its buffered
+  probe against every registered scenario's package-signature database
+  — routed as soon as the score is decisive, refused (an ERROR frame)
+  once the router's probe window is exhausted without confidence,
+  never misrouted;
+- publishing (or ``repro registry promote``-ing) a new active version
+  **hot-swaps** live shards between ticks: each affected stream is
+  drained from its old engine and re-attached to the new version's
+  engine with zero dropped packages, the verdict sequence continuing
+  unbroken.
+
+Routed gateways checkpoint their complete route table (and every
+engine pool) through :func:`repro.persistence.save_routed_gateway_checkpoint`;
+restore resolves the exact ``(scenario, version)`` artifacts from the
+registry, so fail-over stays bit-identical in heterogeneous mode too.
 
 The module is std-lib asyncio only; :func:`start_in_thread` runs a
 gateway on a background event loop for tests, benchmarks and notebooks.
@@ -45,9 +71,15 @@ from typing import TYPE_CHECKING, Any
 
 from repro.ics.modbus import CrcError
 from repro.persistence import (
+    ROUTED_GATEWAY_KIND,
+    RouteBinding,
     load_gateway_checkpoint,
+    load_routed_gateway_checkpoint,
+    route_label,
     save_gateway_checkpoint,
+    save_routed_gateway_checkpoint,
 )
+from repro.registry.router import RoutingError, ScenarioRouter
 from repro.serve.alerts import AlertPipeline
 from repro.serve.transport import (
     KIND_DATA,
@@ -63,10 +95,20 @@ from repro.serve.transport import (
     encode_verdict,
     wrap_pdu,
 )
+from repro.utils.artifact import read_meta
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.combined import CombinedDetector
     from repro.core.stream_engine import StreamEngine
+    from repro.ics.features import Package
+    from repro.registry.store import ModelRegistry
+
+#: Route key of the lone engine pool slot in single-detector mode.
+_SINGLE_ROUTE: tuple[str | None, int | None] = (None, None)
+
+#: Stream id placeholder acked to untagged streams awaiting
+#: auto-identification (no engine row is assigned yet).
+PENDING_STREAM_ID = 0xFFFFFFFF
 
 
 class ProtocolViolation(Exception):
@@ -85,6 +127,7 @@ class GatewayConfig:
     max_pending: int = 256  # per-shard queue bound (backpressure trigger)
     max_write_buffer: int = 1 << 20  # evict clients that stop reading verdicts
     max_packages: int | None = None  # stop serving after N packages (tests/CLI)
+    registry_poll_seconds: float = 1.0  # registry mode: hot-swap poll; 0 = off
 
     def validate(self) -> "GatewayConfig":
         if self.num_shards < 1:
@@ -105,7 +148,43 @@ class GatewayConfig:
             raise ValueError(
                 f"max_packages must be >= 1, got {self.max_packages}"
             )
+        if self.registry_poll_seconds < 0:
+            raise ValueError(
+                f"registry_poll_seconds must be >= 0, got "
+                f"{self.registry_poll_seconds}"
+            )
         return self
+
+
+class _Route:
+    """One stream key's live binding: shard, model route, engine row.
+
+    Mutable on purpose: a hot-swap rewrites ``version``/``stream_id``/
+    ``seq_base`` in place, and every live session holding this object
+    follows automatically.  ``seq_base`` counts packages judged by
+    earlier versions, so ``seq_base + engine.packages_seen(stream_id)``
+    is always the stream's next expected wire sequence number.
+    """
+
+    __slots__ = ("shard", "scenario", "version", "stream_id", "seq_base")
+
+    def __init__(
+        self,
+        shard: int,
+        scenario: str | None,
+        version: int | None,
+        stream_id: int,
+        seq_base: int = 0,
+    ) -> None:
+        self.shard = shard
+        self.scenario = scenario
+        self.version = version
+        self.stream_id = stream_id
+        self.seq_base = seq_base
+
+    @property
+    def route_key(self) -> tuple[str | None, int | None]:
+        return (self.scenario, self.version)
 
 
 class _Session:
@@ -115,7 +194,8 @@ class _Session:
         self.writer = writer
         self.key: str | None = None
         self.shard: "_Shard | None" = None
-        self.stream_id: int | None = None
+        self.route: _Route | None = None
+        self.probe: list[tuple[int, "Package"]] = []
         self.next_seq = 0
         self.evicted = False
 
@@ -134,18 +214,30 @@ class _Session:
 
 
 class _Shard:
-    """One engine plus the worker that batches its streams' packages."""
+    """One engine pool plus the worker that batches its streams' packages."""
 
     def __init__(self, gateway: "DetectionGateway", index: int,
-                 engine: "StreamEngine", max_pending: int) -> None:
+                 max_pending: int) -> None:
         self.gateway = gateway
         self.index = index
-        self.engine = engine
+        #: model route -> engine; single-detector mode uses one pool
+        #: slot keyed ``(None, None)``.
+        self.engines: "dict[tuple[str | None, int | None], StreamEngine]" = {}
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
         self.bound_streams = 0
 
+    def engine_for(
+        self, route_key: tuple[str | None, int | None]
+    ) -> "StreamEngine":
+        """The pool engine for one model route, created on first use."""
+        engine = self.engines.get(route_key)
+        if engine is None:
+            engine = self.gateway._detector_for(route_key).engine(0)
+            self.engines[route_key] = engine
+        return engine
+
     async def run(self) -> None:
-        """Drain the queue forever, one batched engine tick at a time."""
+        """Drain the queue forever, one batched tick at a time."""
         while True:
             items = [await self.queue.get()]
             while True:
@@ -157,20 +249,33 @@ class _Shard:
             while pending:
                 # One tick advances each stream by at most one package;
                 # extra packages of the same stream wait for the next
-                # tick, preserving per-stream order.
-                tick: dict[int, tuple] = {}
+                # tick, preserving per-stream order.  Streams are keyed
+                # by (model route, engine row): ids are only unique
+                # within one engine of the pool.
+                tick: dict[tuple, tuple] = {}
                 leftover: deque = deque()
                 for item in pending:
-                    session, seq, package = item
-                    if session.stream_id in tick:
+                    route = item[0].route
+                    slot = (route.scenario, route.version, route.stream_id)
+                    if slot in tick:
                         leftover.append(item)
                     else:
-                        tick[session.stream_id] = item
-                batch = {
-                    stream_id: package
-                    for stream_id, (_, _, package) in tick.items()
-                }
-                verdicts, levels = self.engine.observe_batch(batch)
+                        tick[slot] = item
+                # Group the tick by engine: heterogeneous shards run one
+                # batched LSTM step per *model*, homogeneous shards
+                # degenerate to exactly the old single-batch tick.
+                groups: dict[tuple, dict[int, tuple]] = {}
+                for (scenario, version, stream_id), item in tick.items():
+                    groups.setdefault((scenario, version), {})[stream_id] = item
+                outputs = []
+                for route_key, by_stream in groups.items():
+                    engine = self.engines[route_key]
+                    batch = {
+                        stream_id: item[2]
+                        for stream_id, item in by_stream.items()
+                    }
+                    verdicts, levels = engine.observe_batch(batch)
+                    outputs.append((list(by_stream.values()), verdicts, levels))
                 # Account (and maybe checkpoint) before delivery: a
                 # write can flush to the socket synchronously, so this
                 # ordering guarantees a client can never observe a
@@ -178,41 +283,96 @@ class _Shard:
                 # Checkpoints land between ticks, where every stream's
                 # state and seen-count are mutually consistent.
                 self.gateway._after_work(len(tick))
-                self.gateway._deliver(tick, verdicts, levels)
+                for items_out, verdicts, levels in outputs:
+                    self.gateway._deliver(items_out, verdicts, levels)
                 pending = leftover
 
 
 class DetectionGateway:
-    """Async Modbus/TCP server multiplexing sessions onto sharded engines."""
+    """Async Modbus/TCP server multiplexing sessions onto sharded engines.
+
+    Built either over one trained ``detector`` (homogeneous: every
+    stream is scored by that model) or over a model ``registry`` /
+    ``router`` (heterogeneous: every stream is routed to its scenario's
+    versioned artifact, with auto-identification and hot-swap).
+    """
 
     def __init__(
         self,
-        detector: "CombinedDetector",
+        detector: "CombinedDetector | None" = None,
         config: GatewayConfig | None = None,
         alerts: AlertPipeline | None = None,
+        *,
+        registry: "ModelRegistry | None" = None,
+        router: ScenarioRouter | None = None,
+        model_info: dict[str, Any] | None = None,
         _engines: "list[StreamEngine] | None" = None,
         _bindings: dict[str, tuple[int, int]] | None = None,
+        _routed_shards: "list[dict[tuple[str, int], StreamEngine]] | None" = None,
+        _routed_bindings: dict[str, RouteBinding] | None = None,
     ) -> None:
         self.config = (config or GatewayConfig()).validate()
-        self.detector = detector
-        self.alerts = alerts if alerts is not None else AlertPipeline()
-        if _engines is None:
-            _engines = [detector.engine(0) for _ in range(self.config.num_shards)]
-        elif len(_engines) != self.config.num_shards:
+        if router is None and registry is not None:
+            router = ScenarioRouter(registry)
+        if (detector is None) == (router is None):
             raise ValueError(
-                f"{len(_engines)} restored shards for config.num_shards="
-                f"{self.config.num_shards}"
+                "pass exactly one of detector= (homogeneous) or "
+                "registry=/router= (heterogeneous)"
             )
+        self.detector = detector
+        self._router = router
+        self.alerts = alerts if alerts is not None else AlertPipeline()
+        self._model_info = dict(model_info) if model_info else None
         self._shards = [
-            _Shard(self, i, engine, self.config.max_pending)
-            for i, engine in enumerate(_engines)
+            _Shard(self, i, self.config.max_pending)
+            for i in range(self.config.num_shards)
         ]
-        #: stream key -> (shard index, stream id); sticky across reconnects.
-        self._bindings: dict[str, tuple[int, int]] = dict(_bindings or {})
-        for shard_index, _ in self._bindings.values():
-            self._shards[shard_index].bound_streams += 1
+        #: stream key -> live route; sticky across reconnects.
+        self._bindings: dict[str, _Route] = {}
+        if router is None:
+            if _routed_shards is not None or _routed_bindings is not None:
+                raise ValueError("routed state requires registry=/router=")
+            if _engines is None:
+                assert detector is not None
+                _engines = [
+                    detector.engine(0) for _ in range(self.config.num_shards)
+                ]
+            elif len(_engines) != self.config.num_shards:
+                raise ValueError(
+                    f"{len(_engines)} restored shards for config.num_shards="
+                    f"{self.config.num_shards}"
+                )
+            for shard, engine in zip(self._shards, _engines):
+                shard.engines[_SINGLE_ROUTE] = engine
+            for key, (shard_index, stream_id) in (_bindings or {}).items():
+                self._bindings[key] = _Route(shard_index, None, None, stream_id)
+        else:
+            if _engines is not None or _bindings is not None:
+                raise ValueError(
+                    "single-detector state cannot restore a routed gateway"
+                )
+            if _routed_shards is not None:
+                if len(_routed_shards) != self.config.num_shards:
+                    raise ValueError(
+                        f"{len(_routed_shards)} restored shards for "
+                        f"config.num_shards={self.config.num_shards}"
+                    )
+                for shard, pool in zip(self._shards, _routed_shards):
+                    shard.engines.update(pool)
+            for key, binding in (_routed_bindings or {}).items():
+                self._bindings[key] = _Route(
+                    binding.shard,
+                    binding.scenario,
+                    binding.version,
+                    binding.stream_id,
+                    binding.seq_base,
+                )
+        for route in self._bindings.values():
+            self._shards[route.shard].bound_streams += 1
         self._live: dict[str, _Session] = {}
         self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._registry_listener = None
         self._workers: list[asyncio.Task] = []
         self._processed = 0
         self._since_checkpoint = 0
@@ -220,6 +380,9 @@ class DetectionGateway:
         self._crc_errors = 0
         self._malformed = 0
         self._bytes_discarded = 0
+        self._swaps_applied = 0
+        self._identified = 0
+        self._abstained = 0
         self._done = asyncio.Event()
         self._stopped = False
 
@@ -234,12 +397,48 @@ class DetectionGateway:
         config: GatewayConfig | None = None,
         alerts: AlertPipeline | None = None,
         detector: "CombinedDetector | None" = None,
+        registry: "ModelRegistry | None" = None,
+        router: ScenarioRouter | None = None,
+        model_info: dict[str, Any] | None = None,
     ) -> "DetectionGateway":
         """Rebuild a gateway from a checkpoint; streams resume bit-identically.
 
         The shard count is part of the checkpointed topology, so it
-        overrides ``config.num_shards``.
+        overrides ``config.num_shards``.  Single-detector checkpoints
+        optionally take ``detector`` to skip the embedded copy; routed
+        checkpoints *require* ``registry=`` (or a prebuilt ``router=``)
+        to resolve the exact ``(scenario, version)`` artifacts their
+        engine pools reference.
         """
+        kind = read_meta(path)["kind"]
+        if kind == ROUTED_GATEWAY_KIND:
+            if router is None and registry is not None:
+                router = ScenarioRouter(registry)
+            if router is None:
+                raise ValueError(
+                    f"{path} is a routed gateway checkpoint; pass registry= "
+                    "(or router=) so its model routes can be resolved"
+                )
+            restored = load_routed_gateway_checkpoint(path, router.load)
+            config = replace(
+                config or GatewayConfig(), num_shards=len(restored.shards)
+            )
+            return cls(
+                config=config,
+                alerts=alerts,
+                router=router,
+                _routed_shards=restored.shards,
+                _routed_bindings=restored.bindings,
+            )
+        if registry is not None or router is not None:
+            # A single-detector checkpoint cannot come up as a routed
+            # gateway: refusing beats silently serving one embedded
+            # model to an operator who asked for registry routing.
+            raise ValueError(
+                f"{path} is a single-detector checkpoint ({kind}); it cannot "
+                "resume under registry=/router= — resume it with detector= "
+                "(or start a fresh registry gateway)"
+            )
         restored = load_gateway_checkpoint(path, detector)
         config = replace(
             config or GatewayConfig(), num_shards=len(restored.engines)
@@ -248,6 +447,7 @@ class DetectionGateway:
             restored.detector,
             config,
             alerts,
+            model_info=model_info,
             _engines=restored.engines,
             _bindings=restored.bindings,
         )
@@ -256,10 +456,20 @@ class DetectionGateway:
         """Bind the listening socket and launch the shard workers."""
         if self._server is not None:
             raise RuntimeError("gateway already started")
-        self._workers = [
-            asyncio.get_running_loop().create_task(shard.run())
-            for shard in self._shards
-        ]
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._workers = [loop.create_task(shard.run()) for shard in self._shards]
+        if self._router is not None:
+            # In-process publishes/promotes hot-swap immediately; the
+            # poll task additionally picks up activations performed by
+            # other processes (e.g. `repro registry promote`).
+            def listener(scenario: str, version: int) -> None:
+                loop.call_soon_threadsafe(self._maybe_swap, scenario)
+
+            self._registry_listener = listener
+            self._router.registry.subscribe(listener)
+            if self.config.registry_poll_seconds > 0:
+                self._workers.append(loop.create_task(self._watch_registry()))
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -280,6 +490,9 @@ class DetectionGateway:
         if self._stopped:
             return
         self._stopped = True
+        if self._router is not None and self._registry_listener is not None:
+            self._router.registry.unsubscribe(self._registry_listener)
+            self._registry_listener = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -360,36 +573,70 @@ class DetectionGateway:
         if session.key is not None:
             raise ProtocolViolation("session already bound to a stream")
         try:
-            key = decode_open(frame.pdu)
+            key, scenario_tag = decode_open(frame.pdu)
         except TransportError as exc:
             raise ProtocolViolation(str(exc)) from exc
         if key in self._live:
             raise ProtocolViolation(f"stream key {key!r} already connected")
 
-        binding = self._bindings.get(key)
-        if binding is None:
-            # Least-loaded shard (ties to the lowest index) keeps the
-            # per-tick batches balanced as keys come and go.
-            shard = min(self._shards, key=lambda s: (s.bound_streams, s.index))
-            stream_id = shard.engine.attach()
-            shard.bound_streams += 1
-            self._bindings[key] = (shard.index, stream_id)
-        else:
-            shard = self._shards[binding[0]]
-            stream_id = binding[1]
+        route = self._bindings.get(key)
+        if route is None and self._router is not None and scenario_tag is None:
+            # Untagged stream on a routed gateway: hold the session and
+            # auto-identify its scenario from the first probe window.
+            session.key = key
+            self._live[key] = session
+            session.send(
+                wrap_pdu(encode_open_ack(PENDING_STREAM_ID, 0), 0),
+                self.config.max_write_buffer,
+            )
+            return
+        if route is None:
+            route = self._bind(key, scenario_tag)
 
         session.key = key
-        session.shard = shard
-        session.stream_id = stream_id
-        session.next_seq = shard.engine.packages_seen(stream_id)
+        session.route = route
+        session.shard = self._shards[route.shard]
+        engine = session.shard.engines[route.route_key]
+        session.next_seq = route.seq_base + engine.packages_seen(route.stream_id)
         self._live[key] = session
         session.send(
-            wrap_pdu(encode_open_ack(stream_id, session.next_seq), 0),
+            wrap_pdu(encode_open_ack(route.stream_id, session.next_seq), 0),
             self.config.max_write_buffer,
         )
 
+    def _bind(
+        self,
+        key: str,
+        scenario_tag: str | None,
+        identified: tuple[str, int] | None = None,
+    ) -> _Route:
+        """Assign a fresh stream key its shard, model route and engine row."""
+        if self._router is None:
+            # Homogeneous gateway: one model serves everything; a
+            # scenario tag is advisory and does not change routing.
+            scenario: str | None = None
+            version: int | None = None
+        elif identified is not None:
+            scenario, version = identified
+        else:
+            assert scenario_tag is not None
+            try:
+                _, entry = self._router.resolve(scenario_tag)
+            except RoutingError as exc:
+                raise ProtocolViolation(str(exc)) from exc
+            scenario, version = entry.scenario, entry.version
+        # Least-loaded shard (ties to the lowest index) keeps the
+        # per-tick batches balanced as keys come and go.
+        shard = min(self._shards, key=lambda s: (s.bound_streams, s.index))
+        engine = shard.engine_for((scenario, version))
+        stream_id = engine.attach()
+        shard.bound_streams += 1
+        route = _Route(shard.index, scenario, version, stream_id)
+        self._bindings[key] = route
+        return route
+
     async def _on_data(self, session: _Session, frame: MbapFrame) -> None:
-        if session.shard is None:
+        if session.key is None:
             raise ProtocolViolation("DATA before OPEN")
         try:
             data = decode_data(frame.pdu)
@@ -411,19 +658,137 @@ class DetectionGateway:
                 f"got {data.seq}"
             )
         session.next_seq += 1
+        if session.route is None:
+            # Auto-identification probe: identification is attempted on
+            # every buffered package past the router's minimum — a
+            # short stream routes as soon as its probe is decisive, and
+            # only a stream still unidentified after the full window is
+            # refused (an attack burst at the head keeps buffering
+            # until clean traffic tips the score).
+            assert self._router is not None
+            session.probe.append((data.seq, data.package))
+            if len(session.probe) >= self._router.min_probe:
+                await self._identify_and_bind(
+                    session, final=len(session.probe) >= self._router.probe_window
+                )
+            return
         # Bounded queue: when the shard is saturated this await parks
         # the reader, which stops draining the socket — backpressure
         # reaches the client as a zero TCP window.
+        assert session.shard is not None
         await session.shard.queue.put((session, data.seq, data.package))
+
+    async def _identify_and_bind(self, session: _Session, final: bool) -> None:
+        assert self._router is not None and session.key is not None
+        outcome = self._router.identify([pkg for _, pkg in session.probe])
+        if outcome.abstained:
+            if not final:
+                return  # inconclusive so far: keep buffering the probe
+            self._abstained += 1
+            raise ProtocolViolation(
+                f"cannot identify a registered scenario for stream "
+                f"{session.key!r}: {outcome.describe()}"
+            )
+        self._identified += 1
+        assert outcome.scenario is not None and outcome.version is not None
+        route = self._bind(
+            session.key, None, identified=(outcome.scenario, outcome.version)
+        )
+        session.route = route
+        session.shard = self._shards[route.shard]
+        probe, session.probe = session.probe, []
+        for seq, package in probe:
+            await session.shard.queue.put((session, seq, package))
+
+    # ------------------------------------------------------------------
+    # model resolution & hot-swap
+    # ------------------------------------------------------------------
+
+    def _detector_for(
+        self, route_key: tuple[str | None, int | None]
+    ) -> "CombinedDetector":
+        """The trained framework behind one pool slot."""
+        if self._router is None:
+            assert self.detector is not None
+            return self.detector
+        scenario, version = route_key
+        assert scenario is not None and version is not None
+        return self._router.load(scenario, version)
+
+    def request_promote(self, scenario: str) -> None:
+        """Thread-safe: re-check a scenario's active version and hot-swap."""
+        if self._loop is None:
+            self._maybe_swap(scenario)
+        else:
+            self._loop.call_soon_threadsafe(self._maybe_swap, scenario)
+
+    def _maybe_swap(self, scenario: str) -> None:
+        if self._router is None or self._stopped:
+            return
+        try:
+            version = self._router.active_version(scenario)
+            self._apply_swap(scenario, version)
+        except RoutingError:
+            return
+
+    def _apply_swap(self, scenario: str, version: int) -> None:
+        """Drain-and-swap every stream of ``scenario`` onto ``version``.
+
+        Runs as one event-loop callback, so it lands *between* shard
+        ticks: packages already queued are simply scored by the new
+        engine on the next tick — none are dropped, and the verdict
+        sequence continues unbroken.  The old version's recurrent state
+        does not transfer (architectures and vocabularies may differ);
+        each swapped stream restarts from a fresh zero state exactly
+        like offline ``detect()`` starting at the swap boundary.
+        """
+        swapped = 0
+        for route in self._bindings.values():
+            if route.scenario != scenario or route.version == version:
+                continue
+            shard = self._shards[route.shard]
+            old_engine = shard.engines[(scenario, route.version)]
+            new_engine = shard.engine_for((scenario, version))
+            route.seq_base += old_engine.packages_seen(route.stream_id)
+            old_engine.detach(route.stream_id)
+            route.stream_id = new_engine.attach()
+            route.version = version
+            swapped += 1
+        if not swapped:
+            return
+        for shard in self._shards:
+            stale = [
+                key
+                for key, engine in shard.engines.items()
+                if key[0] == scenario
+                and key[1] != version
+                and engine.num_streams == 0
+            ]
+            for key in stale:
+                del shard.engines[key]
+        self._swaps_applied += 1
+
+    async def _watch_registry(self) -> None:
+        """Poll for activations done by other processes (CLI promote)."""
+        assert self._router is not None
+        while True:
+            await asyncio.sleep(self.config.registry_poll_seconds)
+            scenarios = {
+                route.scenario
+                for route in self._bindings.values()
+                if route.scenario is not None
+            }
+            for scenario in scenarios:
+                self._maybe_swap(scenario)
 
     # ------------------------------------------------------------------
     # verdict delivery (called by shard workers)
     # ------------------------------------------------------------------
 
-    def _deliver(self, tick: dict[int, tuple], verdicts, levels) -> None:
+    def _deliver(self, items, verdicts, levels) -> None:
         max_buffer = self.config.max_write_buffer
         for (session, seq, package), verdict, level in zip(
-            tick.values(), verdicts, levels
+            items, verdicts, levels
         ):
             session.send(
                 wrap_pdu(encode_verdict(seq, bool(verdict), int(level)),
@@ -451,21 +816,77 @@ class DetectionGateway:
         # checkpoint_every packages — size it accordingly.
         if not self.config.checkpoint_path:
             return
-        save_gateway_checkpoint(
-            self.config.checkpoint_path,
-            self.detector,
-            [shard.engine for shard in self._shards],
-            self._bindings,
-            meta={"processed": self._processed},
-        )
+        meta = {"processed": self._processed, "routes": self._route_meta()}
+        if self._router is None:
+            assert self.detector is not None
+            save_gateway_checkpoint(
+                self.config.checkpoint_path,
+                self.detector,
+                [shard.engines[_SINGLE_ROUTE] for shard in self._shards],
+                {
+                    key: (route.shard, route.stream_id)
+                    for key, route in self._bindings.items()
+                },
+                meta=meta,
+            )
+        else:
+            save_routed_gateway_checkpoint(
+                self.config.checkpoint_path,
+                [dict(shard.engines) for shard in self._shards],
+                {
+                    key: RouteBinding(
+                        shard=route.shard,
+                        scenario=route.scenario,
+                        version=route.version,
+                        stream_id=route.stream_id,
+                        seq_base=route.seq_base,
+                    )
+                    for key, route in self._bindings.items()
+                    if route.scenario is not None and route.version is not None
+                },
+                meta=meta,
+            )
         self._since_checkpoint = 0
         self._checkpoints_written += 1
 
     # ------------------------------------------------------------------
 
-    def stats(self) -> dict[str, Any]:
-        """Serving counters: per-shard engine stats plus edge health."""
+    def _route_meta(self) -> dict[str, dict[str, Any]]:
+        """Per-stream-key model provenance (checkpoint meta + stats)."""
+        fallback = (self._model_info or {}).get("scenario")
         return {
+            key: {
+                "scenario": route.scenario if route.scenario is not None else fallback,
+                "version": route.version,
+            }
+            for key, route in self._bindings.items()
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Serving counters: per-shard engine stats plus edge health.
+
+        ``routes`` names, for every stream key, the scenario + artifact
+        version of the model scoring its verdicts (plus shard, engine
+        row and lifetime package count) — the audit trail a mixed fleet
+        needs.
+        """
+        routes: dict[str, dict[str, Any]] = {}
+        fallback = (self._model_info or {}).get("scenario")
+        for key, route in self._bindings.items():
+            engine = self._shards[route.shard].engines[route.route_key]
+            routes[key] = {
+                "scenario": (
+                    route.scenario if route.scenario is not None else fallback
+                ),
+                "version": route.version,
+                "shard": route.shard,
+                "stream_id": route.stream_id,
+                "seq_base": route.seq_base,
+                "packages": route.seq_base
+                + engine.packages_seen(route.stream_id),
+            }
+        stats: dict[str, Any] = {
+            "mode": "single" if self._router is None else "registry",
             "processed": self._processed,
             "streams": len(self._bindings),
             "live_sessions": len(self._live),
@@ -473,9 +894,31 @@ class DetectionGateway:
             "malformed": self._malformed,
             "bytes_discarded": self._bytes_discarded,
             "checkpoints_written": self._checkpoints_written,
-            "shards": [asdict(shard.engine.stats) for shard in self._shards],
+            "routes": routes,
             "alerts": self.alerts.stats(),
         }
+        if self._router is None:
+            stats["shards"] = [
+                asdict(shard.engines[_SINGLE_ROUTE].stats)
+                for shard in self._shards
+            ]
+            if self._model_info:
+                stats["model"] = dict(self._model_info)
+        else:
+            stats["shards"] = [
+                {
+                    route_label(scenario, version): asdict(engine.stats)
+                    for (scenario, version), engine in sorted(
+                        shard.engines.items()
+                    )
+                }
+                for shard in self._shards
+            ]
+            stats["swaps_applied"] = self._swaps_applied
+            stats["identified"] = self._identified
+            stats["abstained"] = self._abstained
+            stats["registry"] = self._router.stats()
+        return stats
 
 
 # ----------------------------------------------------------------------
@@ -496,6 +939,11 @@ class GatewayHandle:
     def address(self) -> tuple[str, int]:
         return self.gateway.address
 
+    def promote(self, scenario: str) -> None:
+        """Ask a routed gateway to hot-swap ``scenario`` to its active
+        registry version (no-op when nothing changed)."""
+        self.gateway.request_promote(scenario)
+
     def stop(self, checkpoint: bool = True, timeout: float = 10.0) -> None:
         """Stop the gateway and join its thread.
 
@@ -515,7 +963,7 @@ class GatewayHandle:
 
 
 def start_in_thread(
-    detector: "CombinedDetector",
+    detector: "CombinedDetector | None",
     config: GatewayConfig | None = None,
     alerts: AlertPipeline | None = None,
     gateway: DetectionGateway | None = None,
@@ -523,7 +971,8 @@ def start_in_thread(
     """Run a gateway on a daemon thread; returns once it is listening.
 
     Pass ``gateway`` to drive a pre-built instance (e.g. one restored
-    via :meth:`DetectionGateway.from_checkpoint`).
+    via :meth:`DetectionGateway.from_checkpoint` or a registry-backed
+    heterogeneous gateway).
     """
     if gateway is None:
         gateway = DetectionGateway(detector, config, alerts)

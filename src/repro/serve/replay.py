@@ -81,6 +81,7 @@ class ReplayClient:
         timeout: float = 30.0,
         noise_every: int = 0,
         noise_bytes: int = 16,
+        scenario: str | None = None,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -93,6 +94,13 @@ class ReplayClient:
         self.timeout = timeout
         self.noise_every = noise_every
         self.noise_bytes = noise_bytes
+        #: Optional scenario tag sent in the OPEN frame.  A
+        #: registry-backed gateway routes a tagged stream straight to
+        #: that scenario's active detector; untagged streams are
+        #: auto-identified from their first probe window (keep
+        #: ``window`` at or above the gateway's probe window or the
+        #: replay stalls waiting for verdicts that cannot come yet).
+        self.scenario = scenario
 
     def replay(self, packages: Sequence[Package]) -> ReplayResult:
         """Stream ``packages`` and gather verdicts for the unjudged tail.
@@ -105,7 +113,11 @@ class ReplayClient:
         with socket.create_connection((self.host, self.port), self.timeout) as sock:
             sock.settimeout(self.timeout)
             decoder = MbapDecoder()
-            sock.sendall(wrap_pdu(encode_open(self.stream_key), transaction_id=1))
+            sock.sendall(
+                wrap_pdu(
+                    encode_open(self.stream_key, self.scenario), transaction_id=1
+                )
+            )
             start = self._await_open_ack(sock, decoder)
             if start > len(packages):
                 raise ReplayError(

@@ -169,23 +169,46 @@ class MbapDecoder:
 # ----------------------------------------------------------------------
 
 
-def encode_open(stream_key: str) -> bytes:
-    """Client → gateway: bind this connection to ``stream_key``."""
+def encode_open(stream_key: str, scenario: str | None = None) -> bytes:
+    """Client → gateway: bind this connection to ``stream_key``.
+
+    ``scenario`` optionally tags the stream with its plant scenario so a
+    registry-backed gateway routes it to that scenario's detector
+    without probing.  The tag rides after a NUL separator (both fields
+    are NUL-free UTF-8); untagged OPENs are byte-identical to the
+    pre-registry wire format.
+    """
     raw = stream_key.encode("utf-8")
     if not raw:
         raise TransportError("stream key must be non-empty")
+    if b"\x00" in raw:
+        raise TransportError("stream key must not contain NUL")
+    if scenario is not None:
+        tag = scenario.encode("utf-8")
+        if not tag:
+            raise TransportError("scenario tag must be non-empty")
+        if b"\x00" in tag:
+            raise TransportError("scenario tag must not contain NUL")
+        raw = raw + b"\x00" + tag
     if len(raw) > 255:
         raise TransportError(f"stream key too long: {len(raw)} bytes")
     return bytes([KIND_OPEN]) + raw
 
 
-def decode_open(pdu: bytes) -> str:
+def decode_open(pdu: bytes) -> tuple[str, str | None]:
+    """Returns ``(stream_key, scenario_tag)``; the tag is optional."""
     if len(pdu) < 2 or pdu[0] != KIND_OPEN:
         raise TransportError("not an OPEN PDU")
     try:
-        return pdu[1:].decode("utf-8")
+        body = pdu[1:].decode("utf-8")
     except UnicodeDecodeError as exc:
         raise TransportError(f"stream key is not valid UTF-8: {exc}") from exc
+    key, sep, scenario = body.partition("\x00")
+    if not key:
+        raise TransportError("stream key must be non-empty")
+    if sep and (not scenario or "\x00" in scenario):
+        raise TransportError(f"malformed scenario tag on stream {key!r}")
+    return key, (scenario if sep else None)
 
 
 def encode_open_ack(stream_id: int, packages_seen: int) -> bytes:

@@ -1,0 +1,76 @@
+"""Scenario auto-identification: correct picks and honest abstentions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ics.dataset import generate_stream
+from repro.registry import ModelRegistry, ScenarioIdentifier
+from repro.scenarios import scenario_names
+
+
+def probe_for(scenario: str, packages: int = 16):
+    """The head of a deterministic live capture for one plant."""
+    return generate_stream(scenario, 20, 9)[:packages]
+
+
+class TestIdentification:
+    @pytest.mark.parametrize("scenario", scenario_names())
+    def test_every_plant_identifies_as_itself(self, registry, scenario):
+        outcome = ScenarioIdentifier(registry).identify(probe_for(scenario))
+        assert not outcome.abstained
+        assert outcome.scenario == scenario
+        assert outcome.version == 1
+        assert outcome.best_hit_rate > 0.8
+        # ... and decisively: every foreign database misses the probe.
+        foreign = [s.hit_rate for s in outcome.scores[1:]]
+        assert max(foreign, default=0.0) < 0.2
+
+    def test_scores_cover_every_registered_scenario(self, registry):
+        outcome = ScenarioIdentifier(registry).identify(probe_for("water_tank"))
+        assert {s.scenario for s in outcome.scores} == set(scenario_names())
+        assert outcome.probe_size == 16
+        assert "water_tank" in outcome.describe()
+
+    def test_abstains_on_unregistered_plant_traffic(
+        self, tmp_path, scenario_detectors
+    ):
+        # A registry that has never seen a water tank must refuse the
+        # water tank's traffic, not route it to the least-bad model.
+        partial = ModelRegistry(tmp_path / "partial")
+        for name in ("gas_pipeline", "power_feeder"):
+            partial.publish(scenario_detectors[name], name)
+        outcome = ScenarioIdentifier(partial).identify(probe_for("water_tank"))
+        assert outcome.abstained
+        assert outcome.scenario is None
+        assert outcome.best_hit_rate < 0.5
+        assert "abstained" in outcome.describe()
+
+    def test_abstains_on_empty_probe_and_empty_registry(
+        self, registry, tmp_path
+    ):
+        assert ScenarioIdentifier(registry).identify([]).abstained
+        empty = ModelRegistry(tmp_path / "empty")
+        assert ScenarioIdentifier(empty).identify(probe_for("water_tank")).abstained
+
+    def test_margin_requirement_abstains_on_near_ties(self, registry):
+        # With an impossible margin demand, even a clean in-scenario
+        # probe must abstain — proving the guard is active.
+        strict = ScenarioIdentifier(registry, min_margin=1.0)
+        outcome = strict.identify(probe_for("gas_pipeline"))
+        assert outcome.abstained
+        assert outcome.best_hit_rate > 0.8  # evidence was fine; policy said no
+
+    def test_hit_rate_helper_matches_identify(self, registry):
+        identifier = ScenarioIdentifier(registry)
+        probe = probe_for("power_feeder")
+        outcome = identifier.identify(probe)
+        by_name = {s.scenario: s.hit_rate for s in outcome.scores}
+        assert identifier.hit_rate(probe, "power_feeder") == by_name["power_feeder"]
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"min_hit_rate": 0.0}, {"min_hit_rate": 1.5}, {"min_margin": -0.1}]
+    )
+    def test_invalid_thresholds_rejected(self, registry, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioIdentifier(registry, **kwargs)

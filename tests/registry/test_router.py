@@ -1,0 +1,54 @@
+"""Scenario router: tag resolution, exact loads, abstention policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ics.dataset import generate_stream
+from repro.registry import ModelRegistry, RoutingError, ScenarioRouter
+
+
+class TestRouter:
+    def test_resolves_tagged_scenario_to_active_entry(self, registry):
+        router = ScenarioRouter(registry)
+        detector, entry = router.resolve("water_tank")
+        assert entry.scenario == "water_tank"
+        assert entry.version == router.active_version("water_tank") == 1
+        assert detector is registry.resolve("water_tank")[0]  # shared LRU
+
+    def test_unknown_scenario_is_a_routing_error(self, registry):
+        router = ScenarioRouter(registry)
+        with pytest.raises(RoutingError):
+            router.resolve("steel_mill")
+        with pytest.raises(RoutingError):
+            router.active_version("steel_mill")
+        with pytest.raises(RoutingError):
+            router.load("steel_mill", 1)
+
+    def test_load_is_exact_version_not_active(
+        self, tmp_path, scenario_detectors
+    ):
+        own = ModelRegistry(tmp_path / "r")
+        own.publish(scenario_detectors["gas_pipeline"], "gas_pipeline")
+        own.publish(scenario_detectors["water_tank"], "gas_pipeline")  # v2 active
+        router = ScenarioRouter(own)
+        assert router.active_version("gas_pipeline") == 2
+        v1 = router.load("gas_pipeline", 1)
+        assert v1 is own.load("gas_pipeline", 1)
+        with pytest.raises(RoutingError):
+            router.load("gas_pipeline", 3)
+
+    def test_identify_delegates_and_abstains(self, registry):
+        router = ScenarioRouter(registry)
+        probe = generate_stream("hvac_chiller", 20, 9)[: router.probe_window]
+        assert router.identify(probe).scenario == "hvac_chiller"
+        assert router.identify([]).abstained
+
+    def test_probe_window_validated(self, registry):
+        with pytest.raises(ValueError):
+            ScenarioRouter(registry, probe_window=0)
+
+    def test_stats_expose_registry_counters(self, registry):
+        router = ScenarioRouter(registry)
+        router.resolve("gas_pipeline")
+        assert router.stats()["cold_loads"] >= 1

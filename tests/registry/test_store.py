@@ -1,0 +1,216 @@
+"""Model registry store: versioning, activation, LRU, round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ics.dataset import generate_stream
+from repro.persistence import save_detector
+from repro.registry import ModelRegistry, RegistryError
+from repro.utils.artifact import read_meta
+
+
+@pytest.fixture(scope="module")
+def capture():
+    return generate_stream("gas_pipeline", 20, 9)
+
+
+@pytest.fixture()
+def own_registry(tmp_path):
+    """An empty registry this test may freely mutate."""
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublishResolve:
+    def test_publish_assigns_monotonic_versions(self, own_registry, scenario_detectors):
+        detector = scenario_detectors["gas_pipeline"]
+        assert own_registry.publish(detector, "gas_pipeline").version == 1
+        assert own_registry.publish(detector, "gas_pipeline").version == 2
+        assert own_registry.versions("gas_pipeline") == (1, 2)
+        assert own_registry.scenarios() == ("gas_pipeline",)
+
+    def test_resolve_roundtrips_bit_identical_detector(
+        self, own_registry, scenario_detectors, capture
+    ):
+        original = scenario_detectors["gas_pipeline"]
+        own_registry.publish(original, "gas_pipeline")
+        restored, entry = own_registry.resolve("gas_pipeline")
+        assert entry.version == 1 and entry.active
+        theirs = restored.detect(capture)
+        ours = original.detect(capture)
+        assert np.array_equal(theirs.is_anomaly, ours.is_anomaly)
+        assert np.array_equal(theirs.level, ours.level)
+
+    def test_publish_stamps_provenance_meta(self, own_registry, scenario_detectors):
+        entry = own_registry.publish(
+            scenario_detectors["water_tank"], "water_tank",
+            meta={"profile": "ci", "seed": 3},
+        )
+        assert entry.meta["scenario"] == "water_tank"
+        assert entry.meta["registry_version"] == 1
+        assert entry.meta["profile"] == "ci"
+        # The meta is readable off the artifact header without arrays.
+        assert read_meta(entry.path)["meta"]["scenario"] == "water_tank"
+
+    def test_publish_path_defaults_scenario_from_provenance(
+        self, own_registry, scenario_detectors, tmp_path
+    ):
+        artifact = tmp_path / "tank.npz"
+        save_detector(
+            scenario_detectors["water_tank"], artifact,
+            meta={"scenario": "water_tank", "profile": "ci"},
+        )
+        entry = own_registry.publish_path(artifact)
+        assert entry.scenario == "water_tank"
+        assert entry.meta["profile"] == "ci"
+
+    def test_publish_path_without_provenance_needs_explicit_scenario(
+        self, own_registry, scenario_detectors, tmp_path
+    ):
+        artifact = tmp_path / "anon.npz"
+        save_detector(scenario_detectors["water_tank"], artifact)
+        with pytest.raises(RegistryError):
+            own_registry.publish_path(artifact)
+        assert own_registry.publish_path(artifact, scenario="water_tank").version == 1
+
+    def test_bad_scenario_slug_rejected(self, own_registry, scenario_detectors):
+        with pytest.raises(RegistryError):
+            own_registry.publish(scenario_detectors["gas_pipeline"], "no/slash")
+
+    def test_missing_scenario_and_version_raise(self, own_registry):
+        with pytest.raises(RegistryError):
+            own_registry.resolve("gas_pipeline")
+        with pytest.raises(RegistryError):
+            own_registry.active_version("gas_pipeline")
+        with pytest.raises(RegistryError):
+            own_registry.load("gas_pipeline", 1)
+        with pytest.raises(RegistryError):
+            own_registry.entry("gas_pipeline", 1)
+
+    def test_corrupt_artifact_is_a_registry_error(self, own_registry, scenario_detectors):
+        own_registry.publish(scenario_detectors["gas_pipeline"], "gas_pipeline")
+        path = own_registry.artifact_path("gas_pipeline", 1)
+        path.write_bytes(b"not an artifact")
+        with pytest.raises(RegistryError):
+            own_registry.load("gas_pipeline", 1)
+
+    def test_no_temp_files_left_behind(self, own_registry, scenario_detectors):
+        own_registry.publish(scenario_detectors["gas_pipeline"], "gas_pipeline")
+        own_registry.promote("gas_pipeline", 1)
+        leftovers = [
+            p.name
+            for p in (own_registry.root / "gas_pipeline").iterdir()
+            if ".tmp" in p.name
+        ]
+        assert leftovers == []
+
+
+class TestActivation:
+    def test_latest_is_active_by_default(self, own_registry, scenario_detectors):
+        detector = scenario_detectors["gas_pipeline"]
+        own_registry.publish(detector, "gas_pipeline")
+        own_registry.publish(detector, "gas_pipeline")
+        assert own_registry.active_version("gas_pipeline") == 2
+
+    def test_dark_publish_keeps_previous_active(self, own_registry, scenario_detectors):
+        detector = scenario_detectors["gas_pipeline"]
+        own_registry.publish(detector, "gas_pipeline")
+        entry = own_registry.publish(detector, "gas_pipeline", activate=False)
+        assert entry.version == 2 and not entry.active
+        assert own_registry.active_version("gas_pipeline") == 1
+
+    def test_first_publish_cannot_be_dark(self, own_registry, scenario_detectors):
+        # With no previous version to keep serving, a "dark" first
+        # publish would go live through the latest-version fallback —
+        # refuse it instead of lying about activation.
+        with pytest.raises(RegistryError, match="first publish"):
+            own_registry.publish(
+                scenario_detectors["gas_pipeline"], "gas_pipeline", activate=False
+            )
+        assert own_registry.versions("gas_pipeline") == ()
+
+    def test_version_collision_with_concurrent_publisher(
+        self, own_registry, scenario_detectors, monkeypatch
+    ):
+        # Simulate another process winning the race for the next
+        # version number: this publisher's directory listing is stale,
+        # but the no-clobber link step detects the occupied slot and
+        # rolls forward instead of overwriting the rival's artifact.
+        detector = scenario_detectors["gas_pipeline"]
+        own_registry.publish(detector, "gas_pipeline")
+        rival = own_registry.artifact_path("gas_pipeline", 2)
+        rival_bytes = own_registry.artifact_path("gas_pipeline", 1).read_bytes()
+        monkeypatch.setattr(
+            own_registry, "_versions_in", lambda directory: [1]
+        )
+        rival.write_bytes(rival_bytes)  # the rival's v2, unseen by our listing
+        entry = own_registry.publish(detector, "gas_pipeline")
+        assert entry.version == 3
+        assert rival.read_bytes() == rival_bytes  # untouched
+        assert entry.meta["registry_version"] == 3
+
+    def test_promote_and_rollback(self, own_registry, scenario_detectors):
+        detector = scenario_detectors["gas_pipeline"]
+        own_registry.publish(detector, "gas_pipeline")
+        own_registry.publish(detector, "gas_pipeline")
+        own_registry.promote("gas_pipeline", 1)  # rollback
+        assert own_registry.active_version("gas_pipeline") == 1
+        _, entry = own_registry.resolve("gas_pipeline")
+        assert entry.version == 1
+        own_registry.promote("gas_pipeline", 2)
+        assert own_registry.active_version("gas_pipeline") == 2
+
+    def test_promote_unknown_version_rejected(self, own_registry, scenario_detectors):
+        own_registry.publish(scenario_detectors["gas_pipeline"], "gas_pipeline")
+        with pytest.raises(RegistryError):
+            own_registry.promote("gas_pipeline", 7)
+
+    def test_subscribers_hear_activations_only(self, own_registry, scenario_detectors):
+        detector = scenario_detectors["gas_pipeline"]
+        heard: list[tuple[str, int]] = []
+        own_registry.subscribe(lambda s, v: heard.append((s, v)))
+        own_registry.publish(detector, "gas_pipeline")  # activates v1
+        own_registry.publish(detector, "gas_pipeline", activate=False)
+        own_registry.promote("gas_pipeline", 2)
+        assert heard == [("gas_pipeline", 1), ("gas_pipeline", 2)]
+        own_registry.unsubscribe(own_registry._listeners[0])
+        own_registry.promote("gas_pipeline", 1)
+        assert len(heard) == 2
+
+    def test_stale_pin_falls_back_to_latest(self, own_registry, scenario_detectors):
+        own_registry.publish(scenario_detectors["gas_pipeline"], "gas_pipeline")
+        (own_registry.root / "gas_pipeline" / "ACTIVE").write_text("99\n")
+        assert own_registry.active_version("gas_pipeline") == 1
+
+
+class TestLruAndListing:
+    def test_lru_hits_after_cold_load(self, registry):
+        fresh_stats = registry.stats()
+        assert fresh_stats["cold_loads"] == 0
+        registry.resolve("gas_pipeline")
+        registry.resolve("gas_pipeline")
+        stats = registry.stats()
+        assert stats["cold_loads"] == 1
+        assert stats["cache_hits"] >= 1
+
+    def test_lru_evicts_past_capacity(self, registry_root):
+        registry = ModelRegistry(registry_root, cache_size=1)
+        registry.resolve("gas_pipeline")
+        registry.resolve("water_tank")
+        registry.resolve("gas_pipeline")
+        stats = registry.stats()
+        assert stats["cached"] == 1
+        assert stats["cold_loads"] == 3  # second gas resolve re-loaded
+
+    def test_entries_cover_every_scenario(self, registry):
+        from repro.scenarios import scenario_names
+
+        entries = registry.entries()
+        assert [e.scenario for e in entries] == list(scenario_names())
+        assert all(e.version == 1 and e.active for e in entries)
+        assert registry.entries("water_tank")[0].label == "water_tank@1"
+
+    def test_cache_size_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ModelRegistry(tmp_path, cache_size=0)

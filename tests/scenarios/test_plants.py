@@ -6,13 +6,15 @@ import pytest
 
 from repro.ics.plant import GasPipelinePlant, Plant
 from repro.scenarios import (
+    HvacChillerConfig,
+    HvacChillerPlant,
     PowerFeederConfig,
     PowerFeederPlant,
     WaterTankConfig,
     WaterTankPlant,
 )
 
-ALL_PLANTS = [GasPipelinePlant, WaterTankPlant, PowerFeederPlant]
+ALL_PLANTS = [GasPipelinePlant, WaterTankPlant, PowerFeederPlant, HvacChillerPlant]
 
 
 @pytest.mark.parametrize("plant_cls", ALL_PLANTS)
@@ -132,3 +134,53 @@ class TestPowerFeederPhysics:
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(ValueError):
             PowerFeederConfig(**kwargs).validate()
+
+
+class TestHvacChillerPhysics:
+    def test_compressor_cools_load_warms(self):
+        plant = HvacChillerPlant(
+            HvacChillerConfig(noise_std=0.0, load_std=0.0), rng=0
+        )
+        start = plant.depression
+        for _ in range(10):
+            plant.step(1.0, False, 1.0)
+        assert plant.depression > start
+        chilled = plant.depression
+        for _ in range(10):
+            plant.step(0.0, False, 1.0)
+        assert plant.depression < chilled
+
+    def test_bypass_damper_is_the_relief_actuator(self):
+        cfg = HvacChillerConfig(noise_std=0.0, load_std=0.0)
+        shut = HvacChillerPlant(cfg, rng=0)
+        opened = HvacChillerPlant(cfg, rng=0)
+        for _ in range(10):
+            shut.step(0.6, False, 1.0)
+            opened.step(0.6, True, 1.0)
+        assert opened.depression < shut.depression
+
+    def test_thermal_constant_is_the_slowest_of_the_fleet(self):
+        # The scenario exists to stress long-horizon prediction: the
+        # coil's passive decay must be slower than the pipeline's leak.
+        from repro.ics.plant import PlantConfig
+
+        assert HvacChillerConfig().loss_rate < PlantConfig().leak_rate
+
+    def test_load_stays_bounded(self):
+        plant = HvacChillerPlant(rng=3)
+        for _ in range(1000):
+            plant.step(0.5, False, 1.0)
+            assert 0.0 <= plant.load <= plant.config.load_max
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_depression": 0.0},
+            {"cool_rate": -1.0},
+            {"load_max": 0.1},
+            {"initial_depression": 99.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HvacChillerConfig(**kwargs).validate()

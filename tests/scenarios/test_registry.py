@@ -15,11 +15,11 @@ from repro.scenarios import (
     scenario_names,
 )
 
-EXPECTED = ("gas_pipeline", "power_feeder", "water_tank")
+EXPECTED = ("gas_pipeline", "hvac_chiller", "power_feeder", "water_tank")
 
 
 class TestRegistry:
-    def test_three_scenarios_registered(self):
+    def test_four_scenarios_registered(self):
         assert scenario_names() == EXPECTED
 
     def test_get_scenario_unknown(self):
@@ -99,6 +99,7 @@ class TestScenarioDatasets:
         assert addresses["gas_pipeline"] == {4}
         assert addresses["water_tank"] == {7}
         assert addresses["power_feeder"] == {9}
+        assert addresses["hvac_chiller"] == {11}
 
     def test_unknown_scenario_fails_at_generation(self):
         with pytest.raises(KeyError):

@@ -115,3 +115,81 @@ class TestFleetRunner:
         assert result.all_complete
         assert all(site.matches_offline is None for site in result.sites)
         assert result.all_match_offline  # None counts as "not refuted"
+
+    def test_runner_requires_exactly_one_model_source(self, detector, registry):
+        with pytest.raises(ValueError):
+            FleetRunner()
+        with pytest.raises(ValueError):
+            FleetRunner(detector, registry=registry)
+
+
+class TestHeterogeneousFleet:
+    @pytest.fixture(scope="class")
+    def result(self, class_registry):
+        # >= 4 scenarios, one site each: the acceptance drill — every
+        # site verified bit-identical against its *own* scenario's
+        # registry artifact.
+        config = FleetConfig(
+            num_sites=4,
+            cycles_per_site=25,
+            num_shards=2,
+            base_seed=2,
+            verify_offline=True,
+        )
+        return FleetRunner(config=config, registry=class_registry).run()
+
+    @pytest.fixture(scope="class")
+    def class_registry(self, registry_root):
+        from repro.registry import ModelRegistry
+
+        return ModelRegistry(registry_root)
+
+    def test_covers_four_scenarios(self, result):
+        assert len(result.scenarios_streamed) >= 4
+        assert result.heterogeneous
+        assert result.gateway_stats["mode"] == "registry"
+
+    def test_every_site_matches_its_own_artifact(self, result):
+        assert result.all_complete
+        for site in result.sites:
+            assert site.matches_offline is True, site.spec.name
+            assert site.route_scenario == site.spec.scenario
+            assert site.route_version == 1
+
+    def test_gateway_pooled_one_engine_per_scenario(self, result):
+        routes = {
+            route
+            for shard in result.gateway_stats["shards"]
+            for route in shard
+        }
+        assert routes == {
+            f"{site.spec.scenario}@1" for site in result.sites
+        }
+
+    def test_untagged_fleet_is_auto_identified(self, class_registry):
+        config = FleetConfig(
+            num_sites=2,
+            scenarios=("water_tank", "hvac_chiller"),
+            cycles_per_site=20,
+            num_shards=1,
+            verify_offline=True,
+            tag_streams=False,
+        )
+        result = FleetRunner(config=config, registry=class_registry).run()
+        assert result.all_complete and result.all_match_offline
+        assert result.gateway_stats["identified"] == 2
+
+    def test_missing_scenario_fails_before_streaming(
+        self, tmp_path, scenario_detectors
+    ):
+        from repro.registry import ModelRegistry, RegistryError
+
+        partial = ModelRegistry(tmp_path / "partial")
+        partial.publish(scenario_detectors["gas_pipeline"], "gas_pipeline")
+        config = FleetConfig(
+            num_sites=2,
+            scenarios=("gas_pipeline", "water_tank"),
+            cycles_per_site=15,
+        )
+        with pytest.raises(RegistryError, match="water_tank"):
+            FleetRunner(config=config, registry=partial).run()

@@ -66,7 +66,7 @@ class TestMbapFraming:
         assert frames[0].transaction_id == 7
         assert frames[0].unit_id == 4
         assert frames[0].kind == KIND_OPEN
-        assert decode_open(frames[0].pdu) == "plant-1"
+        assert decode_open(frames[0].pdu) == ("plant-1", None)
 
     def test_rejects_empty_and_oversized_pdus(self):
         with pytest.raises(TransportError):
@@ -111,7 +111,7 @@ class TestMbapFraming:
         decoder = MbapDecoder()
         frames = decoder.feed(noise + good + noise + good)
         assert len(frames) == 2
-        assert all(decode_open(f.pdu) == "k" for f in frames)
+        assert all(decode_open(f.pdu) == ("k", None) for f in frames)
         assert decoder.bytes_discarded == len(noise) * 2
 
     def test_resync_after_truncated_frame(self):
@@ -152,6 +152,27 @@ class TestControlPdus:
             encode_open("")
         with pytest.raises(TransportError):
             encode_open("x" * 300)
+
+    def test_open_scenario_tag_roundtrip(self):
+        assert decode_open(encode_open("site-7", "water_tank")) == (
+            "site-7",
+            "water_tank",
+        )
+        # Untagged OPENs keep the pre-registry wire format byte for byte.
+        assert encode_open("site-7") == b"\x41site-7"
+
+    def test_open_rejects_bad_scenario_tags(self):
+        with pytest.raises(TransportError):
+            encode_open("k", "")
+        with pytest.raises(TransportError):
+            encode_open("k", "a\x00b")
+        with pytest.raises(TransportError):
+            encode_open("a\x00b", "water_tank")
+        with pytest.raises(TransportError):
+            encode_open("k", "x" * 300)
+        # A NUL with nothing after it is a malformed tag, not "no tag".
+        with pytest.raises(TransportError):
+            decode_open(b"\x41key\x00")
 
 
 class TestDataRecords:

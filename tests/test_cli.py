@@ -254,3 +254,92 @@ class TestFleetCommand:
     def test_fleet_rejects_bad_config(self, model_path):
         with pytest.raises(SystemExit):
             main(["fleet", "--model", str(model_path), "--sites", "0"])
+
+
+class TestRegistryCommand:
+    @pytest.fixture()
+    def registry_dir(self, tmp_path):
+        return tmp_path / "registry"
+
+    def test_publish_list_promote_roundtrip(
+        self, model_path, registry_dir, tmp_path, capsys
+    ):
+        publish = ["registry", "publish", "--registry", str(registry_dir),
+                   "--model", str(model_path)]
+        assert main(publish) == 0  # v1, active (scenario from provenance)
+        assert main([*publish, "--no-activate"]) == 0  # dark v2
+        out = capsys.readouterr().out
+        assert "published gas_pipeline@1 (active)" in out
+        assert "published gas_pipeline@2 (dark)" in out
+
+        report = tmp_path / "registry.json"
+        assert main(["registry", "list", "--registry", str(registry_dir),
+                     "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "* gas_pipeline" in out  # v1 still carries the active marker
+        payload = json.loads(report.read_text())
+        assert [(e["version"], e["active"]) for e in payload] == [
+            (1, True), (2, False),
+        ]
+
+        assert main(["registry", "promote", "--registry", str(registry_dir),
+                     "--scenario", "gas_pipeline", "--version", "2"]) == 0
+        assert "promoted gas_pipeline@2" in capsys.readouterr().out
+
+    def test_publish_explicit_scenario_override(
+        self, model_path, registry_dir, capsys
+    ):
+        assert main(["registry", "publish", "--registry", str(registry_dir),
+                     "--model", str(model_path),
+                     "--scenario", "water_tank"]) == 0
+        assert "water_tank@1" in capsys.readouterr().out
+
+    def test_promote_unknown_version_is_an_error(
+        self, model_path, registry_dir, capsys
+    ):
+        assert main(["registry", "publish", "--registry", str(registry_dir),
+                     "--model", str(model_path)]) == 0
+        assert main(["registry", "promote", "--registry", str(registry_dir),
+                     "--scenario", "gas_pipeline", "--version", "9"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_model_and_registry_together(
+        self, model_path, registry_dir
+    ):
+        with pytest.raises(SystemExit):
+            main(["serve", "--model", str(model_path),
+                  "--registry", str(registry_dir)])
+
+    def test_serve_on_empty_registry_is_a_clean_error(self, registry_dir):
+        registry_dir.mkdir()
+        with pytest.raises(SystemExit, match="no published models"):
+            main(["serve", "--registry", str(registry_dir)])
+
+    def test_heterogeneous_fleet_from_prepublished_registry(
+        self, model_path, registry_dir, tmp_path, capsys
+    ):
+        # Pre-publish the lone scenario so the fleet needs no training.
+        assert main(["registry", "publish", "--registry", str(registry_dir),
+                     "--model", str(model_path)]) == 0
+        report = tmp_path / "fleet.json"
+        rc = main(
+            ["fleet", "--heterogeneous", "--registry", str(registry_dir),
+             "--scenarios", "gas_pipeline", "--sites", "2", "--cycles", "15",
+             "--json", str(report)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[heterogeneous]" in out
+        assert "[gas_pipeline@1]" in out
+        payload = json.loads(report.read_text())
+        assert payload["heterogeneous"] is True
+        assert payload["all_match_offline"] is True
+        assert all(
+            site["route_scenario"] == "gas_pipeline"
+            and site["route_version"] == 1
+            for site in payload["sites"]
+        )
+
+    def test_heterogeneous_fleet_rejects_explicit_model(self, model_path):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--heterogeneous", "--model", str(model_path)])
