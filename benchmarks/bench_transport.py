@@ -1,0 +1,115 @@
+"""Protocol-adapter wire throughput: frame/parse packages/sec per dialect.
+
+Pure transport math, no sockets or engines: for every registered
+adapter this times (a) framing a capture into wire bytes, (b) feeding
+those bytes back through the incremental decoder in MTU-ish chunks,
+and (c) the same decode with line noise injected between frames, so
+the cost of checksum verification and garbage resynchronisation shows
+up as its own column.  The interesting comparison is Modbus (header
+arithmetic only) against the checksummed IEC-104/DNP3-lite framings.
+
+Run:  REPRO_PROFILE=ci pytest benchmarks/bench_transport.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit_json, emit_report
+from repro.ics.dataset import generate_stream
+from repro.serve.protocols import PROTOCOL_NAMES, get_adapter
+
+CHUNK = 1400  # MTU-ish read size for the decode pass
+
+#: profile -> (capture cycles, framing repeats, noise bytes every N frames)
+SIZES = {
+    "ci": (40, 4, 4),
+    "default": (120, 8, 4),
+    "paper": (300, 16, 4),
+}
+
+# Deliberately contains 0x05 (the DNP3 start byte) so decoders pay for
+# false sync matches, not just a clean skip-ahead.
+NOISE = bytes(range(1, 12))
+
+
+def _chunks(blob: bytes, size: int):
+    for offset in range(0, len(blob), size):
+        yield blob[offset : offset + size]
+
+
+def _bench_adapter(name: str, packages, repeats: int, noise_every: int):
+    adapter = get_adapter(name)
+
+    started = time.perf_counter()
+    frames: list[bytes] = []
+    for rep in range(repeats):
+        for seq, package in enumerate(packages):
+            frames.append(adapter.frame_data(package, rep * len(packages) + seq))
+    encode_s = time.perf_counter() - started
+    total = len(frames)
+
+    clean_blob = b"".join(frames)
+    decoder = adapter.decoder()
+    started = time.perf_counter()
+    decoded = sum(len(decoder.feed(chunk)) for chunk in _chunks(clean_blob, CHUNK))
+    decode_s = time.perf_counter() - started
+    assert decoded == total, f"{name}: decoded {decoded} of {total} clean frames"
+
+    noisy_parts: list[bytes] = []
+    for index, frame in enumerate(frames):
+        if index % noise_every == 0:
+            noisy_parts.append(NOISE)
+        noisy_parts.append(frame)
+    noisy_blob = b"".join(noisy_parts)
+    decoder = adapter.decoder()
+    started = time.perf_counter()
+    recovered = sum(len(decoder.feed(chunk)) for chunk in _chunks(noisy_blob, CHUNK))
+    noisy_s = time.perf_counter() - started
+    assert recovered == total, f"{name}: lost frames to noise ({recovered}/{total})"
+    assert decoder.resyncs > 0, f"{name}: noise injected but no resync recorded"
+
+    return {
+        "frames": total,
+        "wire_bytes": len(clean_blob),
+        "encode_pkg_per_sec": total / encode_s if encode_s else float("inf"),
+        "decode_pkg_per_sec": total / decode_s if decode_s else float("inf"),
+        "noisy_decode_pkg_per_sec": total / noisy_s if noisy_s else float("inf"),
+        "resyncs": decoder.resyncs,
+        "bytes_discarded": decoder.bytes_discarded,
+    }
+
+
+def test_transport_throughput(profile):
+    cycles, repeats, noise_every = SIZES.get(profile, SIZES["default"])
+    packages = generate_stream("gas_pipeline", cycles, seed=11)
+
+    results = {"profile": profile, "capture_packages": len(packages), "adapters": {}}
+    rows = []
+    for name in PROTOCOL_NAMES:
+        metrics = _bench_adapter(name, packages, repeats, noise_every)
+        results["adapters"][name] = metrics
+        rows.append(
+            f"{name:>8}{metrics['encode_pkg_per_sec']:>14.0f}"
+            f"{metrics['decode_pkg_per_sec']:>14.0f}"
+            f"{metrics['noisy_decode_pkg_per_sec']:>14.0f}"
+            f"{metrics['resyncs']:>9}{metrics['bytes_discarded']:>11}"
+        )
+
+    table = "\n".join(
+        [
+            f"{'adapter':>8}{'enc pkg/s':>14}{'dec pkg/s':>14}"
+            f"{'noisy pkg/s':>14}{'resyncs':>9}{'discarded':>11}"
+        ]
+        + rows
+    )
+    emit_report("transport_throughput", table)
+    emit_json("transport_throughput", results)
+
+    # Wire handling must never be the serving bottleneck: the LSTM path
+    # tops out around a few thousand pkg/s, so every adapter needs an
+    # order of magnitude beyond real-time SCADA rates even with noise.
+    slowest = min(
+        m["noisy_decode_pkg_per_sec"] for m in results["adapters"].values()
+    )
+    assert slowest > 2000.0, table

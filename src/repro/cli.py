@@ -169,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after serving N packages (smoke tests / drills)",
     )
+    serve.add_argument(
+        "--protocol",
+        default=None,
+        help="comma-separated wire dialects to accept "
+        "(default: all; e.g. modbus,iec104,dnp3)",
+    )
 
     replay_cmd = commands.add_parser(
         "replay", help="stream a capture at a live gateway over real sockets"
@@ -191,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="inject line-noise bytes before every Nth frame (0 = off)",
+    )
+    replay_cmd.add_argument(
+        "--protocol",
+        default="modbus",
+        help="wire dialect to speak (modbus, iec104 or dnp3)",
     )
     replay_cmd.add_argument("--json", dest="json_out", default=None)
 
@@ -256,6 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit scenario tags from OPEN frames so the gateway must "
         "auto-identify every site (--heterogeneous only)",
+    )
+    fleet.add_argument(
+        "--protocols",
+        default=None,
+        help="comma-separated wire dialects cycled across sites "
+        "(default: each site speaks its scenario's declared dialect)",
     )
     fleet.add_argument("--json", dest="json_out", default=None)
 
@@ -537,6 +554,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             "serve needs --model or --registry (or --resume with --checkpoint)"
         )
+    protocols: tuple[str, ...] = ()
+    if args.protocol:
+        protocols = tuple(p for p in args.protocol.split(",") if p)
     try:
         config = GatewayConfig(
             host=args.host,
@@ -546,6 +566,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             max_packages=args.max_packages,
             registry_poll_seconds=args.registry_poll,
+            protocols=protocols,
         ).validate()
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -654,9 +675,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             stream_key=args.key,
             window=args.window,
             noise_every=args.noise_every,
+            protocol=args.protocol,
         )
-    except ValueError as exc:
-        raise SystemExit(f"error: {exc}") from exc
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from exc
     started = time.perf_counter()
     result = client.replay(packages)
     seconds = time.perf_counter() - started
@@ -678,9 +700,14 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         print(
             f"  process variable: {scenario.process_variable} "
             f"({scenario.process_unit}), station address "
-            f"{scenario.scada.station_address}"
+            f"{scenario.scada.station_address}, protocol {scenario.protocol}"
         )
         print(f"  actuators: drive={drive}, relief={relief}")
+        if scenario.registers.n_aux:
+            print(
+                "  auxiliary registers: "
+                + ", ".join(scenario.registers.aux_names)
+            )
         if args.verbose:
             for attack, note in details[-1]["attack_notes"].items():
                 print(f"    {attack:<6} {note}")
@@ -751,9 +778,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             window=args.window,
             verify_offline=not args.no_verify,
             tag_streams=not args.no_tag,
+            protocols=(
+                tuple(p for p in args.protocols.split(",") if p)
+                if args.protocols
+                else ()
+            ),
         ).validate()
-    except ValueError as exc:
-        raise SystemExit(f"error: {exc}") from exc
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from exc
 
     result = FleetRunner(detector, config, registry=registry).run()
 
@@ -805,6 +837,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                     "matches_offline": site.matches_offline,
                     "route_scenario": site.route_scenario,
                     "route_version": site.route_version,
+                    "protocol": site.route_protocol,
                 }
                 for site in result.sites
             ],

@@ -192,6 +192,7 @@ def generate_stream(
         plant_factory=lambda rng: scenario.make_plant(
             rng=rng, plant_config=plant_config
         ),
+        registers=scenario.registers,
     )
     return AttackInjector(simulator, attacks, rng=attack_rng).run(num_cycles)
 

@@ -80,6 +80,12 @@ class Package:
     label:
         Ground-truth attack id: 0 = normal, 1..7 per paper Table II.
         Not a detection feature — used only for evaluation.
+    aux:
+        Auxiliary process-variable readings carried by read responses
+        of scenarios with a widened register map (see
+        :class:`~repro.ics.registers.RegisterMap`); empty elsewhere.
+        Not a Table-I feature: invisible to :meth:`to_row` and the
+        detector, but preserved by the serving wire formats.
     """
 
     address: int
@@ -100,6 +106,7 @@ class Package:
     command_response: int
     time: float
     label: int = 0
+    aux: tuple[float, ...] = ()
 
     @property
     def is_command(self) -> bool:

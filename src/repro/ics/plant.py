@@ -35,6 +35,14 @@ class Plant(Protocol):
     breaker).  The PLC control loop and the attack catalogs are written
     against this protocol only, so a new physical process plugs in
     without touching the SCADA or detection layers.
+
+    Plants backing a scenario with auxiliary registers (a
+    :class:`~repro.ics.registers.RegisterMap` with ``aux_names``) must
+    additionally implement the optional hook ``measure_aux() ->
+    tuple[float, ...]`` returning one noisy reading per auxiliary
+    register; the SCADA loop calls it once per read response.  It is
+    deliberately not part of this protocol so single-variable plants
+    stay untouched.
     """
 
     @property

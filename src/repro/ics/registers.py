@@ -1,0 +1,112 @@
+"""Generalized per-scenario register maps.
+
+The paper's testbed exposes exactly eleven holding registers: the
+ten-word control block (setpoint, the five PID parameters, system mode,
+control scheme and the two actuator commands) plus the process-variable
+register the master reads back.  That layout is load-bearing — the
+Table-I features, the SCADA cycle shape and the wire codecs are all
+written against it — so it stays fixed.  What real fleets need beyond
+it is *wider read blocks*: plants whose read response reports extra
+coupled process variables (a chlorination rig reports both residual
+chlorine and the process flow it is dosed into).
+
+:class:`RegisterMap` captures that: eleven canonical register names in
+the paper's layout, plus zero or more **auxiliary registers** appended
+after the process-variable register (addresses 11+).  Auxiliary values
+ride the wire as the same ×100 fixed-point words as every other analog
+register, are reported by the plant through an optional
+``measure_aux()`` hook, and are carried on :class:`~repro.ics.features.
+Package` objects *outside* the 17 Table-I features — the detector's
+normalized interface does not change, only the capture gets richer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's register layout: the 10-word control block + the PV.
+CANONICAL_REGISTER_COUNT = 11
+
+#: Most auxiliary registers any map may declare (wire aux-count rides a
+#: single byte and read blocks must stay well under a Modbus PDU).
+MAX_AUX_REGISTERS = 32
+
+#: The original gas-pipeline register names (map defaults).
+LEGACY_REGISTER_NAMES: tuple[str, ...] = (
+    "setpoint",
+    "gain",
+    "reset_rate",
+    "deadband",
+    "cycle_time",
+    "rate",
+    "system_mode",
+    "control_scheme",
+    "pump",
+    "solenoid",
+    "pressure",
+)
+
+
+@dataclass(frozen=True)
+class RegisterMap:
+    """One scenario's PLC holding-register layout.
+
+    Attributes
+    ----------
+    names:
+        Exactly eleven names for the canonical registers 0..10 (control
+        block then process variable), in the paper's order.
+    aux_names:
+        Names of auxiliary read-only registers at addresses 11+, one
+        per extra process variable the plant reports.  Empty for every
+        legacy scenario, so defaults are bit-identical to the paper's
+        fixed map.
+    """
+
+    names: tuple[str, ...] = LEGACY_REGISTER_NAMES
+    aux_names: tuple[str, ...] = ()
+
+    def validate(self) -> "RegisterMap":
+        if len(self.names) != CANONICAL_REGISTER_COUNT:
+            raise ValueError(
+                f"register map needs exactly {CANONICAL_REGISTER_COUNT} "
+                f"canonical names (control block + process variable), "
+                f"got {len(self.names)}"
+            )
+        if len(self.aux_names) > MAX_AUX_REGISTERS:
+            raise ValueError(
+                f"at most {MAX_AUX_REGISTERS} auxiliary registers, "
+                f"got {len(self.aux_names)}"
+            )
+        all_names = self.names + self.aux_names
+        for name in all_names:
+            if not name:
+                raise ValueError("register names must be non-empty")
+        if len(set(all_names)) != len(all_names):
+            raise ValueError(f"register names must be unique, got {all_names}")
+        return self
+
+    @classmethod
+    def legacy(cls) -> "RegisterMap":
+        """The paper's fixed 11-register gas-pipeline map."""
+        return cls()
+
+    @property
+    def n_aux(self) -> int:
+        """Number of auxiliary process-variable registers."""
+        return len(self.aux_names)
+
+    @property
+    def all_names(self) -> tuple[str, ...]:
+        """Canonical then auxiliary names, address order."""
+        return self.names + self.aux_names
+
+    @property
+    def read_block_count(self) -> int:
+        """Registers the master's state poll covers: mode, scheme, the
+        two actuator states, the PV, then every auxiliary register."""
+        return 5 + self.n_aux
+
+    def register_map(self) -> dict[int, str]:
+        """Holding-register address → name, auxiliaries included."""
+        return dict(enumerate(self.all_names))

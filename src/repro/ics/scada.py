@@ -34,6 +34,7 @@ from repro.ics.features import (
 from repro.ics.modbus import FunctionCode, Register
 from repro.ics.pid import PIDController, PIDParameters
 from repro.ics.plant import GasPipelinePlant, Plant, PlantConfig
+from repro.ics.registers import RegisterMap
 from repro.utils.rng import SeedLike, as_generator
 
 #: Man-in-the-middle alteration hook: genuine package → on-wire package.
@@ -126,8 +127,10 @@ class ScadaSimulator:
         plant_config: PlantConfig | None = None,
         rng: SeedLike = None,
         plant_factory: PlantFactory | None = None,
+        registers: RegisterMap | None = None,
     ) -> None:
         self.config = (config or ScadaConfig()).validate()
+        self.registers = (registers or RegisterMap.legacy()).validate()
         self._rng = as_generator(rng)
         # Scenarios inject their physical process through ``plant_factory``
         # (called with the simulator's generator so one rng stream drives
@@ -369,9 +372,16 @@ class ScadaSimulator:
         )
 
     def make_read_command(self, timestamp: float) -> Package:
-        """Master → PLC: read the plant state registers."""
+        """Master → PLC: read the plant state registers.
+
+        The read block covers mode, scheme, the two actuator states and
+        the process variable, widened by the register map's auxiliary
+        registers when the scenario declares any.
+        """
         frame = modbus.build_read_request(
-            self.config.station_address, Register.SYSTEM_MODE, 5
+            self.config.station_address,
+            Register.SYSTEM_MODE,
+            self.registers.read_block_count,
         )
         return Package(
             address=self.config.station_address,
@@ -402,12 +412,14 @@ class ScadaSimulator:
         where those fields are ``'?'`` on response rows.
         """
         pressure = self.plant.measure(self.config.sensor_noise_std)
+        aux = self._measure_aux()
         words = [
             self.plc_mode,
             self.plc_scheme,
             self._pump_state,
             self._solenoid_state,
             modbus.encode_fixed(pressure),
+            *(modbus.encode_fixed(value) for value in aux),
         ]
         frame = modbus.build_read_response(self.config.station_address, words)
         return Package(
@@ -428,6 +440,34 @@ class ScadaSimulator:
             pressure_measurement=pressure,
             command_response=RESPONSE,
             time=timestamp,
+            aux=aux,
+        )
+
+    def _measure_aux(self) -> tuple[float, ...]:
+        """Read the auxiliary process variables for a read response.
+
+        Values are pre-quantized through the wire's ×100 fixed-point
+        encoding so a logged package equals the one rebuilt from its
+        frame bit for bit.  Legacy maps take this path zero times — no
+        extra rng draws, so historical captures stay bit-identical.
+        """
+        if self.registers.n_aux == 0:
+            return ()
+        measure_aux = getattr(self.plant, "measure_aux", None)
+        if measure_aux is None:
+            raise TypeError(
+                f"register map declares auxiliary registers "
+                f"{self.registers.aux_names} but plant "
+                f"{type(self.plant).__name__} has no measure_aux() hook"
+            )
+        raw = tuple(measure_aux())
+        if len(raw) != self.registers.n_aux:
+            raise ValueError(
+                f"plant measure_aux() returned {len(raw)} values, "
+                f"register map declares {self.registers.n_aux}"
+            )
+        return tuple(
+            modbus.decode_fixed(modbus.encode_fixed(float(value))) for value in raw
         )
 
     # ------------------------------------------------------------------

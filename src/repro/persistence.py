@@ -246,6 +246,10 @@ class RouteBinding:
     ``seq_base`` is the number of packages judged by *earlier* model
     versions on this key (hot-swaps reset the engine-side counter); the
     stream's resume offset is ``seq_base + packages_seen``.
+
+    ``protocol`` records the wire dialect the stream last spoke (see
+    :mod:`repro.serve.protocols`) — transport provenance, not routing
+    identity; a reconnect may negotiate a different dialect.
     """
 
     shard: int
@@ -253,6 +257,7 @@ class RouteBinding:
     version: int
     stream_id: int
     seq_base: int = 0
+    protocol: str = "modbus"
 
     @property
     def route(self) -> tuple[str, int]:
@@ -344,6 +349,7 @@ def save_routed_gateway_checkpoint(
     meta = dict(meta or {})
     meta["stream_keys"] = keys
     meta["stream_routes"] = [bindings[k].label for k in keys]
+    meta["stream_protocols"] = [bindings[k].protocol for k in keys]
     tmp = f"{os.fspath(path)}.tmp"
     save_artifact(state, tmp, kind=ROUTED_GATEWAY_KIND, meta=meta)
     os.replace(tmp, path)
@@ -389,20 +395,24 @@ def load_routed_gateway_checkpoint(
         shards.append(pool)
     keys = list(meta.pop("stream_keys", []))
     labels = list(meta.pop("stream_routes", []))
+    # Pre-protocol checkpoints carry no dialect column: everything they
+    # bound spoke Modbus, so the backfill is exact, not a guess.
+    protocols = list(meta.pop("stream_protocols", ["modbus"] * len(keys)))
     shard_idx = np.asarray(state["binding_shards"], dtype=np.int64)
     stream_ids = np.asarray(state["binding_streams"], dtype=np.int64)
     seq_bases = np.asarray(state["binding_seq_bases"], dtype=np.int64)
     if not (
         len(keys)
         == len(labels)
+        == len(protocols)
         == shard_idx.shape[0]
         == stream_ids.shape[0]
         == seq_bases.shape[0]
     ):
         raise ArtifactError("routed gateway checkpoint binding table is torn")
     bindings: dict[str, RouteBinding] = {}
-    for key, label, shard, stream_id, seq_base in zip(
-        keys, labels, shard_idx, stream_ids, seq_bases
+    for key, label, protocol, shard, stream_id, seq_base in zip(
+        keys, labels, protocols, shard_idx, stream_ids, seq_bases
     ):
         scenario, version = parse_route_label(str(label))
         binding = RouteBinding(
@@ -411,6 +421,7 @@ def load_routed_gateway_checkpoint(
             version=version,
             stream_id=int(stream_id),
             seq_base=int(seq_base),
+            protocol=str(protocol),
         )
         if not 0 <= binding.shard < num_shards:
             raise ArtifactError(

@@ -122,17 +122,48 @@ class ScenarioIdentifier:
         detector, _ = self.registry.resolve(scenario)
         return self._score(detector, list(probe))
 
-    def identify(self, probe: Sequence["Package"]) -> Identification:
+    def _candidates(self, protocol: str | None) -> list[str]:
+        """Registered scenarios, soft-filtered by wire dialect.
+
+        A probe that arrived over e.g. the IEC-104 adapter is most
+        plausibly one of the scenarios declared to serve over it, so
+        those are scored first *alone* — but only when at least one
+        registered scenario matches.  A dialect no scenario declares
+        (or a scenario unknown to the simulation catalog) falls back to
+        the full candidate set: the signature databases remain the
+        classifier of record, the protocol is just a prior.
+        """
+        scenarios = list(self.registry.scenarios())
+        if protocol is None:
+            return scenarios
+        from repro.scenarios import get_scenario
+
+        matching = []
+        for scenario in scenarios:
+            try:
+                declared = get_scenario(scenario).protocol
+            except KeyError:
+                return scenarios  # registry names outside the catalog
+            if declared == protocol:
+                matching.append(scenario)
+        return matching or scenarios
+
+    def identify(
+        self, probe: Sequence["Package"], protocol: str | None = None
+    ) -> Identification:
         """Score ``probe`` against every registered scenario.
 
-        Returns an abstaining :class:`Identification` (``scenario is
-        None``) for an empty probe, an empty registry, a best score
-        under the confidence floor, or a lead under the margin.
+        ``protocol`` (a :mod:`repro.serve.protocols` adapter name) is an
+        optional routing signal: when some registered scenarios declare
+        that wire dialect, only those are scored.  Returns an abstaining
+        :class:`Identification` (``scenario is None``) for an empty
+        probe, an empty registry, a best score under the confidence
+        floor, or a lead under the margin.
         """
         probe = list(probe)
         scores: list[ScenarioScore] = []
         if probe:
-            for scenario in self.registry.scenarios():
+            for scenario in self._candidates(protocol):
                 detector, entry = self.registry.resolve(scenario)
                 scores.append(
                     ScenarioScore(

@@ -105,9 +105,16 @@ class ScenarioRouter:
         except RegistryError as exc:
             raise RoutingError(str(exc)) from exc
 
-    def identify(self, probe: Sequence["Package"]) -> Identification:
-        """Auto-identify an untagged stream's scenario from its probe."""
-        return self.identifier.identify(probe)
+    def identify(
+        self, probe: Sequence["Package"], protocol: str | None = None
+    ) -> Identification:
+        """Auto-identify an untagged stream's scenario from its probe.
+
+        ``protocol`` optionally narrows the candidate set to scenarios
+        declaring that wire dialect (soft filter; see
+        :meth:`ScenarioIdentifier.identify`).
+        """
+        return self.identifier.identify(probe, protocol=protocol)
 
     def stats(self) -> dict[str, Any]:
         """Registry load-path counters (cold loads vs LRU hits)."""

@@ -2,7 +2,7 @@
 
 The detection framework is process-agnostic — it consumes the 17
 Table-I package features — so "which physical process, which protocol
-map, which attack catalog" is a pluggable :class:`Scenario`.  Three
+map, which attack catalog" is a pluggable :class:`Scenario`.  Five
 scenarios ship in-tree:
 
 - :mod:`repro.scenarios.gas_pipeline` — the paper's testbed (pressure
@@ -13,7 +13,12 @@ scenarios ship in-tree:
   regulation (regulator + shunt-load breaker against aggregate load),
 - :mod:`repro.scenarios.hvac_chiller` — chiller coil supply-air cooling
   (compressor + bypass damper against a drifting heat load; slow
-  thermal time constant).
+  thermal time constant),
+- :mod:`repro.scenarios.chlorination_dosing` — residual chlorine dosing
+  into a flow line (dosing pump + dump valve); the first two-variable
+  scenario: a widened :class:`~repro.ics.registers.RegisterMap` reports
+  the process flow alongside the residual, and the site serves over the
+  IEC-104-style dialect by default.
 
 Each reinterprets the seven Table-II attack types against its process
 (MPCI randomizes tank setpoints, MSCI flips breakers, …).  Register a
@@ -29,6 +34,11 @@ from repro.scenarios.base import (
     get_scenario,
     register_scenario,
     scenario_names,
+)
+from repro.scenarios.chlorination_dosing import (
+    CHLORINATION_DOSING,
+    ChlorinationConfig,
+    ChlorinationPlant,
 )
 from repro.scenarios.gas_pipeline import GAS_PIPELINE
 from repro.scenarios.hvac_chiller import (
@@ -53,10 +63,13 @@ __all__ = [
     "WATER_TANK",
     "POWER_FEEDER",
     "HVAC_CHILLER",
+    "CHLORINATION_DOSING",
     "WaterTankConfig",
     "WaterTankPlant",
     "PowerFeederConfig",
     "PowerFeederPlant",
     "HvacChillerConfig",
     "HvacChillerPlant",
+    "ChlorinationConfig",
+    "ChlorinationPlant",
 ]

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.ics.attacks import ATTACK_NAMES, AttackConfig, AttackInjector
 from repro.ics.plant import Plant, PlantConfig
+from repro.ics.registers import RegisterMap
 from repro.ics.scada import ScadaConfig, ScadaSimulator
 from repro.utils.rng import SeedLike
 
@@ -66,15 +67,25 @@ class Scenario:
     feature_aliases: Mapping[str, str] = field(default_factory=dict)
     #: Attack id (1..7) → how that attack class manifests here.
     attack_notes: Mapping[int, str] = field(default_factory=dict)
-    #: Names of the PLC holding registers 0..10, scenario vocabulary.
-    register_names: tuple[str, ...] = ()
+    #: PLC holding-register layout: the 11 canonical names in scenario
+    #: vocabulary plus any auxiliary process-variable registers.
+    registers: RegisterMap = field(default_factory=RegisterMap)
+    #: Wire dialect this plant's field devices speak — the default a
+    #: serving client uses for this scenario (see
+    #: :mod:`repro.serve.protocols`).
+    protocol: str = "modbus"
 
     def validate(self) -> "Scenario":
         if not self.name or not self.name.replace("_", "").isalnum():
             raise ValueError(f"scenario name must be a slug, got {self.name!r}")
+        if not self.protocol or not self.protocol.replace("_", "").isalnum():
+            raise ValueError(
+                f"scenario protocol must be a slug, got {self.protocol!r}"
+            )
         unknown = set(self.attack_notes) - (set(ATTACK_NAMES) - {0})
         if unknown:
             raise ValueError(f"attack_notes for unknown attack ids: {sorted(unknown)}")
+        self.registers.validate()
         self.scada.validate()
         self.attacks.validate()
         return self
@@ -98,6 +109,7 @@ class Scenario:
             scada or self.scada,
             rng=rng,
             plant_factory=lambda rng: self.make_plant(rng=rng, plant_config=plant_config),
+            registers=self.registers,
         )
 
     def make_injector(
@@ -138,8 +150,8 @@ class Scenario:
     # ------------------------------------------------------------------
 
     def register_map(self) -> dict[int, str]:
-        """Holding-register index → scenario-specific register name."""
-        return dict(enumerate(self.register_names))
+        """Holding-register address → scenario-specific register name."""
+        return self.registers.register_map()
 
     def describe(self) -> dict[str, Any]:
         """JSON-able summary used by ``repro scenarios`` and the docs."""
@@ -150,6 +162,7 @@ class Scenario:
             "process_variable": self.process_variable,
             "process_unit": self.process_unit,
             "actuators": list(self.actuators),
+            "protocol": self.protocol,
             "station_address": self.scada.station_address,
             "setpoint_band": [self.scada.setpoint_min, self.scada.setpoint_max],
             "feature_aliases": dict(self.feature_aliases),

@@ -1,0 +1,229 @@
+"""Chlorination dosing scenario: residual chlorine control in a flow line.
+
+Modelled after municipal disinfection rigs (cf. the ``Water-Controller``
+reference testbed's treatment loop): a dosing pump injects hypochlorite
+into a treated-water line and the PLC holds the **residual chlorine
+concentration** at a setpoint while the line's process flow dilutes it.
+The relief actuator is a dump/recirculation valve that bleeds
+over-chlorinated water back to the head of the works.  The residual
+concentration plays the role the pipeline pressure plays in the paper's
+testbed, so every Table-I feature keeps its wire format and only its
+*meaning* changes.
+
+This is the first **two-variable** scenario: the plant reports the
+process flow it is dosing into alongside the residual, through a
+widened read block (a :class:`~repro.ics.registers.RegisterMap` with
+one auxiliary register).  The flow rides the wire as an extra ×100
+fixed-point word and lands on :attr:`Package.aux` — visible to
+operators and the serving stack, invisible to the Table-I detector.
+
+Residual dynamics (first-order with flow-proportional dilution):
+
+.. math::
+
+    \\dot C = r_{dose} · duty − (r_{decay} + r_{dil} · q/\\bar q) · C
+              − r_{dump} · C · open + ε
+
+where the process flow ``q`` is a mean-reverting (Ornstein–Uhlenbeck)
+draw — the plant throughput drifting with demand — and ``ε`` is process
+noise.  Higher flow means faster dilution, which couples the two
+variables the way a real contact tank couples them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ics.attacks import CMRI, DOS, MFCI, MPCI, MSCI, NMRI, RECON, AttackConfig
+from repro.ics.plant import Plant, PlantConfig
+from repro.ics.registers import RegisterMap
+from repro.ics.scada import ScadaConfig
+from repro.scenarios.base import Scenario, register_scenario
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class ChlorinationConfig:
+    """Chemical and hydraulic constants of the dosing loop."""
+
+    max_concentration: float = 6.0  # mg/L, residual alarm ceiling
+    dose_rate: float = 1.2  # mg/L/s added at full dosing-pump duty
+    decay_rate: float = 0.08  # 1/s chlorine demand/decay of the water
+    dilution_rate: float = 0.12  # 1/s dilution at the mean process flow
+    dump_rate: float = 0.3  # 1/s extra bleed with the dump valve open
+    flow_mean: float = 20.0  # L/s mean process flow through the line
+    flow_reversion: float = 0.2  # 1/s pull of flow toward its mean
+    flow_std: float = 1.5  # L/s/sqrt(s) flow fluctuation
+    flow_max: float = 40.0  # L/s hydraulic capacity of the line
+    flow_sensor_noise_std: float = 0.2  # L/s flow-meter sensor noise
+    noise_std: float = 0.01  # mg/L/sqrt(s) process noise
+    initial_concentration: float = 2.0
+
+    def validate(self) -> "ChlorinationConfig":
+        for name in (
+            "max_concentration",
+            "dose_rate",
+            "decay_rate",
+            "flow_mean",
+            "flow_reversion",
+            "flow_max",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        for name in (
+            "dilution_rate",
+            "dump_rate",
+            "flow_std",
+            "flow_sensor_noise_std",
+            "noise_std",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.flow_max < self.flow_mean:
+            raise ValueError("flow_max must be >= flow_mean")
+        if not 0 <= self.initial_concentration <= self.max_concentration:
+            raise ValueError(
+                f"initial_concentration must be in [0, {self.max_concentration}], "
+                f"got {self.initial_concentration}"
+            )
+        return self
+
+
+class ChlorinationPlant:
+    """Stateful residual-chlorine simulation (:class:`~repro.ics.plant.Plant`).
+
+    ``drive`` is the dosing pump duty, ``relief`` the dump/recirculation
+    valve.  The process flow evolves as its own mean-reverting process
+    and continuously dilutes the residual, so the dosing pump works
+    around the clock — the same "always busy" property that makes the
+    pipeline compressor's traffic informative.  The flow is also a
+    *reported* variable: :meth:`measure_aux` reads the line's flow meter
+    for the widened read block.
+    """
+
+    def __init__(
+        self, config: ChlorinationConfig | None = None, rng: SeedLike = None
+    ) -> None:
+        self.config = (config or ChlorinationConfig()).validate()
+        self._rng = as_generator(rng)
+        self.concentration = self.config.initial_concentration
+        self.flow = self.config.flow_mean
+
+    @property
+    def process_value(self) -> float:
+        return self.concentration
+
+    @property
+    def limit(self) -> float:
+        return self.config.max_concentration
+
+    def step(self, drive: float, relief_open: bool, dt: float) -> float:
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        drive = max(0.0, min(1.0, drive))
+        cfg = self.config
+        # Process flow: Ornstein–Uhlenbeck around the plant throughput.
+        self.flow += cfg.flow_reversion * (cfg.flow_mean - self.flow) * dt
+        self.flow += cfg.flow_std * self._rng.normal(0.0, 1.0) * dt**0.5
+        self.flow = max(0.0, min(cfg.flow_max, self.flow))
+
+        dosing = cfg.dose_rate * drive
+        losses = (
+            cfg.decay_rate + cfg.dilution_rate * self.flow / cfg.flow_mean
+        ) * self.concentration
+        if relief_open:
+            losses += cfg.dump_rate * self.concentration
+        noise = self._rng.normal(0.0, cfg.noise_std) * dt**0.5
+        self.concentration += (dosing - losses) * dt + noise
+        self.concentration = max(0.0, min(cfg.max_concentration, self.concentration))
+        return self.concentration
+
+    def measure(self, sensor_noise_std: float = 0.05) -> float:
+        if sensor_noise_std < 0:
+            raise ValueError(f"sensor_noise_std must be >= 0, got {sensor_noise_std}")
+        reading = self.concentration + self._rng.normal(0.0, sensor_noise_std)
+        return max(0.0, min(self.config.max_concentration, reading))
+
+    def measure_aux(self) -> tuple[float, ...]:
+        """Read the line's flow meter for the auxiliary register."""
+        cfg = self.config
+        reading = self.flow + self._rng.normal(0.0, cfg.flow_sensor_noise_std)
+        return (max(0.0, min(cfg.flow_max, reading)),)
+
+
+def _build_plant(rng: SeedLike = None, plant_config: PlantConfig | None = None) -> Plant:
+    # The legacy gas PlantConfig does not apply here; a customized one
+    # must not be silently ignored.
+    if plant_config is not None and plant_config != PlantConfig():
+        raise ValueError(
+            "scenario 'chlorination_dosing' does not use the gas-pipeline "
+            "PlantConfig; customize ChlorinationConfig via a registered "
+            "Scenario instead"
+        )
+    return ChlorinationPlant(rng=rng)
+
+
+CHLORINATION_DOSING = register_scenario(
+    Scenario(
+        name="chlorination_dosing",
+        title="Chlorination dosing line",
+        description=(
+            "Hypochlorite dosing pump holding the residual chlorine of a "
+            "treated-water line against flow-proportional dilution, with "
+            "a dump/recirculation valve as the overdosing relief; the "
+            "plant reports both residual and process flow through a "
+            "widened read block."
+        ),
+        process_variable="residual chlorine",
+        process_unit="mg/L",
+        actuators=("dosing pump duty", "dump valve"),
+        plant_builder=_build_plant,
+        scada=ScadaConfig(
+            station_address=13,
+            setpoint_mean=2.0,
+            setpoint_std=0.5,
+            setpoint_min=1.0,
+            setpoint_max=3.5,
+            setpoint_step=0.25,
+            sensor_noise_std=0.02,
+        ),
+        attacks=AttackConfig(
+            # MPCI dials residual setpoints past the 6 mg/L alarm line —
+            # the overdosing attack a dosing loop actually fears.
+            mpci_setpoint_low=0.0,
+            mpci_setpoint_high=9.0,
+        ),
+        feature_aliases={
+            "pressure_measurement": "residual chlorine (mg/L)",
+            "setpoint": "residual setpoint (mg/L)",
+            "pump": "dosing pump on/off",
+            "solenoid": "dump valve open/closed",
+        },
+        attack_notes={
+            NMRI: "fabricated residual readings, often past the 6 mg/L alarm",
+            CMRI: "stale residual snapshots masking an overdosed or bare line",
+            MSCI: "dosing pump / dump valve flipped in flight (pump+dump combos)",
+            MPCI: "randomized residual setpoints up to 1.5x the alarm ceiling",
+            MFCI: "diagnostics/exception function codes the master never uses",
+            DOS: "malformed frame flood delaying the residual poll",
+            RECON: "scans for other dosing RTUs on the treatment bus",
+        },
+        registers=RegisterMap(
+            names=(
+                "cl_setpoint",
+                "gain",
+                "reset_rate",
+                "deadband",
+                "cycle_time",
+                "rate",
+                "system_mode",
+                "control_scheme",
+                "dosing_pump",
+                "dump_valve",
+                "residual_cl",
+            ),
+            aux_names=("process_flow",),
+        ),
+        protocol="iec104",
+    )
+)

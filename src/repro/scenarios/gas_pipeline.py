@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.ics.attacks import CMRI, DOS, MFCI, MPCI, MSCI, NMRI, RECON, AttackConfig
 from repro.ics.plant import GasPipelinePlant, Plant, PlantConfig
+from repro.ics.registers import RegisterMap
 from repro.ics.scada import ScadaConfig
 from repro.scenarios.base import Scenario, register_scenario
 from repro.utils.rng import SeedLike
@@ -51,18 +52,20 @@ GAS_PIPELINE = register_scenario(
             DOS: "malformed frame flood delaying the legitimate poll",
             RECON: "scans of other station addresses on the serial link",
         },
-        register_names=(
-            "setpoint",
-            "gain",
-            "reset_rate",
-            "deadband",
-            "cycle_time",
-            "rate",
-            "system_mode",
-            "control_scheme",
-            "pump",
-            "solenoid",
-            "pressure",
+        registers=RegisterMap(
+            names=(
+                "setpoint",
+                "gain",
+                "reset_rate",
+                "deadband",
+                "cycle_time",
+                "rate",
+                "system_mode",
+                "control_scheme",
+                "pump",
+                "solenoid",
+                "pressure",
+            ),
         ),
     )
 )

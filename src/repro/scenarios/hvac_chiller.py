@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from repro.ics.attacks import CMRI, DOS, MFCI, MPCI, MSCI, NMRI, RECON, AttackConfig
 from repro.ics.plant import Plant, PlantConfig
+from repro.ics.registers import RegisterMap
 from repro.ics.scada import ScadaConfig
 from repro.scenarios.base import Scenario, register_scenario
 from repro.utils.rng import SeedLike, as_generator
@@ -176,18 +177,20 @@ HVAC_CHILLER = register_scenario(
             DOS: "malformed frame flood delaying the temperature poll",
             RECON: "scans for other AHU controllers on the building bus",
         },
-        register_names=(
-            "depression_setpoint",
-            "gain",
-            "reset_rate",
-            "deadband",
-            "cycle_time",
-            "rate",
-            "system_mode",
-            "control_scheme",
-            "compressor",
-            "bypass_damper",
-            "coil_depression",
+        registers=RegisterMap(
+            names=(
+                "depression_setpoint",
+                "gain",
+                "reset_rate",
+                "deadband",
+                "cycle_time",
+                "rate",
+                "system_mode",
+                "control_scheme",
+                "compressor",
+                "bypass_damper",
+                "coil_depression",
+            ),
         ),
     )
 )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.ics.attacks import CMRI, DOS, MFCI, MPCI, MSCI, NMRI, RECON, AttackConfig
 from repro.ics.plant import Plant, PlantConfig
+from repro.ics.registers import RegisterMap
 from repro.ics.scada import ScadaConfig
 from repro.scenarios.base import Scenario, register_scenario
 from repro.utils.rng import SeedLike, as_generator
@@ -167,18 +168,20 @@ POWER_FEEDER = register_scenario(
             DOS: "malformed frame flood delaying the voltage poll",
             RECON: "scans for other feeder RTUs on the substation bus",
         },
-        register_names=(
-            "voltage_setpoint",
-            "gain",
-            "reset_rate",
-            "deadband",
-            "cycle_time",
-            "rate",
-            "system_mode",
-            "control_scheme",
-            "regulator",
-            "shunt_breaker",
-            "bus_voltage",
+        registers=RegisterMap(
+            names=(
+                "voltage_setpoint",
+                "gain",
+                "reset_rate",
+                "deadband",
+                "cycle_time",
+                "rate",
+                "system_mode",
+                "control_scheme",
+                "regulator",
+                "shunt_breaker",
+                "bus_voltage",
+            ),
         ),
     )
 )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.ics.attacks import CMRI, DOS, MFCI, MPCI, MSCI, NMRI, RECON, AttackConfig
 from repro.ics.plant import Plant, PlantConfig
+from repro.ics.registers import RegisterMap
 from repro.ics.scada import ScadaConfig
 from repro.scenarios.base import Scenario, register_scenario
 from repro.utils.rng import SeedLike, as_generator
@@ -164,18 +165,20 @@ WATER_TANK = register_scenario(
             DOS: "malformed frame flood delaying the level poll",
             RECON: "scans for other RTUs on the district's serial bus",
         },
-        register_names=(
-            "level_setpoint",
-            "gain",
-            "reset_rate",
-            "deadband",
-            "cycle_time",
-            "rate",
-            "system_mode",
-            "control_scheme",
-            "inlet_pump",
-            "drain_valve",
-            "tank_level",
+        registers=RegisterMap(
+            names=(
+                "level_setpoint",
+                "gain",
+                "reset_rate",
+                "deadband",
+                "cycle_time",
+                "rate",
+                "system_mode",
+                "control_scheme",
+                "inlet_pump",
+                "drain_valve",
+                "tank_level",
+            ),
         ),
     )
 )

@@ -2,8 +2,10 @@
 
 Everything needed to put the trained framework *on the link*:
 Modbus/TCP transport with an incremental, garbage-tolerant decoder
-(:mod:`~repro.serve.transport`), the sharded asyncio gateway
-(:mod:`~repro.serve.gateway`), the alert pipeline
+(:mod:`~repro.serve.transport`), pluggable protocol adapters for
+multi-dialect fleets — Modbus, IEC-104-style, DNP3-lite — with
+auto-sniffing (:mod:`~repro.serve.protocols`), the sharded asyncio
+gateway (:mod:`~repro.serve.gateway`), the alert pipeline
 (:mod:`~repro.serve.alerts`), a replay client for load generation
 and fail-over drills (:mod:`~repro.serve.replay`), and the
 multi-scenario fleet runner that streams N simulated sites through one
@@ -41,10 +43,20 @@ from repro.serve.gateway import (
     GatewayHandle,
     start_in_thread,
 )
+from repro.serve.protocols import (
+    PROTOCOL_NAMES,
+    ProtocolAdapter,
+    ProtocolSniffer,
+    get_adapter,
+)
 from repro.serve.replay import ReplayClient, ReplayError, ReplayResult, replay_arff
 from repro.serve.transport import MbapDecoder, MbapFrame, TransportError
 
 __all__ = [
+    "PROTOCOL_NAMES",
+    "ProtocolAdapter",
+    "ProtocolSniffer",
+    "get_adapter",
     "Alert",
     "AlertConfig",
     "AlertPipeline",

@@ -42,6 +42,7 @@ from repro.core.metrics import DetectionMetrics, evaluate_detection
 from repro.ics.features import Package
 from repro.serve.alerts import AlertConfig, AlertPipeline
 from repro.serve.gateway import DetectionGateway, GatewayConfig, start_in_thread
+from repro.serve.protocols import get_adapter
 from repro.serve.replay import ReplayClient
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -50,12 +51,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class SiteSpec:
-    """One simulated site: a named stream bound to a scenario capture."""
+    """One simulated site: a named stream bound to a scenario capture.
+
+    ``protocol`` is the wire dialect the site's replay client speaks
+    (see :mod:`repro.serve.protocols`); ``None`` defers to the
+    scenario's declared dialect, so e.g. a chlorination site streams
+    IEC-104 without per-site configuration.
+    """
 
     name: str
     scenario: str
     seed: int
     num_cycles: int = 60
+    protocol: str | None = None
+
+    def wire_protocol(self) -> str:
+        """The dialect this site streams — explicit or scenario-declared."""
+        if self.protocol is not None:
+            return self.protocol
+        from repro.scenarios import get_scenario
+
+        try:
+            return get_scenario(self.scenario).protocol
+        except KeyError:
+            return "modbus"
 
     def capture(self) -> list[Package]:
         """Generate this site's package stream (deterministic per spec).
@@ -86,6 +105,9 @@ class FleetConfig:
     #: Heterogeneous mode only: tag each site's OPEN with its scenario
     #: (False = untagged, the gateway auto-identifies from the probe).
     tag_streams: bool = True
+    #: Wire dialects assigned round-robin across sites (mixed-protocol
+    #: fleet).  Empty = each site speaks its scenario's declared dialect.
+    protocols: tuple[str, ...] = ()
 
     def validate(self) -> "FleetConfig":
         if self.num_sites < 1:
@@ -98,6 +120,8 @@ class FleetConfig:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {self.window}")
+        for protocol in self.protocols:
+            get_adapter(protocol)  # raises KeyError on unknown dialects
         return self
 
     def sites(self) -> list[SiteSpec]:
@@ -105,12 +129,16 @@ class FleetConfig:
         from repro.scenarios import scenario_names
 
         names = self.scenarios or scenario_names()
+        protocols = self.protocols
         return [
             SiteSpec(
                 name=f"site-{i:02d}-{names[i % len(names)]}",
                 scenario=names[i % len(names)],
                 seed=self.base_seed + i,
                 num_cycles=self.cycles_per_site,
+                protocol=(
+                    protocols[i % len(protocols)] if protocols else None
+                ),
             )
             for i in range(self.num_sites)
         ]
@@ -130,6 +158,8 @@ class SiteResult:
     #: Model that scored this site (heterogeneous mode; from gateway stats).
     route_scenario: str | None = None
     route_version: int | None = None
+    #: Wire dialect the gateway saw this site speak (from gateway stats).
+    route_protocol: str | None = None
 
 
 @dataclass
@@ -240,6 +270,7 @@ class FleetRunner:
                             if self.heterogeneous and config.tag_streams
                             else None
                         ),
+                        protocol=site.wire_protocol(),
                     )
                     replayed = client.replay(captures[site.name])
                     labels = np.array([p.label for p in captures[site.name]])
@@ -278,6 +309,7 @@ class FleetRunner:
             route = routes.get(site.name, {})
             results[site.name].route_scenario = route.get("scenario")
             results[site.name].route_version = route.get("version")
+            results[site.name].route_protocol = route.get("protocol")
 
         if config.verify_offline:
             for site in sites:

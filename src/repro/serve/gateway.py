@@ -81,19 +81,17 @@ from repro.persistence import (
 )
 from repro.registry.router import RoutingError, ScenarioRouter
 from repro.serve.alerts import AlertPipeline
+from repro.serve.protocols import (
+    MODBUS,
+    PROTOCOL_NAMES,
+    ProtocolAdapter,
+    ProtocolSniffer,
+)
 from repro.serve.transport import (
     KIND_DATA,
     KIND_ERROR,
     KIND_OPEN,
-    MbapDecoder,
-    MbapFrame,
     TransportError,
-    decode_data,
-    decode_open,
-    encode_error,
-    encode_open_ack,
-    encode_verdict,
-    wrap_pdu,
 )
 from repro.utils.artifact import read_meta
 
@@ -128,10 +126,17 @@ class GatewayConfig:
     max_write_buffer: int = 1 << 20  # evict clients that stop reading verdicts
     max_packages: int | None = None  # stop serving after N packages (tests/CLI)
     registry_poll_seconds: float = 1.0  # registry mode: hot-swap poll; 0 = off
+    protocols: tuple[str, ...] = ()  # accepted wire dialects; () = all
 
     def validate(self) -> "GatewayConfig":
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        unknown = set(self.protocols) - set(PROTOCOL_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown protocols: {sorted(unknown)}; "
+                f"available: {list(PROTOCOL_NAMES)}"
+            )
         if self.checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
@@ -166,7 +171,9 @@ class _Route:
     is always the stream's next expected wire sequence number.
     """
 
-    __slots__ = ("shard", "scenario", "version", "stream_id", "seq_base")
+    __slots__ = (
+        "shard", "scenario", "version", "stream_id", "seq_base", "protocol"
+    )
 
     def __init__(
         self,
@@ -175,12 +182,17 @@ class _Route:
         version: int | None,
         stream_id: int,
         seq_base: int = 0,
+        protocol: str = "modbus",
     ) -> None:
         self.shard = shard
         self.scenario = scenario
         self.version = version
         self.stream_id = stream_id
         self.seq_base = seq_base
+        #: Wire dialect of the stream's last connection (refreshed on
+        #: every OPEN — protocol is transport provenance, not routing
+        #: identity, so a site may migrate dialects between connects).
+        self.protocol = protocol
 
     @property
     def route_key(self) -> tuple[str | None, int | None]:
@@ -198,6 +210,9 @@ class _Session:
         self.probe: list[tuple[int, "Package"]] = []
         self.next_seq = 0
         self.evicted = False
+        #: Wire dialect this connection speaks; Modbus until the
+        #: sniffer says otherwise (also the error-framing fallback).
+        self.adapter: ProtocolAdapter = MODBUS
 
     def send(self, payload: bytes, max_buffer: int) -> None:
         """Best-effort write; evict the peer if it stopped reading."""
@@ -366,6 +381,7 @@ class DetectionGateway:
                     binding.version,
                     binding.stream_id,
                     binding.seq_base,
+                    protocol=binding.protocol,
                 )
         for route in self._bindings.values():
             self._shards[route.shard].bound_streams += 1
@@ -380,6 +396,9 @@ class DetectionGateway:
         self._crc_errors = 0
         self._malformed = 0
         self._bytes_discarded = 0
+        #: Per-dialect edge health: connections, frames decoded, junk
+        #: bytes shed and resync events, keyed by adapter name.
+        self._transport_stats: dict[str, dict[str, int]] = {}
         self._swaps_applied = 0
         self._identified = 0
         self._abstained = 0
@@ -410,7 +429,8 @@ class DetectionGateway:
         to resolve the exact ``(scenario, version)`` artifacts their
         engine pools reference.
         """
-        kind = read_meta(path)["kind"]
+        meta = read_meta(path)
+        kind = meta["kind"]
         if kind == ROUTED_GATEWAY_KIND:
             if router is None and registry is not None:
                 router = ScenarioRouter(registry)
@@ -423,13 +443,15 @@ class DetectionGateway:
             config = replace(
                 config or GatewayConfig(), num_shards=len(restored.shards)
             )
-            return cls(
+            gateway = cls(
                 config=config,
                 alerts=alerts,
                 router=router,
                 _routed_shards=restored.shards,
                 _routed_bindings=restored.bindings,
             )
+            gateway._restore_transport_stats(restored.meta)
+            return gateway
         if registry is not None or router is not None:
             # A single-detector checkpoint cannot come up as a routed
             # gateway: refusing beats silently serving one embedded
@@ -443,7 +465,7 @@ class DetectionGateway:
         config = replace(
             config or GatewayConfig(), num_shards=len(restored.engines)
         )
-        return cls(
+        gateway = cls(
             restored.detector,
             config,
             alerts,
@@ -451,6 +473,22 @@ class DetectionGateway:
             _engines=restored.engines,
             _bindings=restored.bindings,
         )
+        # The single-detector binding table has no protocol column; the
+        # per-stream dialect rides the checkpoint meta instead.
+        for key, entry in (restored.meta.get("routes") or {}).items():
+            route = gateway._bindings.get(key)
+            if route is not None and entry.get("protocol"):
+                route.protocol = str(entry["protocol"])
+        gateway._restore_transport_stats(restored.meta)
+        return gateway
+
+    def _restore_transport_stats(self, meta: dict[str, Any]) -> None:
+        """Carry per-dialect edge counters across a fail-over."""
+        for name, counters in (meta.get("transport") or {}).items():
+            if name in PROTOCOL_NAMES:
+                self._transport_counters(name).update(
+                    {k: int(v) for k, v in counters.items()}
+                )
 
     async def start(self) -> None:
         """Bind the listening socket and launch the shard workers."""
@@ -517,31 +555,73 @@ class DetectionGateway:
     # connection handling
     # ------------------------------------------------------------------
 
+    def _transport_counters(self, protocol: str) -> dict[str, int]:
+        counters = self._transport_stats.get(protocol)
+        if counters is None:
+            counters = {
+                "connections": 0,
+                "frames_decoded": 0,
+                "bytes_discarded": 0,
+                "resyncs": 0,
+            }
+            self._transport_stats[protocol] = counters
+        return counters
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         session = _Session(writer)
-        decoder = MbapDecoder()
-        discard_mark = 0
+        # Every connection self-identifies its wire dialect: the sniffer
+        # inspects the first bytes (shedding leading garbage) and hands
+        # the locked-on buffer to that dialect's resyncing decoder.
+        sniffer = ProtocolSniffer(self.config.protocols)
+        decoder = None
+        counters: dict[str, int] | None = None
+        marks = (0, 0, 0)  # decoder (frames, discarded, resyncs) seen so far
         try:
             while True:
                 data = await reader.read(65536)
                 if not data:
                     break
+                if decoder is None:
+                    adapter = sniffer.feed(data)
+                    if adapter is None:
+                        continue  # dialect not determined yet
+                    session.adapter = adapter
+                    counters = self._transport_counters(adapter.name)
+                    counters["connections"] += 1
+                    counters["bytes_discarded"] += sniffer.bytes_discarded
+                    self._bytes_discarded += sniffer.bytes_discarded
+                    decoder = adapter.decoder()
+                    data = sniffer.pending
                 frames = decoder.feed(data)
-                self._bytes_discarded += decoder.bytes_discarded - discard_mark
-                discard_mark = decoder.bytes_discarded
+                assert counters is not None
+                counters["frames_decoded"] += decoder.frames_decoded - marks[0]
+                discarded = decoder.bytes_discarded - marks[1]
+                counters["bytes_discarded"] += discarded
+                self._bytes_discarded += discarded
+                counters["resyncs"] += decoder.resyncs - marks[2]
+                marks = (
+                    decoder.frames_decoded,
+                    decoder.bytes_discarded,
+                    decoder.resyncs,
+                )
                 for frame in frames:
                     await self._on_frame(session, frame)
             await self._flush(session)
         except ProtocolViolation as exc:
             session.send(
-                wrap_pdu(encode_error(str(exc)), 0), self.config.max_write_buffer
+                session.adapter.frame_error(str(exc)),
+                self.config.max_write_buffer,
             )
             await self._flush(session)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            if decoder is None and sniffer.bytes_discarded:
+                # Connection died (or closed) before any dialect locked
+                # on: its junk still shows up in the edge counters.
+                self._bytes_discarded += sniffer.bytes_discarded
             if session.key is not None and self._live.get(session.key) is session:
                 del self._live[session.key]
             try:
@@ -557,7 +637,7 @@ class DetectionGateway:
             except (ConnectionError, RuntimeError):
                 pass
 
-    async def _on_frame(self, session: _Session, frame: MbapFrame) -> None:
+    async def _on_frame(self, session: _Session, frame) -> None:
         kind = frame.kind
         if kind == KIND_OPEN:
             self._on_open(session, frame)
@@ -569,13 +649,20 @@ class DetectionGateway:
         else:
             raise ProtocolViolation(f"unexpected frame kind {kind:#04x}")
 
-    def _on_open(self, session: _Session, frame: MbapFrame) -> None:
+    def _on_open(self, session: _Session, frame) -> None:
         if session.key is not None:
             raise ProtocolViolation("session already bound to a stream")
         try:
-            key, scenario_tag = decode_open(frame.pdu)
+            key, scenario_tag, protocol_tag = session.adapter.decode_open(frame.pdu)
         except TransportError as exc:
             raise ProtocolViolation(str(exc)) from exc
+        if protocol_tag is not None and protocol_tag != session.adapter.name:
+            # A declared dialect that contradicts the sniffed framing is
+            # a confused (or spoofing) client, not a tolerable mismatch.
+            raise ProtocolViolation(
+                f"stream {key!r} declares protocol {protocol_tag!r} but "
+                f"speaks {session.adapter.name!r}"
+            )
         if key in self._live:
             raise ProtocolViolation(f"stream key {key!r} already connected")
 
@@ -586,12 +673,14 @@ class DetectionGateway:
             session.key = key
             self._live[key] = session
             session.send(
-                wrap_pdu(encode_open_ack(PENDING_STREAM_ID, 0), 0),
+                session.adapter.frame_open_ack(PENDING_STREAM_ID, 0),
                 self.config.max_write_buffer,
             )
             return
         if route is None:
-            route = self._bind(key, scenario_tag)
+            route = self._bind(key, scenario_tag, protocol=session.adapter.name)
+        else:
+            route.protocol = session.adapter.name
 
         session.key = key
         session.route = route
@@ -600,7 +689,7 @@ class DetectionGateway:
         session.next_seq = route.seq_base + engine.packages_seen(route.stream_id)
         self._live[key] = session
         session.send(
-            wrap_pdu(encode_open_ack(route.stream_id, session.next_seq), 0),
+            session.adapter.frame_open_ack(route.stream_id, session.next_seq),
             self.config.max_write_buffer,
         )
 
@@ -609,6 +698,7 @@ class DetectionGateway:
         key: str,
         scenario_tag: str | None,
         identified: tuple[str, int] | None = None,
+        protocol: str = "modbus",
     ) -> _Route:
         """Assign a fresh stream key its shard, model route and engine row."""
         if self._router is None:
@@ -631,15 +721,15 @@ class DetectionGateway:
         engine = shard.engine_for((scenario, version))
         stream_id = engine.attach()
         shard.bound_streams += 1
-        route = _Route(shard.index, scenario, version, stream_id)
+        route = _Route(shard.index, scenario, version, stream_id, protocol=protocol)
         self._bindings[key] = route
         return route
 
-    async def _on_data(self, session: _Session, frame: MbapFrame) -> None:
+    async def _on_data(self, session: _Session, frame) -> None:
         if session.key is None:
             raise ProtocolViolation("DATA before OPEN")
         try:
-            data = decode_data(frame.pdu)
+            data = session.adapter.decode_data(frame.pdu)
         except CrcError:
             # Corrupt embedded frame: count it, drop the PDU, keep the
             # session.  The DATA layer is reliable-in-order — a dropped
@@ -680,7 +770,10 @@ class DetectionGateway:
 
     async def _identify_and_bind(self, session: _Session, final: bool) -> None:
         assert self._router is not None and session.key is not None
-        outcome = self._router.identify([pkg for _, pkg in session.probe])
+        outcome = self._router.identify(
+            [pkg for _, pkg in session.probe],
+            protocol=session.adapter.name,
+        )
         if outcome.abstained:
             if not final:
                 return  # inconclusive so far: keep buffering the probe
@@ -692,7 +785,10 @@ class DetectionGateway:
         self._identified += 1
         assert outcome.scenario is not None and outcome.version is not None
         route = self._bind(
-            session.key, None, identified=(outcome.scenario, outcome.version)
+            session.key,
+            None,
+            identified=(outcome.scenario, outcome.version),
+            protocol=session.adapter.name,
         )
         session.route = route
         session.shard = self._shards[route.shard]
@@ -791,9 +887,10 @@ class DetectionGateway:
             items, verdicts, levels
         ):
             session.send(
-                wrap_pdu(encode_verdict(seq, bool(verdict), int(level)),
-                         transaction_id=(seq % 0xFFFF) + 1,
-                         unit_id=package.address & 0xFF),
+                session.adapter.frame_verdict(
+                    seq, bool(verdict), int(level),
+                    unit_id=package.address & 0xFF,
+                ),
                 max_buffer,
             )
             if verdict and session.key is not None:
@@ -816,7 +913,14 @@ class DetectionGateway:
         # checkpoint_every packages — size it accordingly.
         if not self.config.checkpoint_path:
             return
-        meta = {"processed": self._processed, "routes": self._route_meta()}
+        meta = {
+            "processed": self._processed,
+            "routes": self._route_meta(),
+            "transport": {
+                name: dict(counters)
+                for name, counters in sorted(self._transport_stats.items())
+            },
+        }
         if self._router is None:
             assert self.detector is not None
             save_gateway_checkpoint(
@@ -840,6 +944,7 @@ class DetectionGateway:
                         version=route.version,
                         stream_id=route.stream_id,
                         seq_base=route.seq_base,
+                        protocol=route.protocol,
                     )
                     for key, route in self._bindings.items()
                     if route.scenario is not None and route.version is not None
@@ -858,6 +963,7 @@ class DetectionGateway:
             key: {
                 "scenario": route.scenario if route.scenario is not None else fallback,
                 "version": route.version,
+                "protocol": route.protocol,
             }
             for key, route in self._bindings.items()
         }
@@ -879,6 +985,7 @@ class DetectionGateway:
                     route.scenario if route.scenario is not None else fallback
                 ),
                 "version": route.version,
+                "protocol": route.protocol,
                 "shard": route.shard,
                 "stream_id": route.stream_id,
                 "seq_base": route.seq_base,
@@ -893,6 +1000,10 @@ class DetectionGateway:
             "crc_errors": self._crc_errors,
             "malformed": self._malformed,
             "bytes_discarded": self._bytes_discarded,
+            "transport": {
+                name: dict(counters)
+                for name, counters in sorted(self._transport_stats.items())
+            },
             "checkpoints_written": self._checkpoints_written,
             "routes": routes,
             "alerts": self.alerts.stats(),

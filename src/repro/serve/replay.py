@@ -13,6 +13,11 @@ capture again and only the unjudged tail crosses the wire.
 ``noise_every`` injects bursts of ``0xFF`` filler bytes between frames
 (idle-line noise on a serial tap); the gateway's incremental decoder
 must discard them and stay frame-synchronized, changing no decision.
+
+``protocol`` selects the wire dialect (see
+:mod:`repro.serve.protocols`): the client frames its stream through
+that adapter and the gateway sniffs the dialect from the first bytes —
+no server-side coordination is required.
 """
 
 from __future__ import annotations
@@ -26,18 +31,8 @@ import numpy as np
 
 from repro.ics.arff import read_arff
 from repro.ics.features import Package
-from repro.serve.transport import (
-    KIND_ERROR,
-    KIND_OPEN_ACK,
-    KIND_VERDICT,
-    MbapDecoder,
-    decode_error,
-    decode_open_ack,
-    decode_verdict,
-    encode_data,
-    encode_open,
-    wrap_pdu,
-)
+from repro.serve.protocols import FrameDecoder, get_adapter
+from repro.serve.transport import KIND_ERROR, KIND_OPEN_ACK, KIND_VERDICT
 
 
 class ReplayError(RuntimeError):
@@ -82,6 +77,7 @@ class ReplayClient:
         noise_every: int = 0,
         noise_bytes: int = 16,
         scenario: str | None = None,
+        protocol: str = "modbus",
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -94,6 +90,10 @@ class ReplayClient:
         self.timeout = timeout
         self.noise_every = noise_every
         self.noise_bytes = noise_bytes
+        #: Wire dialect to speak (see :mod:`repro.serve.protocols`); the
+        #: gateway sniffs it from the first frame, so no gateway-side
+        #: flag is needed.
+        self.adapter = get_adapter(protocol)
         #: Optional scenario tag sent in the OPEN frame.  A
         #: registry-backed gateway routes a tagged stream straight to
         #: that scenario's active detector; untagged streams are
@@ -112,12 +112,8 @@ class ReplayClient:
         """
         with socket.create_connection((self.host, self.port), self.timeout) as sock:
             sock.settimeout(self.timeout)
-            decoder = MbapDecoder()
-            sock.sendall(
-                wrap_pdu(
-                    encode_open(self.stream_key, self.scenario), transaction_id=1
-                )
-            )
+            decoder = self.adapter.decoder()
+            sock.sendall(self.adapter.frame_open(self.stream_key, self.scenario))
             start = self._await_open_ack(sock, decoder)
             if start > len(packages):
                 raise ReplayError(
@@ -140,13 +136,7 @@ class ReplayClient:
                     if self.noise_every and next_send % self.noise_every == 0:
                         payload.extend(b"\xff" * self.noise_bytes)
                     package = packages[next_send]
-                    payload.extend(
-                        wrap_pdu(
-                            encode_data(package, next_send),
-                            transaction_id=(next_send % 0xFFFF) + 1,
-                            unit_id=package.address & 0xFF,
-                        )
-                    )
+                    payload.extend(self.adapter.frame_data(package, next_send))
                     next_send += 1
                 if payload:
                     sock.sendall(payload)
@@ -160,7 +150,9 @@ class ReplayClient:
                     break
                 for frame in decoder.feed(data):
                     if frame.kind == KIND_VERDICT:
-                        seq, anomaly, level = decode_verdict(frame.pdu)
+                        seq, anomaly, level = self.adapter.decode_verdict(
+                            frame.pdu
+                        )
                         expected = start + len(anomalies)
                         if seq != expected:
                             raise ReplayError(
@@ -171,7 +163,7 @@ class ReplayClient:
                         levels.append(level)
                     elif frame.kind == KIND_ERROR:
                         raise ReplayError(
-                            f"gateway error: {decode_error(frame.pdu)}"
+                            f"gateway error: {self.adapter.decode_error(frame.pdu)}"
                         )
                     else:
                         raise ReplayError(
@@ -185,7 +177,7 @@ class ReplayClient:
                 complete=complete,
             )
 
-    def _await_open_ack(self, sock: socket.socket, decoder: MbapDecoder) -> int:
+    def _await_open_ack(self, sock: socket.socket, decoder: FrameDecoder) -> int:
         while True:
             try:
                 data = sock.recv(65536)
@@ -195,10 +187,12 @@ class ReplayClient:
                 raise ReplayError("gateway closed the connection before OPEN_ACK")
             for frame in decoder.feed(data):
                 if frame.kind == KIND_OPEN_ACK:
-                    _, packages_seen = decode_open_ack(frame.pdu)
+                    _, packages_seen = self.adapter.decode_open_ack(frame.pdu)
                     return packages_seen
                 if frame.kind == KIND_ERROR:
-                    raise ReplayError(f"gateway error: {decode_error(frame.pdu)}")
+                    raise ReplayError(
+                        f"gateway error: {self.adapter.decode_error(frame.pdu)}"
+                    )
                 raise ReplayError(f"unexpected frame kind {frame.kind:#04x}")
 
 

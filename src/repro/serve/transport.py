@@ -119,6 +119,10 @@ class MbapDecoder:
         self._buffer = bytearray()
         self.frames_decoded = 0
         self.bytes_discarded = 0
+        #: Number of times the decoder *lost* sync — runs of discarded
+        #: bytes, not individual bytes (one burst of noise counts once).
+        self.resyncs = 0
+        self._synced = True
 
     @property
     def buffered(self) -> int:
@@ -151,6 +155,9 @@ class MbapDecoder:
                 # Not a frame boundary: shed one byte and rescan.
                 del buffer[0]
                 self.bytes_discarded += 1
+                if self._synced:
+                    self.resyncs += 1
+                    self._synced = False
                 continue
             end = _MBAP.size + length - 1  # length counts unit id + PDU
             if len(buffer) < _MBAP.size + 1:
@@ -160,6 +167,7 @@ class MbapDecoder:
             pdu = bytes(buffer[_MBAP.size : end])
             del buffer[:end]
             self.frames_decoded += 1
+            self._synced = True
             return MbapFrame(transaction_id, unit_id, pdu)
         return None
 
@@ -169,46 +177,87 @@ class MbapDecoder:
 # ----------------------------------------------------------------------
 
 
-def encode_open(stream_key: str, scenario: str | None = None) -> bytes:
+#: Largest OPEN body (key + optional tags) any dialect accepts.
+MAX_OPEN_BODY = 255
+
+
+def _open_field(value: str, what: str) -> bytes:
+    raw = value.encode("utf-8")
+    if not raw:
+        raise TransportError(f"{what} must be non-empty")
+    if b"\x00" in raw:
+        raise TransportError(f"{what} must not contain NUL")
+    return raw
+
+
+def encode_open(
+    stream_key: str,
+    scenario: str | None = None,
+    protocol: str | None = None,
+) -> bytes:
     """Client → gateway: bind this connection to ``stream_key``.
 
     ``scenario`` optionally tags the stream with its plant scenario so a
     registry-backed gateway routes it to that scenario's detector
-    without probing.  The tag rides after a NUL separator (both fields
-    are NUL-free UTF-8); untagged OPENs are byte-identical to the
-    pre-registry wire format.
+    without probing; ``protocol`` optionally declares the wire dialect
+    the client speaks (see :mod:`repro.serve.protocols`), which the
+    gateway cross-checks against what it actually sniffed.  The tags
+    ride after NUL separators (all fields are NUL-free UTF-8); a
+    protocol with no scenario leaves the middle field empty
+    (``key\\x00\\x00protocol``).  Untagged OPENs are byte-identical to
+    the pre-registry wire format.
     """
-    raw = stream_key.encode("utf-8")
-    if not raw:
-        raise TransportError("stream key must be non-empty")
-    if b"\x00" in raw:
-        raise TransportError("stream key must not contain NUL")
-    if scenario is not None:
-        tag = scenario.encode("utf-8")
-        if not tag:
-            raise TransportError("scenario tag must be non-empty")
-        if b"\x00" in tag:
-            raise TransportError("scenario tag must not contain NUL")
-        raw = raw + b"\x00" + tag
-    if len(raw) > 255:
+    raw = _open_field(stream_key, "stream key")
+    if protocol is not None:
+        scenario_raw = (
+            b"" if scenario is None else _open_field(scenario, "scenario tag")
+        )
+        raw = raw + b"\x00" + scenario_raw + b"\x00" + _open_field(
+            protocol, "protocol tag"
+        )
+    elif scenario is not None:
+        raw = raw + b"\x00" + _open_field(scenario, "scenario tag")
+    if len(raw) > MAX_OPEN_BODY:
         raise TransportError(f"stream key too long: {len(raw)} bytes")
     return bytes([KIND_OPEN]) + raw
 
 
-def decode_open(pdu: bytes) -> tuple[str, str | None]:
-    """Returns ``(stream_key, scenario_tag)``; the tag is optional."""
+def decode_open(pdu: bytes) -> tuple[str, str | None, str | None]:
+    """Returns ``(stream_key, scenario_tag, protocol_tag)``.
+
+    Strict by design: an oversized body or any NUL pattern other than
+    the documented one/two/three-field forms is a clean
+    :class:`TransportError`, never a silently truncated tag.
+    """
     if len(pdu) < 2 or pdu[0] != KIND_OPEN:
         raise TransportError("not an OPEN PDU")
+    if len(pdu) - 1 > MAX_OPEN_BODY:
+        raise TransportError(f"OPEN body too large: {len(pdu) - 1} bytes")
     try:
         body = pdu[1:].decode("utf-8")
     except UnicodeDecodeError as exc:
         raise TransportError(f"stream key is not valid UTF-8: {exc}") from exc
-    key, sep, scenario = body.partition("\x00")
+    fields = body.split("\x00")
+    if len(fields) > 3:
+        raise TransportError(
+            f"OPEN carries {len(fields)} NUL-separated fields, at most 3 allowed"
+        )
+    key = fields[0]
     if not key:
         raise TransportError("stream key must be non-empty")
-    if sep and (not scenario or "\x00" in scenario):
-        raise TransportError(f"malformed scenario tag on stream {key!r}")
-    return key, (scenario if sep else None)
+    scenario: str | None = None
+    protocol: str | None = None
+    if len(fields) == 2:
+        if not fields[1]:
+            raise TransportError(f"malformed scenario tag on stream {key!r}")
+        scenario = fields[1]
+    elif len(fields) == 3:
+        # The middle (scenario) field may be empty — protocol-only OPEN.
+        scenario = fields[1] or None
+        if not fields[2]:
+            raise TransportError(f"malformed protocol tag on stream {key!r}")
+        protocol = fields[2]
+    return key, scenario, protocol
 
 
 def encode_open_ack(stream_id: int, packages_seen: int) -> bytes:
@@ -289,6 +338,9 @@ def rtu_frame_for(package: Package) -> ModbusFrame:
         )
     if package.function == FunctionCode.READ_HOLDING_REGISTERS:
         if package.is_command:
+            # The read request's register count is not recoverable from
+            # the package (aux readings ride responses only); the fixed
+            # 8-byte request length matches regardless of count.
             return modbus.build_read_request(address, Register.SYSTEM_MODE, 5)
         words = [
             word(package.system_mode),
@@ -296,17 +348,35 @@ def rtu_frame_for(package: Package) -> ModbusFrame:
             word(package.pump),
             word(package.solenoid),
             fixed(package.pressure_measurement),
+            *(fixed(value) for value in package.aux),
         ]
         return modbus.build_read_response(address, words)
     return ModbusFrame(address, package.function & 0xFF, b"")
 
 
-def encode_data(package: Package, seq: int) -> bytes:
-    """One captured package as a DATA PDU (telemetry + RTU bytes)."""
+def _check_data_header(package: Package, seq: int) -> None:
     if not 0 <= seq <= 0xFFFFFFFF:
         raise TransportError(f"sequence number out of range: {seq}")
     if not 0 <= package.label <= 0xFF:
         raise TransportError(f"label out of range: {package.label}")
+
+
+def encode_data(package: Package, seq: int) -> bytes:
+    """One captured package as a DATA PDU (telemetry + RTU bytes).
+
+    Auxiliary readings ride the embedded RTU frame as extra read-block
+    words — only read responses carry them, matching the simulator.
+    """
+    _check_data_header(package, seq)
+    if package.aux and not (
+        package.function == FunctionCode.READ_HOLDING_REGISTERS
+        and package.command_response == 0
+    ):
+        raise TransportError(
+            "aux readings ride read responses only; "
+            f"got function {package.function} on a "
+            f"{'command' if package.is_command else 'response'}"
+        )
     record = _RECORD.pack(package.label, *package.to_row())
     frame = rtu_frame_for(package).encode()
     return bytes([KIND_DATA]) + _SEQ.pack(seq) + record + frame
@@ -314,26 +384,21 @@ def encode_data(package: Package, seq: int) -> bytes:
 
 @dataclass(frozen=True)
 class DataFrame:
-    """A decoded DATA PDU."""
+    """A decoded DATA PDU.
+
+    ``rtu`` is the embedded Modbus RTU frame; ``None`` on dialects that
+    carry the telemetry record without one (see
+    :func:`decode_stream_data`).
+    """
 
     seq: int
     package: Package
-    rtu: ModbusFrame
+    rtu: ModbusFrame | None
 
 
-def decode_data(pdu: bytes) -> DataFrame:
-    """Parse a DATA PDU; CRC-checks the embedded RTU frame.
-
-    Raises :class:`TransportError` on structural problems and lets
-    :class:`~repro.ics.modbus.CrcError` from the embedded frame
-    propagate, so the gateway can count line corruption separately from
-    protocol violations.
-    """
-    header = 1 + _SEQ.size + _RECORD.size
-    if len(pdu) < header or pdu[0] != KIND_DATA:
-        raise TransportError("not a DATA PDU (or truncated telemetry record)")
-    (seq,) = _SEQ.unpack_from(pdu, 1)
-    fields = _RECORD.unpack_from(pdu, 1 + _SEQ.size)
+def _unpack_record(pdu: bytes, offset: int) -> Package:
+    """Decode + validate the label byte and 17-double telemetry row."""
+    fields = _RECORD.unpack_from(pdu, offset)
     label, row = int(fields[0]), list(fields[1:])
     for index, name in enumerate(FEATURE_NAMES):
         # Integer-typed features must survive from_row's int() cast.
@@ -346,8 +411,105 @@ def decode_data(pdu: bytes) -> DataFrame:
         if math.isinf(value) or value != int(value):
             raise TransportError(f"feature {name} must be integral, got {value}")
     try:
-        package = Package.from_row(row, label=label)
+        return Package.from_row(row, label=label)
     except (TypeError, ValueError) as exc:
         raise TransportError(f"bad telemetry record: {exc}") from exc
+
+
+def _aux_from_rtu(package: Package, rtu: ModbusFrame) -> tuple[float, ...]:
+    """Recover auxiliary readings from a read-response frame's words."""
+    if not (
+        package.command_response == 0
+        and rtu.function == FunctionCode.READ_HOLDING_REGISTERS
+    ):
+        return ()
+    try:
+        words = modbus.parse_read_response_registers(rtu)
+    except ValueError:
+        # Attack-mangled responses need not parse; they carry no aux.
+        return ()
+    if len(words) <= 5:
+        return ()
+    return tuple(modbus.decode_fixed(word) for word in words[5:])
+
+
+def decode_data(pdu: bytes) -> DataFrame:
+    """Parse a DATA PDU; CRC-checks the embedded RTU frame.
+
+    Raises :class:`TransportError` on structural problems and lets
+    :class:`~repro.ics.modbus.CrcError` from the embedded frame
+    propagate, so the gateway can count line corruption separately from
+    protocol violations.  Auxiliary read-block words beyond the five
+    canonical state registers are decoded back onto ``package.aux``.
+    """
+    header = 1 + _SEQ.size + _RECORD.size
+    if len(pdu) < header or pdu[0] != KIND_DATA:
+        raise TransportError("not a DATA PDU (or truncated telemetry record)")
+    (seq,) = _SEQ.unpack_from(pdu, 1)
+    package = _unpack_record(pdu, 1 + _SEQ.size)
     rtu = modbus.parse_frame(pdu[header:])
+    aux = _aux_from_rtu(package, rtu)
+    if aux:
+        package = package.replace(aux=aux)
     return DataFrame(seq=seq, package=package, rtu=rtu)
+
+
+# ----------------------------------------------------------------------
+# protocol-neutral DATA record (non-Modbus dialects)
+# ----------------------------------------------------------------------
+
+#: Caps the aux-count byte of stream DATA records; mirrors
+#: :data:`repro.ics.registers.MAX_AUX_REGISTERS`.
+MAX_STREAM_AUX = 32
+
+_AUX_DOUBLE = struct.Struct(">d")
+
+
+def encode_stream_data(package: Package, seq: int) -> bytes:
+    """One captured package as a dialect-neutral DATA record.
+
+    Same telemetry row as :func:`encode_data`, but instead of an
+    embedded RTU frame the auxiliary readings follow explicitly: one
+    count byte then one IEEE-754 double per reading.  Dialects that do
+    not re-frame Modbus (IEC-104-style, DNP3-lite) wrap this record in
+    their own link layer, which already provides integrity checking.
+    """
+    _check_data_header(package, seq)
+    if len(package.aux) > MAX_STREAM_AUX:
+        raise TransportError(
+            f"too many aux readings: {len(package.aux)} > {MAX_STREAM_AUX}"
+        )
+    for index, value in enumerate(package.aux):
+        if math.isnan(float(value)) or math.isinf(float(value)):
+            raise TransportError(f"aux reading {index} is not finite: {value}")
+    record = _RECORD.pack(package.label, *package.to_row())
+    aux = bytes([len(package.aux)]) + b"".join(
+        _AUX_DOUBLE.pack(float(value)) for value in package.aux
+    )
+    return bytes([KIND_DATA]) + _SEQ.pack(seq) + record + aux
+
+
+def decode_stream_data(pdu: bytes) -> DataFrame:
+    """Parse a dialect-neutral DATA record (no embedded RTU frame)."""
+    header = 1 + _SEQ.size + _RECORD.size
+    if len(pdu) < header + 1 or pdu[0] != KIND_DATA:
+        raise TransportError("not a stream DATA record (or truncated)")
+    (seq,) = _SEQ.unpack_from(pdu, 1)
+    package = _unpack_record(pdu, 1 + _SEQ.size)
+    n_aux = pdu[header]
+    if n_aux > MAX_STREAM_AUX:
+        raise TransportError(f"too many aux readings: {n_aux} > {MAX_STREAM_AUX}")
+    expected = header + 1 + n_aux * _AUX_DOUBLE.size
+    if len(pdu) != expected:
+        raise TransportError(
+            f"stream DATA record length {len(pdu)} != expected {expected}"
+        )
+    aux = []
+    for index in range(n_aux):
+        (value,) = _AUX_DOUBLE.unpack_from(pdu, header + 1 + index * _AUX_DOUBLE.size)
+        if math.isnan(value) or math.isinf(value):
+            raise TransportError(f"aux reading {index} is not finite: {value}")
+        aux.append(value)
+    if aux:
+        package = package.replace(aux=tuple(aux))
+    return DataFrame(seq=seq, package=package, rtu=None)

@@ -1,0 +1,174 @@
+"""RegisterMap and the widened-read-block (auxiliary register) path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ics.dataset import generate_stream
+from repro.ics.modbus import FunctionCode, decode_fixed, encode_fixed
+from repro.ics.registers import (
+    CANONICAL_REGISTER_COUNT,
+    LEGACY_REGISTER_NAMES,
+    MAX_AUX_REGISTERS,
+    RegisterMap,
+)
+from repro.ics.scada import ScadaConfig, ScadaSimulator
+from repro.scenarios import get_scenario
+
+
+class TestRegisterMap:
+    def test_legacy_default(self):
+        legacy = RegisterMap.legacy()
+        assert legacy == RegisterMap()
+        assert legacy.names == LEGACY_REGISTER_NAMES
+        assert legacy.n_aux == 0
+        assert legacy.read_block_count == 5
+        assert legacy.register_map() == dict(enumerate(LEGACY_REGISTER_NAMES))
+
+    def test_aux_widens_read_block_and_map(self):
+        rmap = RegisterMap(aux_names=("flow", "temperature"))
+        assert rmap.n_aux == 2
+        assert rmap.read_block_count == 7
+        mapping = rmap.register_map()
+        assert len(mapping) == CANONICAL_REGISTER_COUNT + 2
+        assert mapping[11] == "flow" and mapping[12] == "temperature"
+
+    def test_validate_rejects_wrong_canonical_count(self):
+        with pytest.raises(ValueError):
+            RegisterMap(names=LEGACY_REGISTER_NAMES[:-1]).validate()
+        with pytest.raises(ValueError):
+            RegisterMap(names=LEGACY_REGISTER_NAMES + ("extra",)).validate()
+
+    def test_validate_rejects_duplicates_and_empties(self):
+        with pytest.raises(ValueError):
+            RegisterMap(aux_names=("flow", "flow")).validate()
+        with pytest.raises(ValueError):
+            RegisterMap(aux_names=("",)).validate()
+        with pytest.raises(ValueError):
+            RegisterMap(aux_names=("setpoint",)).validate()  # shadows canonical
+
+    def test_validate_caps_aux_count(self):
+        limit = tuple(f"aux_{i}" for i in range(MAX_AUX_REGISTERS))
+        RegisterMap(aux_names=limit).validate()
+        with pytest.raises(ValueError):
+            RegisterMap(aux_names=limit + ("one_more",)).validate()
+
+
+class _StubPlant:
+    """Minimal plant with a deterministic aux hook."""
+
+    def __init__(self, aux=(20.004,)):
+        self.pressure = 5.0
+        self._aux = aux
+
+    @property
+    def process_value(self):
+        return self.pressure
+
+    @property
+    def limit(self):
+        return 10.0
+
+    def step(self, drive, relief_open, dt):
+        return self.pressure
+
+    def measure(self, sensor_noise_std=0.05):
+        return self.pressure
+
+    def measure_aux(self):
+        return self._aux
+
+
+class _LegacyPlant(_StubPlant):
+    measure_aux = None
+
+    def __init__(self):
+        super().__init__(aux=())
+
+
+class TestScadaAuxPath:
+    def test_read_response_carries_quantized_aux(self):
+        sim = ScadaSimulator(
+            ScadaConfig(),
+            plant_factory=lambda rng=None: _StubPlant(aux=(20.004,)),
+            registers=RegisterMap(aux_names=("flow",)),
+            rng=0,
+        )
+        package = sim.make_read_response(1.0)
+        # Pre-quantized through the wire's x100 fixed-point encoding.
+        assert package.aux == (decode_fixed(encode_fixed(20.004)),)
+        assert package.aux == (20.0,)
+
+    def test_read_command_block_is_widened(self):
+        sim = ScadaSimulator(
+            ScadaConfig(),
+            plant_factory=lambda rng=None: _StubPlant(),
+            registers=RegisterMap(aux_names=("flow", "temp")),
+            rng=0,
+        )
+        package = sim.make_read_command(1.0)
+        assert package.aux == ()  # commands carry no readings
+        assert sim.registers.read_block_count == 7
+
+    def test_missing_measure_aux_hook_fails_loudly(self):
+        sim = ScadaSimulator(
+            ScadaConfig(),
+            plant_factory=lambda rng=None: _LegacyPlant(),
+            registers=RegisterMap(aux_names=("flow",)),
+            rng=0,
+        )
+        with pytest.raises(TypeError, match="measure_aux"):
+            sim.make_read_response(1.0)
+
+    def test_wrong_aux_arity_fails_loudly(self):
+        sim = ScadaSimulator(
+            ScadaConfig(),
+            plant_factory=lambda rng=None: _StubPlant(aux=(1.0, 2.0)),
+            registers=RegisterMap(aux_names=("flow",)),
+            rng=0,
+        )
+        with pytest.raises(ValueError, match="aux"):
+            sim.make_read_response(1.0)
+
+    def test_legacy_map_is_bit_identical_to_pre_registermap_path(self):
+        # The registers= parameter must be invisible to legacy captures:
+        # same seed, same packages, no extra rng draws.
+        baseline = generate_stream("gas_pipeline", 8, 21)
+        again = generate_stream("gas_pipeline", 8, 21)
+        assert [p.to_row() for p in baseline] == [p.to_row() for p in again]
+        assert all(p.aux == () for p in baseline)
+
+    def test_chlorination_aux_survives_modbus_rtu_roundtrip(self):
+        # The aux flow rides the read-response RTU as an extra register
+        # word and is recovered exactly (it was pre-quantized).
+        from repro.serve.transport import decode_data, encode_data
+
+        capture = generate_stream("chlorination_dosing", 8, 21)
+        responses = [
+            p
+            for p in capture
+            if p.command_response == 0
+            and p.function == FunctionCode.READ_HOLDING_REGISTERS
+            and p.label == 0
+        ]
+        assert responses
+        for seq, package in enumerate(responses):
+            decoded = decode_data(encode_data(package, seq))
+            assert decoded.package.aux == package.aux
+
+
+class TestScenarioRegisters:
+    def test_all_scenarios_validate(self):
+        from repro.scenarios import scenario_names
+
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            scenario.registers.validate()
+            assert scenario.protocol in ("modbus", "iec104", "dnp3")
+
+    def test_chlorination_declares_one_aux_and_iec104(self):
+        scenario = get_scenario("chlorination_dosing")
+        assert scenario.registers.aux_names == ("process_flow",)
+        assert scenario.registers.read_block_count == 6
+        assert scenario.protocol == "iec104"
+        assert scenario.register_map()[11] == "process_flow"

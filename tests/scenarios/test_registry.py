@@ -15,11 +15,17 @@ from repro.scenarios import (
     scenario_names,
 )
 
-EXPECTED = ("gas_pipeline", "hvac_chiller", "power_feeder", "water_tank")
+EXPECTED = (
+    "chlorination_dosing",
+    "gas_pipeline",
+    "hvac_chiller",
+    "power_feeder",
+    "water_tank",
+)
 
 
 class TestRegistry:
-    def test_four_scenarios_registered(self):
+    def test_five_scenarios_registered(self):
         assert scenario_names() == EXPECTED
 
     def test_get_scenario_unknown(self):
@@ -58,11 +64,13 @@ class TestRegistry:
     def test_describe_is_json_able(self, name):
         import json
 
-        detail = get_scenario(name).describe()
+        scenario = get_scenario(name)
+        detail = scenario.describe()
         payload = json.loads(json.dumps(detail))
         assert payload["name"] == name
-        assert len(payload["registers"]) == 11
+        assert len(payload["registers"]) == 11 + scenario.registers.n_aux
         assert len(payload["attack_notes"]) == 7
+        assert payload["protocol"] == scenario.protocol
 
 
 class TestScenarioDatasets:
@@ -100,6 +108,7 @@ class TestScenarioDatasets:
         assert addresses["water_tank"] == {7}
         assert addresses["power_feeder"] == {9}
         assert addresses["hvac_chiller"] == {11}
+        assert addresses["chlorination_dosing"] == {13}
 
     def test_unknown_scenario_fails_at_generation(self):
         with pytest.raises(KeyError):

@@ -328,8 +328,8 @@ class TestRoutedFailover:
 
         meta = checkpoint_meta(checkpoint)
         assert meta["routes"] == {
-            "a": {"scenario": "gas_pipeline", "version": 1},
-            "b": {"scenario": "water_tank", "version": 1},
+            "a": {"scenario": "gas_pipeline", "version": 1, "protocol": "modbus"},
+            "b": {"scenario": "water_tank", "version": 1, "protocol": "modbus"},
         }
 
         restored = DetectionGateway.from_checkpoint(

@@ -66,7 +66,7 @@ class TestMbapFraming:
         assert frames[0].transaction_id == 7
         assert frames[0].unit_id == 4
         assert frames[0].kind == KIND_OPEN
-        assert decode_open(frames[0].pdu) == ("plant-1", None)
+        assert decode_open(frames[0].pdu) == ("plant-1", None, None)
 
     def test_rejects_empty_and_oversized_pdus(self):
         with pytest.raises(TransportError):
@@ -111,7 +111,7 @@ class TestMbapFraming:
         decoder = MbapDecoder()
         frames = decoder.feed(noise + good + noise + good)
         assert len(frames) == 2
-        assert all(decode_open(f.pdu) == ("k", None) for f in frames)
+        assert all(decode_open(f.pdu) == ("k", None, None) for f in frames)
         assert decoder.bytes_discarded == len(noise) * 2
 
     def test_resync_after_truncated_frame(self):
@@ -157,9 +157,35 @@ class TestControlPdus:
         assert decode_open(encode_open("site-7", "water_tank")) == (
             "site-7",
             "water_tank",
+            None,
         )
         # Untagged OPENs keep the pre-registry wire format byte for byte.
         assert encode_open("site-7") == b"\x41site-7"
+
+    def test_open_protocol_tag_roundtrip(self):
+        assert decode_open(encode_open("site-7", "water_tank", "iec104")) == (
+            "site-7",
+            "water_tank",
+            "iec104",
+        )
+        # A protocol without a scenario leaves the middle field empty.
+        pdu = encode_open("site-7", protocol="dnp3")
+        assert pdu == b"\x41site-7\x00\x00dnp3"
+        assert decode_open(pdu) == ("site-7", None, "dnp3")
+
+    def test_open_rejects_bad_protocol_tags(self):
+        with pytest.raises(TransportError):
+            encode_open("k", protocol="")
+        with pytest.raises(TransportError):
+            encode_open("k", protocol="a\x00b")
+        with pytest.raises(TransportError):
+            encode_open("k", "s" * 120, "p" * 200)  # over MAX_OPEN_BODY
+        # Extra NUL-separated fields are malformed, not future-proofing.
+        with pytest.raises(TransportError):
+            decode_open(b"\x41k\x00s\x00p\x00x")
+        # A trailing NUL (empty protocol field) is malformed too.
+        with pytest.raises(TransportError):
+            decode_open(b"\x41k\x00s\x00")
 
     def test_open_rejects_bad_scenario_tags(self):
         with pytest.raises(TransportError):
