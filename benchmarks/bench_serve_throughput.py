@@ -1,24 +1,37 @@
-"""End-to-end serving throughput: packages/sec vs shard count.
+"""End-to-end serving throughput: packages/sec vs worker count and mode.
 
 Unlike :mod:`bench_stream_throughput` (pure engine math), this drives
 the whole online path over real loopback sockets: MBAP framing, the
 incremental decoder, sharded engine workers, verdict frames back, and
-the alert pipeline.  N replay clients stream concurrently; the metric
-is end-to-end packages/sec from first byte to last verdict.
+the alert pipeline.  N replay clients stream concurrently; the metrics
+are end-to-end packages/sec from first byte to last verdict plus
+p50/p99 per-package latency (send to verdict).
 
-Sharding spreads sessions across engine workers; each worker still
-advances all of its ready streams with one batched LSTM step per tick,
-so more shards trade batching width for parallel queues — the
-interesting question is where the crossover sits for a given model
-size, which is exactly what the emitted table shows.
+Two shard backends race on the same load (see
+:attr:`repro.serve.gateway.GatewayConfig.worker_mode`):
+
+- ``thread`` — engines inline on the event loop.  Every LSTM step of
+  every shard contends for one GIL, so adding shards *loses*
+  throughput past the batching knee.
+- ``process`` — one OS process per shard.  Engine compute runs truly
+  in parallel; throughput should rise with worker count up to the core
+  count of the machine.
+
+The bench cross-checks bit-identity between the backends on every
+configuration — a faster verdict is worthless if it is a different
+verdict — and asserts the scaling shape only when the host actually
+has the cores for it (``os.cpu_count() >= 4``).
 
 Run:  REPRO_PROFILE=ci pytest benchmarks/bench_serve_throughput.py -s
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+
+import numpy as np
 
 from benchmarks.conftest import emit_json, emit_report
 from repro.core.combined import CombinedDetector, DetectorConfig
@@ -28,18 +41,21 @@ from repro.serve.alerts import AlertConfig, AlertPipeline
 from repro.serve.gateway import GatewayConfig, start_in_thread
 from repro.serve.replay import ReplayClient
 
-SHARD_COUNTS = (1, 2, 4)
+WORKER_MODES = ("thread", "process")
 
-#: profile -> (dataset cycles, hidden sizes, clients, packages per client)
+#: profile -> (dataset cycles, hidden sizes, clients, packages per
+#: client, worker counts)
 SIZES = {
-    "ci": (900, (24,), 4, 150),
-    "default": (2000, (64, 64), 8, 250),
-    "paper": (5000, (256, 256), 16, 250),
+    "ci": (900, (24,), 4, 150, (1, 2, 4)),
+    "default": (2000, (64, 64), 8, 250, (1, 2, 4, 8)),
+    "paper": (5000, (256, 256), 16, 250, (1, 2, 4, 8)),
 }
 
 
 def _train_detector(profile: str):
-    cycles, hidden_sizes, clients, per_client = SIZES.get(profile, SIZES["default"])
+    cycles, hidden_sizes, clients, per_client, counts = SIZES.get(
+        profile, SIZES["default"]
+    )
     dataset = generate_dataset(DatasetConfig(num_cycles=cycles), seed=7)
     detector, _ = CombinedDetector.train(
         dataset.train_fragments,
@@ -49,11 +65,37 @@ def _train_detector(profile: str):
         ),
         rng=7,
     )
-    return detector, dataset, clients, per_client
+    return detector, dataset, clients, per_client, counts
+
+
+def _drive(handle, slices):
+    """Stream every client slice concurrently; return per-client results."""
+    host, port = handle.address
+    results = [None] * len(slices)
+
+    def run(i):
+        client = ReplayClient(
+            host, port, stream_key=f"bench-{i}", window=64, record_latency=True
+        )
+        results[i] = client.replay(slices[i])
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(len(slices))
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    assert all(r is not None and r.complete for r in results), (
+        "a replay client did not finish"
+    )
+    return results, elapsed
 
 
 def test_serve_throughput(profile):
-    detector, dataset, num_clients, per_client = _train_detector(profile)
+    detector, dataset, num_clients, per_client, counts = _train_detector(profile)
     packages = dataset.test_packages
     slices = [
         [packages[(i * 53 + t) % len(packages)] for t in range(per_client)]
@@ -66,62 +108,95 @@ def test_serve_throughput(profile):
         "profile": profile,
         "clients": num_clients,
         "packages_per_client": per_client,
-        "shards": {},
+        "cpu_count": os.cpu_count(),
+        "modes": {mode: {} for mode in WORKER_MODES},
     }
-    for num_shards in SHARD_COUNTS:
-        handle = start_in_thread(
-            detector,
-            GatewayConfig(num_shards=num_shards, max_pending=512),
-            # Silent pipeline: alert dedup work still runs, nothing prints.
-            AlertPipeline(config=AlertConfig()),
-        )
-        try:
-            host, port = handle.address
-            complete = [False] * num_clients
+    reference = None  # thread@first-count verdicts: the bit-identity bar
+    for mode in WORKER_MODES:
+        for num_workers in counts:
+            handle = start_in_thread(
+                detector,
+                GatewayConfig(
+                    num_shards=num_workers,
+                    max_pending=512,
+                    worker_mode=mode,
+                ),
+                # Silent pipeline: alert dedup work still runs, nothing
+                # prints.
+                AlertPipeline(config=AlertConfig()),
+            )
+            try:
+                replays, elapsed = _drive(handle, slices)
+                stats = handle.stats()
+                assert stats["processed"] == total
+            finally:
+                handle.stop()
 
-            def run(i):
-                client = ReplayClient(
-                    host, port, stream_key=f"bench-{i}", window=64
-                )
-                complete[i] = client.replay(slices[i]).complete
-
-            threads = [
-                threading.Thread(target=run, args=(i,))
-                for i in range(num_clients)
+            verdicts = [
+                (r.anomalies.tolist(), r.levels.tolist()) for r in replays
             ]
-            started = time.perf_counter()
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-            elapsed = time.perf_counter() - started
-            assert all(complete), "a replay client did not finish"
-            stats = handle.stats()
-            assert stats["processed"] == total
-        finally:
-            handle.stop()
+            if reference is None:
+                reference = verdicts
+            else:
+                assert verdicts == reference, (
+                    f"{mode}@{num_workers} diverged from the reference "
+                    "backend's verdicts"
+                )
 
-        pps = total / elapsed
-        ticks = sum(s["ticks"] for s in stats["shards"])
-        mean_batch = total / ticks if ticks else 0.0
-        rows.append(
-            f"{num_shards:>7}{pps:>14.0f}{mean_batch:>12.2f}"
-            f"{stats['alerts']['emitted']:>10}"
-        )
-        results["shards"][str(num_shards)] = {
-            "packages_per_sec": pps,
-            "mean_batch_rows_per_tick": mean_batch,
-            "alerts_emitted": stats["alerts"]["emitted"],
-            "seconds": elapsed,
-        }
+            latencies = np.concatenate([r.latencies for r in replays])
+            p50 = float(np.percentile(latencies, 50) * 1e3)
+            p99 = float(np.percentile(latencies, 99) * 1e3)
+            pps = total / elapsed
+            ticks = sum(s.get("ticks", 0) for s in stats["shards"])
+            mean_batch = total / ticks if ticks else 0.0
+            rows.append(
+                f"{mode:>8}{num_workers:>9}{pps:>12.0f}{mean_batch:>12.2f}"
+                f"{p50:>10.1f}{p99:>10.1f}{stats['alerts']['emitted']:>9}"
+            )
+            results["modes"][mode][str(num_workers)] = {
+                "packages_per_sec": pps,
+                "mean_batch_rows_per_tick": mean_batch,
+                "latency_p50_ms": p50,
+                "latency_p99_ms": p99,
+                "alerts_emitted": stats["alerts"]["emitted"],
+                "seconds": elapsed,
+            }
 
     table = "\n".join(
-        [f"{'shards':>7}{'pkg/s':>14}{'rows/tick':>12}{'alerts':>10}"] + rows
+        [
+            f"{'mode':>8}{'workers':>9}{'pkg/s':>12}{'rows/tick':>12}"
+            f"{'p50 ms':>10}{'p99 ms':>10}{'alerts':>9}"
+        ]
+        + rows
     )
     emit_report("serve_throughput", table)
     emit_json("serve_throughput", results)
 
-    # The gateway must sustain real-time SCADA rates with huge headroom:
-    # the testbed polls at ~4 packages/sec per link.
-    slowest = min(r["packages_per_sec"] for r in results["shards"].values())
+    # The gateway must sustain real-time SCADA rates with huge headroom
+    # in *every* configuration: the testbed polls at ~4 packages/sec per
+    # link.
+    slowest = min(
+        entry["packages_per_sec"]
+        for per_mode in results["modes"].values()
+        for entry in per_mode.values()
+    )
     assert slowest > 100.0, table
+
+    # The scaling shape is only meaningful with real cores to scale
+    # onto; single-core CI runners still get the bit-identity and
+    # absolute-rate checks above.
+    if (os.cpu_count() or 1) >= 4:
+        process = results["modes"]["process"]
+        curve = [
+            process[str(n)]["packages_per_sec"] for n in counts if n <= 4
+        ]
+        assert all(a < b for a, b in zip(curve, curve[1:])), (
+            f"process-mode throughput must rise 1->4 workers, got {curve}"
+        )
+        thread_peak = max(
+            e["packages_per_sec"] for e in results["modes"]["thread"].values()
+        )
+        assert max(curve) >= 2.0 * thread_peak, (
+            f"process peak {max(curve):.0f} pkg/s < 2x thread peak "
+            f"{thread_peak:.0f} pkg/s"
+        )

@@ -1,0 +1,81 @@
+"""Perf-regression smoke gate over the serve-throughput report.
+
+Reads ``reports/serve_throughput.json`` (written by
+``bench_serve_throughput.py`` in the same CI run) and fails if the
+multi-process backend regressed below the single-process baseline it
+exists to beat: with >= 2 cores, the best process-mode pkg/s must not
+fall under the best thread-mode pkg/s.  On a single-core runner the
+comparison is physically meaningless (the process backend pays IPC
+cost with no parallelism to buy), so the gate prints the numbers and
+passes.
+
+Run:  python benchmarks/check_serve_regression.py [report.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+DEFAULT_REPORT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "reports"
+    / "serve_throughput.json"
+)
+
+
+def best(per_mode: dict) -> tuple[int, float]:
+    """``(worker_count, pkg/s)`` of a mode's fastest configuration."""
+    workers, entry = max(
+        per_mode.items(), key=lambda item: item[1]["packages_per_sec"]
+    )
+    return int(workers), float(entry["packages_per_sec"])
+
+
+def main(argv: list[str]) -> int:
+    report = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_REPORT
+    if not report.exists():
+        print(f"FAIL: no throughput report at {report}; run the bench first")
+        return 1
+    results = json.loads(report.read_text())
+    modes = results.get("modes", {})
+    if "thread" not in modes or "process" not in modes:
+        print(
+            f"FAIL: {report} predates the worker-mode benchmark "
+            f"(modes: {sorted(modes)}); regenerate it"
+        )
+        return 1
+
+    cpu_count = int(results.get("cpu_count") or 1)
+    thread_workers, thread_peak = best(modes["thread"])
+    process_workers, process_peak = best(modes["process"])
+    print(
+        f"thread  peak: {thread_peak:>10.0f} pkg/s "
+        f"({thread_workers} worker(s))\n"
+        f"process peak: {process_peak:>10.0f} pkg/s "
+        f"({process_workers} worker(s))\n"
+        f"cores: {cpu_count}"
+    )
+
+    if cpu_count < 2:
+        print(
+            "PASS (advisory): single-core runner — process workers have "
+            "no parallelism to exploit, skipping the peak comparison"
+        )
+        return 0
+    if process_peak < thread_peak:
+        print(
+            f"FAIL: multi-process peak {process_peak:.0f} pkg/s regressed "
+            f"below the single-process baseline {thread_peak:.0f} pkg/s"
+        )
+        return 1
+    print(
+        f"PASS: multi-process peak is {process_peak / thread_peak:.2f}x "
+        "the single-process baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -139,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1, help="stream-engine worker pool size"
     )
     serve.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="run shard engines inline on the event loop (thread) or in "
+        "one OS process per shard (process; scales past one core)",
+    )
+    serve.add_argument(
         "--checkpoint", default=None, help="gateway checkpoint path (fail-over)"
     )
     serve.add_argument(
@@ -238,6 +245,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--shards", type=int, default=2, help="gateway engine worker pool size"
+    )
+    fleet.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="gateway shard backend: inline engines (thread) or one OS "
+        "process per shard (process)",
+    )
+    fleet.add_argument(
+        "--driver",
+        choices=("threads", "async", "auto"),
+        default="auto",
+        help="site concurrency: one OS thread per site (threads), "
+        "coroutines on one loop (async), or auto (async above "
+        "16 sites)",
     )
     fleet.add_argument(
         "--seed", type=int, default=0, help="base seed for site captures"
@@ -567,6 +589,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_packages=args.max_packages,
             registry_poll_seconds=args.registry_poll,
             protocols=protocols,
+            worker_mode=args.worker_mode,
         ).validate()
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -778,6 +801,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             window=args.window,
             verify_offline=not args.no_verify,
             tag_streams=not args.no_tag,
+            driver=args.driver,
+            worker_mode=args.worker_mode,
             protocols=(
                 tuple(p for p in args.protocols.split(",") if p)
                 if args.protocols
@@ -810,7 +835,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"fleet: {len(result.sites)} sites / "
         f"{len(result.scenarios_streamed)} scenarios "
         f"({', '.join(result.scenarios_streamed)}) through "
-        f"{config.num_shards} shard(s)"
+        f"{config.num_shards} {config.worker_mode} shard(s), "
+        f"{config.effective_driver()} driver"
         + (" [heterogeneous]" if result.heterogeneous else "")
     )
     print(
@@ -844,6 +870,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             "scenarios": list(result.scenarios_streamed),
             "heterogeneous": result.heterogeneous,
             "shards": config.num_shards,
+            "worker_mode": config.worker_mode,
+            "driver": config.effective_driver(),
             "total_packages": result.total_packages,
             "seconds": result.seconds,
             "packages_per_second": result.packages_per_second,

@@ -127,6 +127,30 @@ def checkpoint_meta(path: str | os.PathLike) -> dict[str, Any]:
     return read_meta(path)["meta"]
 
 
+class EngineStateView:
+    """A raw engine state dict wearing a :class:`StreamEngine`'s face.
+
+    The gateway checkpoint writers only touch two members of each
+    engine — ``state_dict()`` and ``stream_ids`` — so a snapshot
+    gathered from a worker *process* (already a plain state dict, no
+    live engine on this side of the pipe) can be checkpointed through
+    the exact same code path, keeping the on-disk format identical
+    across worker modes.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: dict[str, Any]) -> None:
+        self._state = state
+
+    def state_dict(self) -> dict[str, Any]:
+        return self._state
+
+    @property
+    def stream_ids(self) -> tuple[int, ...]:
+        return tuple(int(i) for i in np.asarray(self._state["stream_ids"]))
+
+
 # ----------------------------------------------------------------------
 # gateway checkpoints: many sharded engines + stream-key bindings
 # ----------------------------------------------------------------------

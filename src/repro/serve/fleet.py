@@ -30,6 +30,7 @@ and registry benchmarks.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from dataclasses import dataclass, field
@@ -43,7 +44,12 @@ from repro.ics.features import Package
 from repro.serve.alerts import AlertConfig, AlertPipeline
 from repro.serve.gateway import DetectionGateway, GatewayConfig, start_in_thread
 from repro.serve.protocols import get_adapter
-from repro.serve.replay import ReplayClient
+from repro.serve.replay import AsyncReplayClient, ReplayClient, ReplayResult
+
+#: Site count above which ``driver="auto"`` switches from one OS thread
+#: per site to coroutine multiplexing — the thread driver's historical
+#: comfort zone.
+AUTO_ASYNC_THRESHOLD = 16
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.registry.store import ModelRegistry
@@ -108,10 +114,30 @@ class FleetConfig:
     #: Wire dialects assigned round-robin across sites (mixed-protocol
     #: fleet).  Empty = each site speaks its scenario's declared dialect.
     protocols: tuple[str, ...] = ()
+    #: Site concurrency model: ``"threads"`` (one OS thread + blocking
+    #: socket per site), ``"async"`` (every site a coroutine on one
+    #: event loop — the hundreds-of-sites load harness), or ``"auto"``
+    #: (threads up to 16 sites, async beyond).
+    driver: str = "auto"
+    #: Gateway shard backend (see
+    #: :attr:`repro.serve.gateway.GatewayConfig.worker_mode`).
+    worker_mode: str = "thread"
+    #: Time every package from send to verdict on every site.
+    record_latency: bool = False
 
     def validate(self) -> "FleetConfig":
         if self.num_sites < 1:
             raise ValueError(f"num_sites must be >= 1, got {self.num_sites}")
+        if self.driver not in ("threads", "async", "auto"):
+            raise ValueError(
+                f"driver must be 'threads', 'async' or 'auto', got "
+                f"{self.driver!r}"
+            )
+        if self.worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', got "
+                f"{self.worker_mode!r}"
+            )
         if self.cycles_per_site < 1:
             raise ValueError(
                 f"cycles_per_site must be >= 1, got {self.cycles_per_site}"
@@ -123,6 +149,12 @@ class FleetConfig:
         for protocol in self.protocols:
             get_adapter(protocol)  # raises KeyError on unknown dialects
         return self
+
+    def effective_driver(self) -> str:
+        """Resolve ``"auto"`` to the driver this fleet size gets."""
+        if self.driver != "auto":
+            return self.driver
+        return "async" if self.num_sites > AUTO_ASYNC_THRESHOLD else "threads"
 
     def sites(self) -> list[SiteSpec]:
         """The fleet roster: scenarios assigned round-robin across sites."""
@@ -160,6 +192,8 @@ class SiteResult:
     route_version: int | None = None
     #: Wire dialect the gateway saw this site speak (from gateway stats).
     route_protocol: str | None = None
+    #: Per-package send-to-verdict seconds (``record_latency`` runs only).
+    latencies: np.ndarray | None = None
 
 
 @dataclass
@@ -191,6 +225,25 @@ class FleetResult:
     def all_match_offline(self) -> bool:
         """True when every verified site matched offline detection."""
         return all(site.matches_offline is not False for site in self.sites)
+
+    def latency_percentiles(self) -> dict[str, float] | None:
+        """Fleet-wide p50/p99 per-package latency in milliseconds.
+
+        ``None`` unless the run recorded latencies
+        (:attr:`FleetConfig.record_latency`).
+        """
+        samples = [
+            site.latencies
+            for site in self.sites
+            if site.latencies is not None and len(site.latencies)
+        ]
+        if not samples:
+            return None
+        merged = np.concatenate(samples)
+        return {
+            "p50_ms": float(np.percentile(merged, 50) * 1e3),
+            "p99_ms": float(np.percentile(merged, 99) * 1e3),
+        }
 
 
 class FleetRunner:
@@ -242,7 +295,10 @@ class FleetRunner:
 
         gateway_config = GatewayConfig(
             num_shards=config.num_shards,
-            max_pending=max(256, 4 * config.window),
+            # Deep enough that a whole fleet's in-flight windows cannot
+            # wedge the shard queues while one site stalls.
+            max_pending=max(256, 4 * config.window, 2 * config.num_sites),
+            worker_mode=config.worker_mode,
         )
         # Silent pipeline: alert bookkeeping runs, nothing prints.
         alerts = AlertPipeline(config=AlertConfig())
@@ -255,48 +311,85 @@ class FleetRunner:
             handle = start_in_thread(self.detector, gateway_config, alerts)
         results: dict[str, SiteResult] = {}
         errors: list[BaseException] = []
+
+        def site_scenario_tag(site: SiteSpec) -> str | None:
+            return (
+                site.scenario
+                if self.heterogeneous and config.tag_streams
+                else None
+            )
+
+        def collect(site: SiteSpec, replayed: ReplayResult) -> None:
+            labels = np.array([p.label for p in captures[site.name]])
+            results[site.name] = SiteResult(
+                spec=site,
+                packages=replayed.judged,
+                anomalies=replayed.anomalies,
+                levels=replayed.levels,
+                metrics=evaluate_detection(
+                    labels[replayed.start : replayed.start + replayed.judged],
+                    replayed.anomalies,
+                ),
+                complete=replayed.complete,
+                latencies=replayed.latencies,
+            )
+
         try:
             host, port = handle.address
 
-            def stream(site: SiteSpec) -> None:
-                try:
-                    client = ReplayClient(
+            def drive_threads() -> None:
+                def stream(site: SiteSpec) -> None:
+                    try:
+                        client = ReplayClient(
+                            host,
+                            port,
+                            stream_key=site.name,
+                            window=config.window,
+                            scenario=site_scenario_tag(site),
+                            protocol=site.wire_protocol(),
+                            record_latency=config.record_latency,
+                        )
+                        collect(site, client.replay(captures[site.name]))
+                    except BaseException as exc:  # noqa: BLE001 - joined below
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=stream, args=(site,), name=site.name)
+                    for site in sites
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+
+            def drive_async() -> None:
+                async def one(site: SiteSpec) -> None:
+                    client = AsyncReplayClient(
                         host,
                         port,
                         stream_key=site.name,
                         window=config.window,
-                        scenario=(
-                            site.scenario
-                            if self.heterogeneous and config.tag_streams
-                            else None
-                        ),
+                        scenario=site_scenario_tag(site),
                         protocol=site.wire_protocol(),
+                        record_latency=config.record_latency,
                     )
-                    replayed = client.replay(captures[site.name])
-                    labels = np.array([p.label for p in captures[site.name]])
-                    results[site.name] = SiteResult(
-                        spec=site,
-                        packages=replayed.judged,
-                        anomalies=replayed.anomalies,
-                        levels=replayed.levels,
-                        metrics=evaluate_detection(
-                            labels[replayed.start : replayed.start + replayed.judged],
-                            replayed.anomalies,
-                        ),
-                        complete=replayed.complete,
-                    )
-                except BaseException as exc:  # noqa: BLE001 - joined below
-                    errors.append(exc)
+                    collect(site, await client.replay(captures[site.name]))
 
-            threads = [
-                threading.Thread(target=stream, args=(site,), name=site.name)
-                for site in sites
-            ]
+                async def all_sites() -> None:
+                    outcomes = await asyncio.gather(
+                        *(one(site) for site in sites), return_exceptions=True
+                    )
+                    errors.extend(
+                        exc for exc in outcomes if isinstance(exc, BaseException)
+                    )
+
+                asyncio.run(all_sites())
+
             started = time.perf_counter()
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
+            if config.effective_driver() == "async":
+                drive_async()
+            else:
+                drive_threads()
             seconds = time.perf_counter() - started
             stats = handle.stats()
         finally:

@@ -31,6 +31,13 @@ Architecture
   order on a single engine row, verdicts per stream are independent of
   shard count, batch composition of any tick, and connection timing —
   batching changes wall-clock, never decisions.
+- ``GatewayConfig(worker_mode="process")`` moves each shard's engine
+  pool into its own OS worker process (:mod:`repro.serve.workers`):
+  batched feature rows cross a pickle-free pipe as fixed-layout binary
+  records and verdicts flow back to the async side, so shard compute
+  scales with cores instead of contending for one GIL.  The thread
+  mode stays the reference backend — verdicts, checkpoints, hot-swaps
+  and resume offsets are bit-identical between the two.
 
 Heterogeneous serving
 ---------------------
@@ -72,6 +79,7 @@ from typing import TYPE_CHECKING, Any
 from repro.ics.modbus import CrcError
 from repro.persistence import (
     ROUTED_GATEWAY_KIND,
+    EngineStateView,
     RouteBinding,
     load_gateway_checkpoint,
     load_routed_gateway_checkpoint,
@@ -92,8 +100,30 @@ from repro.serve.transport import (
     KIND_ERROR,
     KIND_OPEN,
     TransportError,
+    encode_stream_data,
 )
-from repro.utils.artifact import read_meta
+from repro.serve.workers import (
+    OP_SNAPSHOT,
+    OP_STATS,
+    SINGLE_LABEL,
+    STATE_BLOB_KIND,
+    WorkerError,
+    WorkerHandle,
+    decode_attach,
+    decode_seen,
+    decode_snapshot,
+    decode_stats,
+    decode_swap,
+    decode_verdicts,
+    encode_attach,
+    encode_init,
+    encode_observe,
+    encode_seen,
+    encode_swap,
+    pool_label,
+    pool_route,
+)
+from repro.utils.artifact import read_meta, state_to_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.combined import CombinedDetector
@@ -127,10 +157,22 @@ class GatewayConfig:
     max_packages: int | None = None  # stop serving after N packages (tests/CLI)
     registry_poll_seconds: float = 1.0  # registry mode: hot-swap poll; 0 = off
     protocols: tuple[str, ...] = ()  # accepted wire dialects; () = all
+    #: Shard compute backend.  ``"thread"`` runs engines inline on the
+    #: event loop (the reference backend: zero IPC, but every shard
+    #: contends for one GIL).  ``"process"`` moves each shard's engine
+    #: pool into its own OS worker process (see
+    #: :mod:`repro.serve.workers`) so shards scale with cores; verdicts
+    #: are bit-identical between the two.
+    worker_mode: str = "thread"
 
     def validate(self) -> "GatewayConfig":
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', got "
+                f"{self.worker_mode!r}"
+            )
         unknown = set(self.protocols) - set(PROTOCOL_NAMES)
         if unknown:
             raise ValueError(
@@ -240,6 +282,15 @@ class _Shard:
         self.engines: "dict[tuple[str | None, int | None], StreamEngine]" = {}
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
         self.bound_streams = 0
+        #: Process mode only: the shard's worker-process endpoint (set
+        #: at :meth:`DetectionGateway.start`, after which ``engines``
+        #: lives in the worker and the dict above stays empty).
+        self.client: WorkerHandle | None = None
+        #: Process mode only: serializes the read-routes-and-submit
+        #: window of a tick against route mutations (hot-swap) and
+        #: binding-table snapshots (checkpoint).  Pipe FIFO order then
+        #: guarantees the worker observes the same serialization.
+        self.lock = asyncio.Lock()
 
     def engine_for(
         self, route_key: tuple[str | None, int | None]
@@ -250,6 +301,36 @@ class _Shard:
             engine = self.gateway._detector_for(route_key).engine(0)
             self.engines[route_key] = engine
         return engine
+
+    @staticmethod
+    def _build_tick(pending: deque) -> tuple[dict, deque]:
+        """Pick one package per stream for this tick; surplus waits.
+
+        One tick advances each stream by at most one package; extra
+        packages of the same stream wait for the next tick, preserving
+        per-stream order.  Streams are keyed by (model route, engine
+        row): ids are only unique within one engine of the pool.
+        """
+        tick: dict[tuple, tuple] = {}
+        leftover: deque = deque()
+        for item in pending:
+            route = item[0].route
+            slot = (route.scenario, route.version, route.stream_id)
+            if slot in tick:
+                leftover.append(item)
+            else:
+                tick[slot] = item
+        return tick, leftover
+
+    @staticmethod
+    def _group_tick(tick: dict) -> dict[tuple, dict[int, tuple]]:
+        """Group the tick by engine: heterogeneous shards run one
+        batched LSTM step per *model*, homogeneous shards degenerate to
+        exactly the old single-batch tick."""
+        groups: dict[tuple, dict[int, tuple]] = {}
+        for (scenario, version, stream_id), item in tick.items():
+            groups.setdefault((scenario, version), {})[stream_id] = item
+        return groups
 
     async def run(self) -> None:
         """Drain the queue forever, one batched tick at a time."""
@@ -262,45 +343,70 @@ class _Shard:
                     break
             pending = deque(items)
             while pending:
-                # One tick advances each stream by at most one package;
-                # extra packages of the same stream wait for the next
-                # tick, preserving per-stream order.  Streams are keyed
-                # by (model route, engine row): ids are only unique
-                # within one engine of the pool.
-                tick: dict[tuple, tuple] = {}
-                leftover: deque = deque()
-                for item in pending:
-                    route = item[0].route
-                    slot = (route.scenario, route.version, route.stream_id)
-                    if slot in tick:
-                        leftover.append(item)
-                    else:
-                        tick[slot] = item
-                # Group the tick by engine: heterogeneous shards run one
-                # batched LSTM step per *model*, homogeneous shards
-                # degenerate to exactly the old single-batch tick.
-                groups: dict[tuple, dict[int, tuple]] = {}
-                for (scenario, version, stream_id), item in tick.items():
-                    groups.setdefault((scenario, version), {})[stream_id] = item
-                outputs = []
-                for route_key, by_stream in groups.items():
-                    engine = self.engines[route_key]
-                    batch = {
-                        stream_id: item[2]
-                        for stream_id, item in by_stream.items()
-                    }
-                    verdicts, levels = engine.observe_batch(batch)
-                    outputs.append((list(by_stream.values()), verdicts, levels))
-                # Account (and maybe checkpoint) before delivery: a
-                # write can flush to the socket synchronously, so this
-                # ordering guarantees a client can never observe a
-                # verdict the gateway's own counters don't cover yet.
-                # Checkpoints land between ticks, where every stream's
-                # state and seen-count are mutually consistent.
-                self.gateway._after_work(len(tick))
-                for items_out, verdicts, levels in outputs:
-                    self.gateway._deliver(items_out, verdicts, levels)
-                pending = leftover
+                if self.client is None:
+                    pending = self._tick_inline(pending)
+                else:
+                    pending = await self._tick_process(pending)
+
+    def _tick_inline(self, pending: deque) -> deque:
+        """One tick on the in-process (thread-mode) engine pool."""
+        tick, leftover = self._build_tick(pending)
+        outputs = []
+        for route_key, by_stream in self._group_tick(tick).items():
+            engine = self.engines[route_key]
+            batch = {
+                stream_id: item[2]
+                for stream_id, item in by_stream.items()
+            }
+            verdicts, levels = engine.observe_batch(batch)
+            outputs.append((list(by_stream.values()), verdicts, levels))
+        # Account (and maybe checkpoint) before delivery: a write can
+        # flush to the socket synchronously, so this ordering
+        # guarantees a client can never observe a verdict the gateway's
+        # own counters don't cover yet.  Checkpoints land between
+        # ticks, where every stream's state and seen-count are mutually
+        # consistent.
+        self.gateway._after_work(len(tick))
+        for items_out, verdicts, levels in outputs:
+            self.gateway._deliver(items_out, verdicts, levels)
+        return leftover
+
+    async def _tick_process(self, pending: deque) -> deque:
+        """One tick round-tripped through the shard's worker process.
+
+        The lock covers route reads *and* request submission, so a
+        hot-swap (which holds the same lock while it mutates routes)
+        can never interleave: worker-side, this tick's rows land either
+        entirely before or entirely after the swap's re-attach ops.
+        The response is awaited outside the lock — the worker is
+        already committed to FIFO order by then.
+        """
+        client = self.client
+        assert client is not None
+        async with self.lock:
+            tick, leftover = self._build_tick(pending)
+            wire: list[tuple[str, list[tuple[int, bytes]]]] = []
+            flat_items: list[tuple] = []
+            for route_key, by_stream in self._group_tick(tick).items():
+                rows = []
+                for stream_id, item in by_stream.items():
+                    rows.append((stream_id, encode_stream_data(item[2], 0)))
+                    flat_items.append(item)
+                wire.append((pool_label(*route_key), rows))
+            future = client.submit(encode_observe(wire))
+        results = decode_verdicts(await asyncio.wrap_future(future),
+                                  len(flat_items))
+        # Same account-then-deliver ordering as the inline tick;
+        # periodic checkpoints gather worker snapshots between ticks.
+        self.gateway._after_work(len(tick), checkpoint=False)
+        if self.gateway._checkpoint_due():
+            await self.gateway._checkpoint_process()
+        self.gateway._deliver(
+            flat_items,
+            [verdict for verdict, _ in results],
+            [level for _, level in results],
+        )
+        return leftover
 
 
 class DetectionGateway:
@@ -404,6 +510,12 @@ class DetectionGateway:
         self._abstained = 0
         self._done = asyncio.Event()
         self._stopped = False
+        #: Process mode: serializes checkpoint writers (any shard's
+        #: tick may trigger one) and re-checks dueness under the lock.
+        self._checkpoint_lock = asyncio.Lock()
+        #: Process mode: final per-shard worker stats, cached at stop
+        #: so ``stats()`` keeps answering after the workers are gone.
+        self._final_worker_stats: list[dict[str, Any]] | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -490,12 +602,75 @@ class DetectionGateway:
                     {k: int(v) for k, v in counters.items()}
                 )
 
+    def _process_active(self) -> bool:
+        """True once shard compute lives in worker processes."""
+        return self._shards[0].client is not None
+
+    async def _start_worker_processes(self) -> None:
+        """Spawn one worker per shard and hand each its engine pool.
+
+        The gateway always *constructs* its engines in-process (fresh
+        or checkpoint-restored) — at start they are serialized to the
+        workers and the in-main pool is dropped, so the pre-start sync
+        surface (``request_promote``, ``stats``) works unchanged.
+        """
+        if self._router is None:
+            assert self.detector is not None
+            detector_blob: bytes | None = state_to_bytes(
+                self.detector.state_dict(), kind=STATE_BLOB_KIND
+            )
+            registry_root: str | None = None
+        else:
+            registry = getattr(self._router, "registry", None)
+            root = getattr(registry, "root", None)
+            if root is None:
+                raise ValueError(
+                    "worker_mode='process' requires a registry-backed "
+                    "router: worker processes re-load model artifacts "
+                    "from the registry root"
+                )
+            detector_blob = None
+            registry_root = str(root)
+        payloads = []
+        for shard in self._shards:
+            pool = {
+                pool_label(*route_key): engine.state_dict()
+                for route_key, engine in shard.engines.items()
+            }
+            payloads.append(
+                encode_init(
+                    detector_blob,
+                    registry_root,
+                    state_to_bytes(pool, kind=STATE_BLOB_KIND),
+                )
+            )
+        handles: list[WorkerHandle] = []
+        try:
+            for shard in self._shards:
+                handles.append(WorkerHandle(shard.index))
+            await asyncio.gather(
+                *(
+                    handle.call(payload)
+                    for handle, payload in zip(handles, payloads)
+                )
+            )
+        except BaseException:
+            await asyncio.to_thread(
+                lambda: [handle.close(timeout=2.0) for handle in handles]
+            )
+            raise
+        for shard, handle in zip(self._shards, handles):
+            shard.client = handle
+            shard.engines.clear()
+
     async def start(self) -> None:
         """Bind the listening socket and launch the shard workers."""
         if self._server is not None:
             raise RuntimeError("gateway already started")
         loop = asyncio.get_running_loop()
         self._loop = loop
+        if self.config.worker_mode == "process":
+            await self._start_worker_processes()
         self._workers = [loop.create_task(shard.run()) for shard in self._shards]
         if self._router is not None:
             # In-process publishes/promotes hot-swap immediately; the
@@ -547,9 +722,29 @@ class DetectionGateway:
             except RuntimeError:
                 pass
         self._live.clear()
-        if checkpoint and self.config.checkpoint_path:
+        if self._process_active():
+            try:
+                self._final_worker_stats = await self._gather_worker_stats()
+                if checkpoint and self.config.checkpoint_path:
+                    await self._write_checkpoint_process()
+            finally:
+                await asyncio.to_thread(self._close_worker_processes)
+        elif checkpoint and self.config.checkpoint_path:
             self._write_checkpoint()
         self.alerts.close()
+
+    async def _gather_worker_stats(self) -> list[dict[str, Any]]:
+        futures = [shard.client.submit(OP_STATS) for shard in self._shards]
+        return [
+            decode_stats(await asyncio.wrap_future(future))
+            for future in futures
+        ]
+
+    def _close_worker_processes(self) -> None:
+        for shard in self._shards:
+            if shard.client is not None:
+                shard.client.close()
+                shard.client = None
 
     # ------------------------------------------------------------------
     # connection handling
@@ -640,7 +835,7 @@ class DetectionGateway:
     async def _on_frame(self, session: _Session, frame) -> None:
         kind = frame.kind
         if kind == KIND_OPEN:
-            self._on_open(session, frame)
+            await self._on_open(session, frame)
             await self._flush(session)
         elif kind == KIND_DATA:
             await self._on_data(session, frame)
@@ -649,7 +844,7 @@ class DetectionGateway:
         else:
             raise ProtocolViolation(f"unexpected frame kind {kind:#04x}")
 
-    def _on_open(self, session: _Session, frame) -> None:
+    async def _on_open(self, session: _Session, frame) -> None:
         if session.key is not None:
             raise ProtocolViolation("session already bound to a stream")
         try:
@@ -677,23 +872,40 @@ class DetectionGateway:
                 self.config.max_write_buffer,
             )
             return
+        # Claim the key *before* any await: a second OPEN racing the
+        # bind round-trip must hit the already-connected check above.
+        session.key = key
+        self._live[key] = session
         if route is None:
-            route = self._bind(key, scenario_tag, protocol=session.adapter.name)
+            route = await self._bind(
+                key, scenario_tag, protocol=session.adapter.name
+            )
         else:
             route.protocol = session.adapter.name
 
-        session.key = key
         session.route = route
         session.shard = self._shards[route.shard]
-        engine = session.shard.engines[route.route_key]
-        session.next_seq = route.seq_base + engine.packages_seen(route.stream_id)
-        self._live[key] = session
+        seen = await self._route_packages_seen(session.shard, route)
+        # Reading seq_base after the await is safe: a hot-swap folds
+        # the old engine's count into seq_base, so the sum (the next
+        # expected wire seq) is invariant across swaps.
+        session.next_seq = route.seq_base + seen
         session.send(
             session.adapter.frame_open_ack(route.stream_id, session.next_seq),
             self.config.max_write_buffer,
         )
 
-    def _bind(
+    async def _route_packages_seen(self, shard: _Shard, route: _Route) -> int:
+        """Lifetime package count of one route's current engine row."""
+        if shard.client is None:
+            return shard.engines[route.route_key].packages_seen(route.stream_id)
+        async with shard.lock:
+            future = shard.client.submit(
+                encode_seen(pool_label(*route.route_key), route.stream_id)
+            )
+        return decode_seen(await asyncio.wrap_future(future))
+
+    async def _bind(
         self,
         key: str,
         scenario_tag: str | None,
@@ -718,8 +930,14 @@ class DetectionGateway:
         # Least-loaded shard (ties to the lowest index) keeps the
         # per-tick batches balanced as keys come and go.
         shard = min(self._shards, key=lambda s: (s.bound_streams, s.index))
-        engine = shard.engine_for((scenario, version))
-        stream_id = engine.attach()
+        if shard.client is None:
+            engine = shard.engine_for((scenario, version))
+            stream_id = engine.attach()
+        else:
+            future = shard.client.submit(
+                encode_attach(pool_label(scenario, version))
+            )
+            stream_id = decode_attach(await asyncio.wrap_future(future))
         shard.bound_streams += 1
         route = _Route(shard.index, scenario, version, stream_id, protocol=protocol)
         self._bindings[key] = route
@@ -784,7 +1002,7 @@ class DetectionGateway:
             )
         self._identified += 1
         assert outcome.scenario is not None and outcome.version is not None
-        route = self._bind(
+        route = await self._bind(
             session.key,
             None,
             identified=(outcome.scenario, outcome.version),
@@ -823,9 +1041,13 @@ class DetectionGateway:
             return
         try:
             version = self._router.active_version(scenario)
-            self._apply_swap(scenario, version)
         except RoutingError:
             return
+        if self._process_active():
+            assert self._loop is not None
+            self._loop.create_task(self._apply_swap_process(scenario, version))
+        else:
+            self._apply_swap(scenario, version)
 
     def _apply_swap(self, scenario: str, version: int) -> None:
         """Drain-and-swap every stream of ``scenario`` onto ``version``.
@@ -864,6 +1086,49 @@ class DetectionGateway:
                 del shard.engines[key]
         self._swaps_applied += 1
 
+    async def _apply_swap_process(self, scenario: str, version: int) -> None:
+        """Drain-and-swap ``scenario`` streams inside the worker processes.
+
+        Each shard's lock is held across its swap ops, so no tick can
+        read a half-updated route table; pipe FIFO order makes the
+        worker-side re-attach land between its ticks, exactly like the
+        in-process swap lands between loop callbacks.  Route fields are
+        re-checked under the lock, so concurrent swap tasks (subscribe
+        callback racing the registry poll) stay idempotent.
+        """
+        swapped = 0
+        try:
+            for shard in self._shards:
+                client = shard.client
+                if client is None:
+                    continue
+                async with shard.lock:
+                    for route in list(self._bindings.values()):
+                        if (
+                            route.shard != shard.index
+                            or route.scenario != scenario
+                            or route.version == version
+                        ):
+                            continue
+                        future = client.submit(
+                            encode_swap(
+                                scenario, route.version, version,
+                                route.stream_id,
+                            )
+                        )
+                        new_id, old_seen = decode_swap(
+                            await asyncio.wrap_future(future)
+                        )
+                        route.seq_base += old_seen
+                        route.stream_id = new_id
+                        route.version = version
+                        swapped += 1
+        except WorkerError:
+            if not self._stopped:  # shutdown races are expected
+                raise
+        if swapped:
+            self._swaps_applied += 1
+
     async def _watch_registry(self) -> None:
         """Poll for activations done by other processes (CLI promote)."""
         assert self._router is not None
@@ -896,14 +1161,111 @@ class DetectionGateway:
             if verdict and session.key is not None:
                 self.alerts.submit(session.key, seq, package, int(level))
 
-    def _after_work(self, count: int) -> None:
+    def _after_work(self, count: int, checkpoint: bool = True) -> None:
         self._processed += count
         self._since_checkpoint += count
         cfg = self.config
-        if cfg.checkpoint_every and self._since_checkpoint >= cfg.checkpoint_every:
+        if checkpoint and self._checkpoint_due():
             self._write_checkpoint()
         if cfg.max_packages is not None and self._processed >= cfg.max_packages:
             self._done.set()
+
+    def _checkpoint_due(self) -> bool:
+        cfg = self.config
+        return bool(
+            cfg.checkpoint_every
+            and self._since_checkpoint >= cfg.checkpoint_every
+        )
+
+    async def _checkpoint_process(self) -> None:
+        """Periodic checkpoint in process mode (any shard may trigger)."""
+        async with self._checkpoint_lock:
+            if self._checkpoint_due():  # another shard may have just written
+                await self._write_checkpoint_process()
+
+    async def _write_checkpoint_process(self) -> None:
+        """Per-worker snapshot + atomic merge into the standard format.
+
+        All shard locks are taken while the binding table is copied and
+        the snapshot ops are submitted: no tick can be in its
+        read-and-submit window and no swap can run, so each worker's
+        snapshot lands between its ticks with the exact engine state
+        the copied bindings describe.  The responses are awaited (and
+        the merged artifact written, off-loop) after the locks drop —
+        FIFO pipes mean later traffic cannot retroactively change what
+        the snapshot ops observe.  The on-disk format is identical to
+        thread mode's, so checkpoints are interchangeable across
+        worker modes.
+        """
+        if not self.config.checkpoint_path:
+            return
+        from contextlib import AsyncExitStack
+
+        async with AsyncExitStack() as stack:
+            for shard in self._shards:
+                await stack.enter_async_context(shard.lock)
+            meta = {
+                "processed": self._processed,
+                "routes": self._route_meta(),
+                "transport": {
+                    name: dict(counters)
+                    for name, counters in sorted(self._transport_stats.items())
+                },
+            }
+            if self._router is None:
+                single_bindings = {
+                    key: (route.shard, route.stream_id)
+                    for key, route in self._bindings.items()
+                }
+                routed_bindings = None
+            else:
+                single_bindings = None
+                routed_bindings = {
+                    key: RouteBinding(
+                        shard=route.shard,
+                        scenario=route.scenario,
+                        version=route.version,
+                        stream_id=route.stream_id,
+                        seq_base=route.seq_base,
+                        protocol=route.protocol,
+                    )
+                    for key, route in self._bindings.items()
+                    if route.scenario is not None and route.version is not None
+                }
+            futures = [
+                shard.client.submit(OP_SNAPSHOT) for shard in self._shards
+            ]
+        pools = [
+            decode_snapshot(await asyncio.wrap_future(future))
+            for future in futures
+        ]
+        if self._router is None:
+            assert self.detector is not None and single_bindings is not None
+            await asyncio.to_thread(
+                save_gateway_checkpoint,
+                self.config.checkpoint_path,
+                self.detector,
+                [EngineStateView(pool[SINGLE_LABEL]) for pool in pools],
+                single_bindings,
+                meta=meta,
+            )
+        else:
+            assert routed_bindings is not None
+            await asyncio.to_thread(
+                save_routed_gateway_checkpoint,
+                self.config.checkpoint_path,
+                [
+                    {
+                        pool_route(label): EngineStateView(state)
+                        for label, state in pool.items()
+                    }
+                    for pool in pools
+                ],
+                routed_bindings,
+                meta=meta,
+            )
+        self._since_checkpoint = 0
+        self._checkpoints_written += 1
 
     def _write_checkpoint(self) -> None:
         # Deliberately synchronous on the loop: the engine states being
@@ -976,10 +1338,18 @@ class DetectionGateway:
         row and lifetime package count) — the audit trail a mixed fleet
         needs.
         """
+        worker_stats = self._worker_stats_now()
         routes: dict[str, dict[str, Any]] = {}
         fallback = (self._model_info or {}).get("scenario")
         for key, route in self._bindings.items():
-            engine = self._shards[route.shard].engines[route.route_key]
+            if worker_stats is None:
+                engine = self._shards[route.shard].engines[route.route_key]
+                seen = engine.packages_seen(route.stream_id)
+            else:
+                entry = worker_stats[route.shard].get(
+                    pool_label(*route.route_key), {}
+                )
+                seen = int(entry.get("streams", {}).get(str(route.stream_id), 0))
             routes[key] = {
                 "scenario": (
                     route.scenario if route.scenario is not None else fallback
@@ -989,8 +1359,7 @@ class DetectionGateway:
                 "shard": route.shard,
                 "stream_id": route.stream_id,
                 "seq_base": route.seq_base,
-                "packages": route.seq_base
-                + engine.packages_seen(route.stream_id),
+                "packages": route.seq_base + seen,
             }
         stats: dict[str, Any] = {
             "mode": "single" if self._router is None else "registry",
@@ -1009,27 +1378,59 @@ class DetectionGateway:
             "alerts": self.alerts.stats(),
         }
         if self._router is None:
-            stats["shards"] = [
-                asdict(shard.engines[_SINGLE_ROUTE].stats)
-                for shard in self._shards
-            ]
+            if worker_stats is None:
+                stats["shards"] = [
+                    asdict(shard.engines[_SINGLE_ROUTE].stats)
+                    for shard in self._shards
+                ]
+            else:
+                stats["shards"] = [
+                    dict(ws.get(SINGLE_LABEL, {}).get("stats", {}))
+                    for ws in worker_stats
+                ]
             if self._model_info:
                 stats["model"] = dict(self._model_info)
         else:
-            stats["shards"] = [
-                {
-                    route_label(scenario, version): asdict(engine.stats)
-                    for (scenario, version), engine in sorted(
-                        shard.engines.items()
-                    )
-                }
-                for shard in self._shards
-            ]
+            if worker_stats is None:
+                stats["shards"] = [
+                    {
+                        route_label(scenario, version): asdict(engine.stats)
+                        for (scenario, version), engine in sorted(
+                            shard.engines.items()
+                        )
+                    }
+                    for shard in self._shards
+                ]
+            else:
+                stats["shards"] = [
+                    {
+                        label: dict(entry.get("stats", {}))
+                        for label, entry in sorted(ws.items())
+                    }
+                    for ws in worker_stats
+                ]
             stats["swaps_applied"] = self._swaps_applied
             stats["identified"] = self._identified
             stats["abstained"] = self._abstained
             stats["registry"] = self._router.stats()
         return stats
+
+    def _worker_stats_now(self) -> list[dict[str, Any]] | None:
+        """Per-shard worker engine stats, or ``None`` in thread mode.
+
+        While workers run, each shard is polled synchronously (safe
+        cross-thread: requests ride the worker's I/O thread); after
+        :meth:`stop`, the final poll cached at shutdown keeps
+        ``stats()`` answering.
+        """
+        if self._final_worker_stats is not None:
+            return self._final_worker_stats
+        if not self._process_active():
+            return None
+        return [
+            decode_stats(shard.client.call_sync(OP_STATS))
+            for shard in self._shards
+        ]
 
 
 # ----------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Replay client: stream a recorded capture at a live gateway.
+"""Replay clients: stream a recorded capture at a live gateway.
 
 The load-generation and fail-over-drill counterpart of the gateway: it
 plays a :class:`~repro.ics.dataset.GasPipelineDataset` capture (or an
@@ -18,12 +18,21 @@ must discard them and stay frame-synchronized, changing no decision.
 :mod:`repro.serve.protocols`): the client frames its stream through
 that adapter and the gateway sniffs the dialect from the first bytes —
 no server-side coordination is required.
+
+Two clients share one verdict pipeline: :class:`ReplayClient` is the
+blocking-socket original (one OS thread per site — fine to a few dozen
+sites), and :class:`AsyncReplayClient` is its coroutine twin, letting
+one event loop drive *hundreds* of concurrent sites (the fleet load
+harness).  Both can time each package from send to verdict
+(``record_latency=True``) for p50/p99 latency benchmarking.
 """
 
 from __future__ import annotations
 
+import asyncio
 import os
 import socket
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -31,7 +40,7 @@ import numpy as np
 
 from repro.ics.arff import read_arff
 from repro.ics.features import Package
-from repro.serve.protocols import FrameDecoder, get_adapter
+from repro.serve.protocols import FrameDecoder, ProtocolAdapter, get_adapter
 from repro.serve.transport import KIND_ERROR, KIND_OPEN_ACK, KIND_VERDICT
 
 
@@ -45,7 +54,8 @@ class ReplayResult:
 
     ``start`` is the resume offset the gateway assigned: decision
     arrays cover ``packages[start:]`` and align index-for-index with
-    that slice.
+    that slice.  ``latencies`` (seconds, same alignment) is populated
+    only when the client was built with ``record_latency=True``.
     """
 
     stream_key: str
@@ -53,6 +63,7 @@ class ReplayResult:
     anomalies: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
     levels: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
     complete: bool = True
+    latencies: np.ndarray | None = None
 
     @property
     def judged(self) -> int:
@@ -64,8 +75,74 @@ class ReplayResult:
         return int(self.anomalies.sum())
 
 
-class ReplayClient:
-    """Blocking-socket client replaying packages through a gateway."""
+class _VerdictCollector:
+    """Shared verdict pipeline of the sync and async replay clients.
+
+    Enforces strict in-order verdicts, accumulates decisions, and (when
+    latency recording is on) times each package from the moment its
+    DATA frame was flushed to the socket until its verdict arrived.
+    """
+
+    def __init__(
+        self, adapter: ProtocolAdapter, start: int, record_latency: bool
+    ) -> None:
+        self.adapter = adapter
+        self.start = start
+        self.anomalies: list[bool] = []
+        self.levels: list[int] = []
+        self.latencies: list[float] | None = [] if record_latency else None
+        self._sent_at: dict[int, float] = {}
+
+    @property
+    def judged(self) -> int:
+        return len(self.anomalies)
+
+    def mark_sent(self, first_seq: int, last_seq: int) -> None:
+        """Stamp flush time for the seq range just written to the socket."""
+        if self.latencies is None:
+            return
+        now = time.perf_counter()
+        for seq in range(first_seq, last_seq):
+            self._sent_at[seq] = now
+
+    def on_frame(self, frame) -> None:
+        if frame.kind == KIND_VERDICT:
+            seq, anomaly, level = self.adapter.decode_verdict(frame.pdu)
+            expected = self.start + len(self.anomalies)
+            if seq != expected:
+                raise ReplayError(
+                    f"verdict out of order: expected seq {expected}, got {seq}"
+                )
+            if self.latencies is not None:
+                self.latencies.append(
+                    time.perf_counter() - self._sent_at.pop(seq)
+                )
+            self.anomalies.append(anomaly)
+            self.levels.append(level)
+        elif frame.kind == KIND_ERROR:
+            raise ReplayError(
+                f"gateway error: {self.adapter.decode_error(frame.pdu)}"
+            )
+        else:
+            raise ReplayError(f"unexpected frame kind {frame.kind:#04x}")
+
+    def result(self, stream_key: str, complete: bool) -> ReplayResult:
+        return ReplayResult(
+            stream_key=stream_key,
+            start=self.start,
+            anomalies=np.array(self.anomalies, dtype=bool),
+            levels=np.array(self.levels, dtype=np.int64),
+            complete=complete,
+            latencies=(
+                np.array(self.latencies, dtype=np.float64)
+                if self.latencies is not None
+                else None
+            ),
+        )
+
+
+class _ReplayBase:
+    """Configuration shared by the blocking and async replay clients."""
 
     def __init__(
         self,
@@ -78,6 +155,7 @@ class ReplayClient:
         noise_bytes: int = 16,
         scenario: str | None = None,
         protocol: str = "modbus",
+        record_latency: bool = False,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -101,6 +179,41 @@ class ReplayClient:
         #: ``window`` at or above the gateway's probe window or the
         #: replay stalls waiting for verdicts that cannot come yet).
         self.scenario = scenario
+        #: Time every package from socket flush to verdict receipt.
+        self.record_latency = record_latency
+
+    def _check_start(self, start: int, packages: Sequence[Package]) -> None:
+        if start > len(packages):
+            raise ReplayError(
+                f"gateway has judged {start} packages on stream "
+                f"{self.stream_key!r}, but the capture holds only "
+                f"{len(packages)}"
+            )
+
+    def _fill_window(
+        self,
+        packages: Sequence[Package],
+        next_send: int,
+        start: int,
+        judged: int,
+    ) -> tuple[bytearray, int]:
+        """Frame as many packages as the in-flight window allows."""
+        payload = bytearray()
+        while (
+            next_send < len(packages)
+            and next_send - start - judged < self.window
+        ):
+            if self.noise_every and next_send % self.noise_every == 0:
+                payload.extend(b"\xff" * self.noise_bytes)
+            payload.extend(
+                self.adapter.frame_data(packages[next_send], next_send)
+            )
+            next_send += 1
+        return payload, next_send
+
+
+class ReplayClient(_ReplayBase):
+    """Blocking-socket client replaying packages through a gateway."""
 
     def replay(self, packages: Sequence[Package]) -> ReplayResult:
         """Stream ``packages`` and gather verdicts for the unjudged tail.
@@ -115,31 +228,22 @@ class ReplayClient:
             decoder = self.adapter.decoder()
             sock.sendall(self.adapter.frame_open(self.stream_key, self.scenario))
             start = self._await_open_ack(sock, decoder)
-            if start > len(packages):
-                raise ReplayError(
-                    f"gateway has judged {start} packages on stream "
-                    f"{self.stream_key!r}, but the capture holds only "
-                    f"{len(packages)}"
-                )
+            self._check_start(start, packages)
 
             total = len(packages) - start
-            anomalies: list[bool] = []
-            levels: list[int] = []
+            collector = _VerdictCollector(
+                self.adapter, start, self.record_latency
+            )
             next_send = start
             complete = True
-            while len(anomalies) < total:
-                payload = bytearray()
-                while (
-                    next_send < len(packages)
-                    and next_send - start - len(anomalies) < self.window
-                ):
-                    if self.noise_every and next_send % self.noise_every == 0:
-                        payload.extend(b"\xff" * self.noise_bytes)
-                    package = packages[next_send]
-                    payload.extend(self.adapter.frame_data(package, next_send))
-                    next_send += 1
+            while collector.judged < total:
+                payload, sent_to = self._fill_window(
+                    packages, next_send, start, collector.judged
+                )
                 if payload:
                     sock.sendall(payload)
+                    collector.mark_sent(next_send, sent_to)
+                    next_send = sent_to
                 try:
                     data = sock.recv(65536)
                 except (TimeoutError, ConnectionError):
@@ -149,39 +253,89 @@ class ReplayClient:
                     complete = False
                     break
                 for frame in decoder.feed(data):
-                    if frame.kind == KIND_VERDICT:
-                        seq, anomaly, level = self.adapter.decode_verdict(
-                            frame.pdu
-                        )
-                        expected = start + len(anomalies)
-                        if seq != expected:
-                            raise ReplayError(
-                                f"verdict out of order: expected seq "
-                                f"{expected}, got {seq}"
-                            )
-                        anomalies.append(anomaly)
-                        levels.append(level)
-                    elif frame.kind == KIND_ERROR:
-                        raise ReplayError(
-                            f"gateway error: {self.adapter.decode_error(frame.pdu)}"
-                        )
-                    else:
-                        raise ReplayError(
-                            f"unexpected frame kind {frame.kind:#04x}"
-                        )
-            return ReplayResult(
-                stream_key=self.stream_key,
-                start=start,
-                anomalies=np.array(anomalies, dtype=bool),
-                levels=np.array(levels, dtype=np.int64),
-                complete=complete,
-            )
+                    collector.on_frame(frame)
+            return collector.result(self.stream_key, complete)
 
     def _await_open_ack(self, sock: socket.socket, decoder: FrameDecoder) -> int:
         while True:
             try:
                 data = sock.recv(65536)
             except (TimeoutError, ConnectionError) as exc:
+                raise ReplayError(f"no OPEN_ACK from gateway: {exc}") from exc
+            if not data:
+                raise ReplayError("gateway closed the connection before OPEN_ACK")
+            for frame in decoder.feed(data):
+                if frame.kind == KIND_OPEN_ACK:
+                    _, packages_seen = self.adapter.decode_open_ack(frame.pdu)
+                    return packages_seen
+                if frame.kind == KIND_ERROR:
+                    raise ReplayError(
+                        f"gateway error: {self.adapter.decode_error(frame.pdu)}"
+                    )
+                raise ReplayError(f"unexpected frame kind {frame.kind:#04x}")
+
+
+class AsyncReplayClient(_ReplayBase):
+    """Coroutine replay client: hundreds of sites on one event loop.
+
+    Wire behaviour is identical to :class:`ReplayClient` (same framing,
+    same windowing, same resume semantics) — only the concurrency model
+    differs, so a fleet driver can multiplex every site as a coroutine
+    instead of burning an OS thread per site.
+    """
+
+    async def replay(self, packages: Sequence[Package]) -> ReplayResult:
+        """Async twin of :meth:`ReplayClient.replay`."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            decoder = self.adapter.decoder()
+            writer.write(self.adapter.frame_open(self.stream_key, self.scenario))
+            await writer.drain()
+            start = await self._await_open_ack(reader, decoder)
+            self._check_start(start, packages)
+
+            total = len(packages) - start
+            collector = _VerdictCollector(
+                self.adapter, start, self.record_latency
+            )
+            next_send = start
+            complete = True
+            while collector.judged < total:
+                payload, sent_to = self._fill_window(
+                    packages, next_send, start, collector.judged
+                )
+                if payload:
+                    writer.write(payload)
+                    await writer.drain()
+                    collector.mark_sent(next_send, sent_to)
+                    next_send = sent_to
+                try:
+                    data = await asyncio.wait_for(
+                        reader.read(65536), self.timeout
+                    )
+                except (TimeoutError, asyncio.TimeoutError, ConnectionError):
+                    complete = False
+                    break
+                if not data:
+                    complete = False
+                    break
+                for frame in decoder.feed(data):
+                    collector.on_frame(frame)
+            return collector.result(self.stream_key, complete)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _await_open_ack(
+        self, reader: asyncio.StreamReader, decoder: FrameDecoder
+    ) -> int:
+        while True:
+            try:
+                data = await asyncio.wait_for(reader.read(65536), self.timeout)
+            except (TimeoutError, asyncio.TimeoutError, ConnectionError) as exc:
                 raise ReplayError(f"no OPEN_ACK from gateway: {exc}") from exc
             if not data:
                 raise ReplayError("gateway closed the connection before OPEN_ACK")

@@ -1,0 +1,515 @@
+"""Multi-process shard backends: engine pools in worker OS processes.
+
+The gateway's shards are asyncio tasks — perfect for I/O multiplexing,
+useless for CPU scaling: every LSTM step of every shard contends for
+one GIL, so adding shards *loses* throughput.  This module moves the
+compute side of a shard into its own OS process while the acceptor,
+router, alert pipeline and per-dialect transport counters stay on the
+async side:
+
+- :func:`_worker_main` is the worker process: it owns one shard's
+  engine pool (keyed by model route, exactly like the in-process
+  ``_Shard.engines``) and serves a strict request/response loop over a
+  duplex :mod:`multiprocessing` pipe.
+- The channel is **pickle-free**: requests and responses are
+  hand-framed byte strings.  Feature rows cross as the fixed-layout
+  :func:`~repro.serve.transport.encode_stream_data` records (the same
+  dialect-neutral binary package record the wire protocols use), and
+  engine state crosses as in-memory ``.npz`` blobs
+  (:func:`~repro.utils.artifact.state_to_bytes`).
+- :class:`WorkerHandle` is the async-side endpoint: a dedicated I/O
+  thread drives the pipe so the event loop never blocks, and each
+  request resolves a future (awaitable via :meth:`WorkerHandle.call`
+  or joined cross-thread via :meth:`WorkerHandle.call_sync`).
+
+Because the pipe is FIFO and the worker is single-threaded, the
+observable op order *is* the submission order: a snapshot submitted
+after an observe reflects that observe, a swap submitted before a tick
+lands before it.  The gateway leans on this for bit-identical
+checkpoints and zero-drop hot-swaps in process mode.
+
+Workers are started with the ``spawn`` context: the gateway often runs
+on a background thread (:func:`~repro.serve.gateway.start_in_thread`),
+and forking a threaded process is a deadlock lottery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import queue
+import struct
+import threading
+import traceback
+from concurrent.futures import Future
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.combined import CombinedDetector
+    from repro.core.stream_engine import StreamEngine
+
+#: Pool label of the lone engine slot in single-detector mode.  Routed
+#: labels are ``scenario@version`` (always contain ``@``), so the bare
+#: word can never collide with a real route.
+SINGLE_LABEL = "default"
+
+#: Kind tag of engine-state blobs crossing the pipe.
+STATE_BLOB_KIND = "worker-engine-pool"
+
+# Request opcodes (first byte of every request frame).
+OP_INIT = b"I"
+OP_ATTACH = b"A"
+OP_DETACH = b"D"
+OP_SEEN = b"P"
+OP_OBSERVE = b"O"
+OP_SWAP = b"W"
+OP_SNAPSHOT = b"S"
+OP_STATS = b"T"
+OP_QUIT = b"Q"
+
+#: Response marker for a worker-side exception (body = traceback text).
+OP_ERROR = b"!"
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+
+class WorkerError(RuntimeError):
+    """A shard worker failed a request or its channel died."""
+
+
+# ----------------------------------------------------------------------
+# framing helpers (shared by both pipe ends)
+# ----------------------------------------------------------------------
+
+
+def pool_label(scenario: str | None, version: int | None) -> str:
+    """Wire label of one engine-pool slot (route or the single slot)."""
+    if scenario is None:
+        return SINGLE_LABEL
+    assert version is not None
+    from repro.persistence import route_label
+
+    return route_label(scenario, version)
+
+
+def pool_route(label: str) -> tuple[str | None, int | None]:
+    """Invert :func:`pool_label`."""
+    if label == SINGLE_LABEL:
+        return (None, None)
+    from repro.persistence import parse_route_label
+
+    return parse_route_label(label)
+
+
+def _put_str(buf: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    buf += _U16.pack(len(raw))
+    buf += raw
+
+
+def _get_str(view: memoryview, offset: int) -> tuple[str, int]:
+    (size,) = _U16.unpack_from(view, offset)
+    offset += _U16.size
+    return bytes(view[offset : offset + size]).decode("utf-8"), offset + size
+
+
+def _put_block(buf: bytearray, blob: bytes) -> None:
+    buf += _U32.pack(len(blob))
+    buf += blob
+
+
+def _get_block(view: memoryview, offset: int) -> tuple[bytes, int]:
+    (size,) = _U32.unpack_from(view, offset)
+    offset += _U32.size
+    return bytes(view[offset : offset + size]), offset + size
+
+
+def encode_init(
+    detector_blob: bytes | None, registry_root: str | None, pool_blob: bytes
+) -> bytes:
+    """INIT: single-detector weights *or* a registry root, plus the
+    shard's restored engine pool (``{label: engine_state}`` blob)."""
+    if (detector_blob is None) == (registry_root is None):
+        raise ValueError(
+            "pass exactly one of detector_blob (single) or "
+            "registry_root (routed)"
+        )
+    buf = bytearray(OP_INIT)
+    if detector_blob is not None:
+        buf += b"\x00"
+        _put_block(buf, detector_blob)
+    else:
+        buf += b"\x01"
+        _put_str(buf, registry_root)
+    _put_block(buf, pool_blob)
+    return bytes(buf)
+
+
+def encode_attach(label: str) -> bytes:
+    buf = bytearray(OP_ATTACH)
+    _put_str(buf, label)
+    return bytes(buf)
+
+
+def decode_attach(resp: bytes) -> int:
+    (stream_id,) = _U32.unpack_from(resp, 1)
+    return stream_id
+
+
+def encode_detach(label: str, stream_id: int) -> bytes:
+    buf = bytearray(OP_DETACH)
+    _put_str(buf, label)
+    buf += _U32.pack(stream_id)
+    return bytes(buf)
+
+
+def encode_seen(label: str, stream_id: int) -> bytes:
+    buf = bytearray(OP_SEEN)
+    _put_str(buf, label)
+    buf += _U32.pack(stream_id)
+    return bytes(buf)
+
+
+def decode_seen(resp: bytes) -> int:
+    (seen,) = _U64.unpack_from(resp, 1)
+    return seen
+
+
+def encode_observe(groups: "list[tuple[str, list[tuple[int, bytes]]]]") -> bytes:
+    """OBSERVE: per engine group, the tick's ``(stream_id, record)``
+    rows — records are :func:`~repro.serve.transport.encode_stream_data`
+    bytes (seq field unused on this hop)."""
+    buf = bytearray(OP_OBSERVE)
+    buf += _U16.pack(len(groups))
+    for label, items in groups:
+        _put_str(buf, label)
+        buf += _U32.pack(len(items))
+        for stream_id, record in items:
+            buf += _U32.pack(stream_id)
+            _put_block(buf, record)
+    return bytes(buf)
+
+
+def decode_verdicts(resp: bytes, count: int) -> list[tuple[bool, int]]:
+    """Per-row ``(verdict, level)`` pairs in request order."""
+    body = memoryview(resp)[1:]
+    if len(body) != 2 * count:
+        raise WorkerError(
+            f"verdict response holds {len(body) // 2} rows, expected {count}"
+        )
+    return [(bool(body[2 * i]), int(body[2 * i + 1])) for i in range(count)]
+
+
+def encode_swap(
+    scenario: str, old_version: int, new_version: int, stream_id: int
+) -> bytes:
+    buf = bytearray(OP_SWAP)
+    _put_str(buf, scenario)
+    buf += _U32.pack(old_version)
+    buf += _U32.pack(new_version)
+    buf += _U32.pack(stream_id)
+    return bytes(buf)
+
+
+def decode_swap(resp: bytes) -> tuple[int, int]:
+    """``(new_stream_id, packages_seen_by_old_version)``."""
+    (new_id,) = _U32.unpack_from(resp, 1)
+    (old_seen,) = _U64.unpack_from(resp, 1 + _U32.size)
+    return new_id, old_seen
+
+
+def decode_snapshot(resp: bytes) -> dict[str, Any]:
+    """The worker's engine pool as ``{label: engine_state_dict}``."""
+    from repro.utils.artifact import state_from_bytes
+
+    return state_from_bytes(bytes(resp[1:]), kind=STATE_BLOB_KIND)
+
+
+def decode_stats(resp: bytes) -> dict[str, Any]:
+    """``{label: {"stats": EngineStats dict, "streams": {id: seen}}}``."""
+    return json.loads(bytes(resp[1:]).decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+
+class _EnginePool:
+    """The worker-side shard: engines keyed by pool label."""
+
+    def __init__(self, msg: memoryview) -> None:
+        from repro.core.stream_engine import StreamEngine
+        from repro.utils.artifact import state_from_bytes
+
+        offset = 2  # opcode + mode byte
+        self.detector: "CombinedDetector | None" = None
+        self.registry = None
+        if msg[1] == 0:
+            from repro.core.combined import CombinedDetector
+
+            blob, offset = _get_block(msg, offset)
+            self.detector = CombinedDetector.from_state(
+                state_from_bytes(blob, kind=STATE_BLOB_KIND)
+            )
+        else:
+            from repro.registry.store import ModelRegistry
+
+            root, offset = _get_str(msg, offset)
+            self.registry = ModelRegistry(root)
+        pool_blob, offset = _get_block(msg, offset)
+        self.engines: dict[str, StreamEngine] = {}
+        for label, state in state_from_bytes(
+            pool_blob, kind=STATE_BLOB_KIND
+        ).items():
+            self.engines[label] = StreamEngine.from_state(
+                self._detector_for(label), state
+            )
+
+    def _detector_for(self, label: str) -> "CombinedDetector":
+        if self.detector is not None:
+            return self.detector
+        assert self.registry is not None
+        scenario, version = pool_route(label)
+        assert scenario is not None and version is not None
+        return self.registry.load(scenario, version)
+
+    def _engine_for(self, label: str) -> "StreamEngine":
+        engine = self.engines.get(label)
+        if engine is None:
+            engine = self._detector_for(label).engine(0)
+            self.engines[label] = engine
+        return engine
+
+    # -- ops -----------------------------------------------------------
+
+    def dispatch(self, op: bytes, msg: memoryview) -> bytes:
+        if op == OP_OBSERVE:
+            return self._observe(msg)
+        if op == OP_ATTACH:
+            label, _ = _get_str(msg, 1)
+            return OP_ATTACH.lower() + _U32.pack(self._engine_for(label).attach())
+        if op == OP_SEEN:
+            label, offset = _get_str(msg, 1)
+            (stream_id,) = _U32.unpack_from(msg, offset)
+            seen = self.engines[label].packages_seen(stream_id)
+            return OP_SEEN.lower() + _U64.pack(seen)
+        if op == OP_DETACH:
+            label, offset = _get_str(msg, 1)
+            (stream_id,) = _U32.unpack_from(msg, offset)
+            self.engines[label].detach(stream_id)
+            return OP_DETACH.lower()
+        if op == OP_SWAP:
+            return self._swap(msg)
+        if op == OP_SNAPSHOT:
+            from repro.utils.artifact import state_to_bytes
+
+            blob = state_to_bytes(
+                {label: e.state_dict() for label, e in self.engines.items()},
+                kind=STATE_BLOB_KIND,
+            )
+            return OP_SNAPSHOT.lower() + blob
+        if op == OP_STATS:
+            payload = {
+                label: {
+                    "stats": asdict(engine.stats),
+                    "streams": {
+                        str(sid): engine.packages_seen(sid)
+                        for sid in engine.stream_ids
+                    },
+                }
+                for label, engine in self.engines.items()
+            }
+            return OP_STATS.lower() + json.dumps(payload).encode("utf-8")
+        raise WorkerError(f"unknown opcode {bytes(op)!r}")
+
+    def _observe(self, msg: memoryview) -> bytes:
+        from repro.serve.transport import decode_stream_data
+
+        (n_groups,) = _U16.unpack_from(msg, 1)
+        offset = 1 + _U16.size
+        out = bytearray(OP_OBSERVE.lower())
+        for _ in range(n_groups):
+            label, offset = _get_str(msg, offset)
+            (n_items,) = _U32.unpack_from(msg, offset)
+            offset += _U32.size
+            batch: dict[int, Any] = {}
+            for _ in range(n_items):
+                (stream_id,) = _U32.unpack_from(msg, offset)
+                offset += _U32.size
+                record, offset = _get_block(msg, offset)
+                batch[stream_id] = decode_stream_data(record).package
+            verdicts, levels = self.engines[label].observe_batch(batch)
+            for verdict, level in zip(verdicts, levels):
+                out += bytes((1 if verdict else 0, int(level) & 0xFF))
+        return bytes(out)
+
+    def _swap(self, msg: memoryview) -> bytes:
+        scenario, offset = _get_str(msg, 1)
+        (old_version,) = _U32.unpack_from(msg, offset)
+        (new_version,) = _U32.unpack_from(msg, offset + _U32.size)
+        (stream_id,) = _U32.unpack_from(msg, offset + 2 * _U32.size)
+        old_label = pool_label(scenario, old_version)
+        old_engine = self.engines[old_label]
+        old_seen = old_engine.packages_seen(stream_id)
+        old_engine.detach(stream_id)
+        new_engine = self._engine_for(pool_label(scenario, new_version))
+        new_id = new_engine.attach()
+        # Same stale-pool GC as the in-process swap: an old version's
+        # engine with no streams left holds only dead recurrent state.
+        if old_engine.num_streams == 0:
+            del self.engines[old_label]
+        return OP_SWAP.lower() + _U32.pack(new_id) + _U64.pack(old_seen)
+
+
+def _worker_main(conn, index: int) -> None:
+    """One shard worker: a strict FIFO request/response loop."""
+    pool: _EnginePool | None = None
+    try:
+        while True:
+            try:
+                msg = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            op = msg[:1]
+            if op == OP_QUIT:
+                conn.send_bytes(OP_QUIT.lower())
+                break
+            try:
+                if op == OP_INIT:
+                    pool = _EnginePool(memoryview(msg))
+                    resp = OP_INIT.lower()
+                elif pool is None:
+                    raise WorkerError("worker received ops before INIT")
+                else:
+                    resp = pool.dispatch(op, memoryview(msg))
+            except BaseException:  # noqa: BLE001 - reported to the gateway
+                resp = OP_ERROR + traceback.format_exc().encode(
+                    "utf-8", "replace"
+                )
+            conn.send_bytes(resp)
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# async-side endpoint
+# ----------------------------------------------------------------------
+
+
+class WorkerHandle:
+    """The gateway's end of one shard worker's pipe.
+
+    All pipe traffic runs on a dedicated I/O thread so the event loop
+    never blocks on a ``send_bytes``/``recv_bytes`` pair; each request
+    resolves a :class:`concurrent.futures.Future` in submission order
+    (the pipe is FIFO, the worker single-threaded).
+    """
+
+    def __init__(self, index: int, start_method: str = "spawn") -> None:
+        ctx = multiprocessing.get_context(start_method)
+        self._conn, child = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=_worker_main,
+            args=(child, index),
+            name=f"repro-shard-worker-{index}",
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+        self._requests: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._closed = False
+        self._io = threading.Thread(
+            target=self._io_loop, name=f"repro-worker-io-{index}", daemon=True
+        )
+        self._io.start()
+
+    @property
+    def pid(self) -> int | None:
+        return self._process.pid
+
+    def submit(self, payload: bytes) -> "Future[bytes]":
+        """Queue one request; the future resolves with the response.
+
+        After :meth:`close`/:meth:`kill` the I/O thread is gone, so the
+        future fails immediately instead of waiting on a dead queue.
+        """
+        future: "Future[bytes]" = Future()
+        if self._closed:
+            future.set_exception(
+                WorkerError(
+                    f"shard worker (pid {self._process.pid}) handle is closed"
+                )
+            )
+            return future
+        self._requests.put((payload, future))
+        return future
+
+    async def call(self, payload: bytes) -> bytes:
+        return await asyncio.wrap_future(self.submit(payload))
+
+    def call_sync(self, payload: bytes, timeout: float | None = 60.0) -> bytes:
+        return self.submit(payload).result(timeout)
+
+    def _io_loop(self) -> None:
+        failure: str | None = None
+        while True:
+            item = self._requests.get()
+            if item is None:
+                break
+            payload, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            if failure is not None:
+                future.set_exception(WorkerError(failure))
+                continue
+            try:
+                self._conn.send_bytes(payload)
+                resp = self._conn.recv_bytes()
+            except (EOFError, OSError, ValueError) as exc:
+                failure = (
+                    f"shard worker (pid {self._process.pid}) channel "
+                    f"failed: {exc!r}"
+                )
+                future.set_exception(WorkerError(failure))
+                continue
+            if resp[:1] == OP_ERROR:
+                future.set_exception(
+                    WorkerError(resp[1:].decode("utf-8", "replace"))
+                )
+            else:
+                future.set_result(resp)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: QUIT, join the I/O thread and the process."""
+        if self._closed:
+            return
+        try:
+            self.submit(OP_QUIT).result(timeout)
+        except Exception:  # noqa: BLE001 - already going down
+            pass
+        self._closed = True
+        self._requests.put(None)
+        self._io.join(timeout)
+        self._process.join(timeout)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout)
+
+    def kill(self) -> None:
+        """Hard-kill the worker (crash drills); pending calls fail."""
+        self._closed = True
+        if self._process.is_alive():
+            self._process.kill()
+        self._requests.put(None)

@@ -141,6 +141,46 @@ def save_artifact(
         np.savez_compressed(handle, **{HEADER_KEY: encoded}, **arrays)
 
 
+def state_to_bytes(state: dict[str, Any], kind: str = "state-blob") -> bytes:
+    """Serialize a state dict to an in-memory ``.npz`` byte string.
+
+    Same container as :func:`save_artifact` but never touching disk —
+    the wire format for handing engine state between OS processes
+    (worker init / snapshot payloads).  Round-trips bit-exactly through
+    :func:`state_from_bytes`.
+    """
+    import io
+
+    arrays: dict[str, np.ndarray] = {}
+    tree = _flatten(state, "", arrays)
+    header = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "kind": kind,
+        "meta": {},
+        "state": tree,
+    }
+    encoded = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    buffer = io.BytesIO()
+    # Uncompressed: these blobs cross a pipe once and are discarded;
+    # recurrent-state float64 compresses poorly anyway.
+    np.savez(buffer, **{HEADER_KEY: encoded}, **arrays)
+    return buffer.getvalue()
+
+
+def state_from_bytes(blob: bytes, kind: str | None = "state-blob") -> dict[str, Any]:
+    """Restore a state dict serialized by :func:`state_to_bytes`."""
+    import io
+
+    with np.load(io.BytesIO(blob)) as archive:
+        header = _read_header(archive, "<bytes>")
+        if kind is not None and header.get("kind") != kind:
+            raise ArtifactError(
+                f"expected a {kind!r} state blob, found {header.get('kind')!r}"
+            )
+        return _unflatten(header["state"], archive, "")
+
+
 def _read_header(archive: Any, path: str | os.PathLike) -> dict[str, Any]:
     if HEADER_KEY not in archive:
         raise ArtifactError(

@@ -34,11 +34,26 @@ class TestFleetConfig:
             {"cycles_per_site": 0},
             {"num_shards": 0},
             {"window": 0},
+            {"driver": "greenlets"},
+            {"worker_mode": "fork"},
         ],
     )
     def test_invalid_rejected(self, kwargs):
         with pytest.raises(ValueError):
             FleetConfig(**kwargs).validate()
+
+    def test_auto_driver_switches_on_fleet_size(self):
+        from repro.serve.fleet import AUTO_ASYNC_THRESHOLD
+
+        at = FleetConfig(num_sites=AUTO_ASYNC_THRESHOLD)
+        above = FleetConfig(num_sites=AUTO_ASYNC_THRESHOLD + 1)
+        assert at.effective_driver() == "threads"
+        assert above.effective_driver() == "async"
+        # Explicit choices are never overridden.
+        assert FleetConfig(num_sites=100, driver="threads").effective_driver() \
+            == "threads"
+        assert FleetConfig(num_sites=2, driver="async").effective_driver() \
+            == "async"
 
     def test_site_capture_is_deterministic(self):
         spec = SiteSpec(name="s", scenario="water_tank", seed=9, num_cycles=20)
@@ -121,6 +136,95 @@ class TestFleetRunner:
             FleetRunner()
         with pytest.raises(ValueError):
             FleetRunner(detector, registry=registry)
+
+
+class TestFleetScaleOut:
+    def test_hundred_sites_on_the_async_driver(self, detector):
+        """The load-harness acceptance drill: 100 concurrent sites on
+        one event loop, every verdict still bit-identical to offline."""
+        config = FleetConfig(
+            num_sites=100,
+            scenarios=("gas_pipeline",),
+            cycles_per_site=2,
+            num_shards=2,
+            verify_offline=True,
+        )
+        assert config.effective_driver() == "async"
+        result = FleetRunner(detector, config).run()
+        assert len(result.sites) == 100
+        assert result.all_complete
+        assert result.all_match_offline
+        assert result.gateway_stats["streams"] == 100
+        assert result.gateway_stats["processed"] == result.total_packages
+
+    def test_async_and_thread_drivers_agree(self, detector):
+        """Same fleet, both concurrency models: identical verdicts."""
+        base = dict(
+            num_sites=3,
+            scenarios=("gas_pipeline",),
+            cycles_per_site=10,
+            num_shards=2,
+        )
+        by_driver = {}
+        for driver in ("threads", "async"):
+            result = FleetRunner(
+                detector, FleetConfig(driver=driver, **base)
+            ).run()
+            assert result.all_complete
+            by_driver[driver] = result
+        for a, b in zip(
+            by_driver["threads"].sites, by_driver["async"].sites
+        ):
+            assert a.spec.name == b.spec.name
+            assert np.array_equal(a.anomalies, b.anomalies)
+            assert np.array_equal(a.levels, b.levels)
+
+    def test_latency_recording_yields_fleet_percentiles(self, detector):
+        config = FleetConfig(
+            num_sites=2,
+            scenarios=("gas_pipeline",),
+            cycles_per_site=5,
+            num_shards=1,
+            driver="async",
+            record_latency=True,
+        )
+        result = FleetRunner(detector, config).run()
+        assert result.all_complete
+        for site in result.sites:
+            assert site.latencies is not None
+            assert len(site.latencies) == site.packages
+            assert np.all(site.latencies >= 0)
+        percentiles = result.latency_percentiles()
+        assert percentiles is not None
+        assert 0 <= percentiles["p50_ms"] <= percentiles["p99_ms"]
+
+    def test_no_latencies_without_recording(self, detector):
+        config = FleetConfig(
+            num_sites=1,
+            scenarios=("gas_pipeline",),
+            cycles_per_site=5,
+            num_shards=1,
+        )
+        result = FleetRunner(detector, config).run()
+        assert all(site.latencies is None for site in result.sites)
+        assert result.latency_percentiles() is None
+
+    def test_process_worker_mode_fleet(self, detector):
+        """Fleet over the multi-process gateway backend: async sites in
+        front, engine workers behind, verdicts still bit-identical."""
+        config = FleetConfig(
+            num_sites=20,
+            scenarios=("gas_pipeline",),
+            cycles_per_site=2,
+            num_shards=2,
+            driver="async",
+            worker_mode="process",
+            verify_offline=True,
+        )
+        result = FleetRunner(detector, config).run()
+        assert result.all_complete
+        assert result.all_match_offline
+        assert result.gateway_stats["streams"] == 20
 
 
 class TestHeterogeneousFleet:

@@ -255,6 +255,28 @@ class TestFleetCommand:
         with pytest.raises(SystemExit):
             main(["fleet", "--model", str(model_path), "--sites", "0"])
 
+    def test_fleet_process_workers_and_async_driver(
+        self, model_path, tmp_path, capsys
+    ):
+        report = tmp_path / "fleet.json"
+        rc = main(
+            ["fleet", "--model", str(model_path), "--sites", "2",
+             "--scenarios", "gas_pipeline", "--cycles", "5",
+             "--worker-mode", "process", "--driver", "async",
+             "--json", str(report)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "process shard(s), async driver" in out
+        payload = json.loads(report.read_text())
+        assert payload["worker_mode"] == "process"
+        assert payload["driver"] == "async"
+        assert payload["all_match_offline"] is True
+
+    def test_fleet_rejects_unknown_driver(self, model_path):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--model", str(model_path), "--driver", "fibers"])
+
 
 class TestRegistryCommand:
     @pytest.fixture()
