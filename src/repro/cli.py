@@ -64,9 +64,15 @@ from repro.persistence import (
     save_detector,
 )
 from repro.ics.arff import read_arff
+from repro.obs import Historian, MetricsRegistry, ObsServer
 from repro.registry import ModelRegistry, RegistryError
 from repro.scenarios import get_scenario, scenario_names
-from repro.serve.alerts import AlertPipeline, JsonlSink, stdout_sink
+from repro.serve.alerts import (
+    AlertPipeline,
+    JsonlSink,
+    RecentAlertsBuffer,
+    stdout_sink,
+)
 from repro.serve.fleet import FleetConfig, FleetRunner
 from repro.serve.gateway import DetectionGateway, GatewayConfig
 from repro.serve.replay import ReplayClient, ReplayError
@@ -182,6 +188,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated wire dialects to accept "
         "(default: all; e.g. modbus,iec104,dnp3)",
     )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="serve the read-only observability HTTP API (dashboard, "
+        "/metrics, /stats, /historian/query) on this port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--historian",
+        default=None,
+        help="append per-package verdict records to this historian "
+        "directory (queryable over --http-port and `repro` tooling)",
+    )
 
     replay_cmd = commands.add_parser(
         "replay", help="stream a capture at a live gateway over real sockets"
@@ -295,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated wire dialects cycled across sites "
         "(default: each site speaks its scenario's declared dialect)",
+    )
+    fleet.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="serve the read-only observability HTTP API for the duration "
+        "of the run (0 = ephemeral)",
     )
     fleet.add_argument("--json", dest="json_out", default=None)
 
@@ -593,10 +619,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ).validate()
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
-    sinks = [] if args.quiet else [stdout_sink]
+    metrics = MetricsRegistry()
+    historian = (
+        Historian(args.historian, metrics=metrics) if args.historian else None
+    )
+    recent = RecentAlertsBuffer()
+    sinks = [recent] if args.quiet else [recent, stdout_sink]
     if args.alerts_jsonl:
         sinks.append(JsonlSink(args.alerts_jsonl))
-    pipeline = AlertPipeline(sinks)
+    pipeline = AlertPipeline(sinks, metrics=metrics)
 
     registry = ModelRegistry(args.registry) if args.registry else None
     detector = load_detector(args.model) if args.model else None
@@ -606,6 +637,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             gateway = DetectionGateway.from_checkpoint(
                 args.checkpoint, config, pipeline, detector,
                 registry=registry, model_info=model_info,
+                metrics=metrics, historian=historian,
             )
         except ValueError as exc:
             # Checkpoint kind / serving mode mismatch (e.g. a routed
@@ -619,7 +651,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"error: registry {args.registry} has no published models; "
                 "run `repro registry publish` first"
             )
-        gateway = DetectionGateway(config=config, alerts=pipeline, registry=registry)
+        gateway = DetectionGateway(
+            config=config, alerts=pipeline, registry=registry,
+            metrics=metrics, historian=historian,
+        )
         print(
             f"serving heterogeneously from {args.registry} "
             f"({', '.join(registry.scenarios())})"
@@ -627,7 +662,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         if detector is None:
             raise SystemExit(f"no checkpoint at {args.checkpoint}; pass --model")
-        gateway = DetectionGateway(detector, config, pipeline, model_info=model_info)
+        gateway = DetectionGateway(
+            detector, config, pipeline, model_info=model_info,
+            metrics=metrics, historian=historian,
+        )
 
     async def run() -> None:
         await gateway.start()
@@ -638,9 +676,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"gateway listening on {host}:{port} "
             f"({gateway.config.num_shards} shard(s))"
         )
+        obs = None
+        if args.http_port is not None:
+            obs = ObsServer(
+                gateway=gateway,
+                metrics=metrics,
+                historian=historian,
+                recent_alerts=recent,
+                host=args.host,
+                port=args.http_port,
+            )
+            await obs.start()
+            obs_host, obs_port = obs.address
+            print(f"observability API on http://{obs_host}:{obs_port}/")
         if args.port_file:
             with open(args.port_file, "w") as handle:
                 handle.write(f"{host} {port}\n")
+                if obs is not None:
+                    handle.write("http {} {}\n".format(*obs.address))
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -656,16 +709,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         finally:
             for w in waits:
                 w.cancel()
+            if obs is not None:
+                await obs.stop()
             await gateway.stop(checkpoint=True)
 
     asyncio.run(run())
     stats = gateway.stats()
+    _print_serve_summary(stats)
+    if historian is not None:
+        hstats = historian.stats()
+        historian.close()
+        print(
+            f"historian: {hstats['appended']} records in "
+            f"{hstats['segments']} segment(s) at {hstats['root']}"
+        )
+    return 0
+
+
+def _print_serve_summary(stats: dict[str, Any]) -> None:
+    """The gateway's shutdown summary (never exit silently)."""
     print(
         f"served {stats['processed']} packages on {stats['streams']} stream(s); "
         f"alerts emitted {stats['alerts']['emitted']} "
         f"(suppressed {stats['alerts']['suppressed']}), "
-        f"checkpoints {stats['checkpoints_written']}"
+        f"checkpoints {stats['checkpoints_written']}, "
+        f"peak queue depth {stats['peak_queue_depth']}"
     )
+    for name, counters in sorted(stats["transport"].items()):
+        print(
+            f"  {name:<8} {counters['connections']} connection(s), "
+            f"{counters['frames_decoded']} frames, "
+            f"{counters['bytes_discarded']} junk bytes, "
+            f"{counters['resyncs']} resync(s)"
+        )
     if stats["mode"] == "registry":
         print(
             f"routes: identified {stats['identified']}, abstained "
@@ -676,7 +752,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"  {key:<24} -> {route['scenario']}@{route['version']} "
                 f"({route['packages']} pkgs)"
             )
-    return 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -812,7 +887,30 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         raise SystemExit(f"error: {exc.args[0]}") from exc
 
-    result = FleetRunner(detector, config, registry=registry).run()
+    runner = FleetRunner(
+        detector,
+        config,
+        registry=registry,
+        metrics=MetricsRegistry() if args.http_port is not None else None,
+        http_port=args.http_port,
+    )
+    if args.http_port is not None:
+        # Print the observability address as soon as the run exposes it.
+        import threading as _threading
+
+        def announce() -> None:
+            for _ in range(100):
+                if runner.http_address is not None:
+                    print(
+                        "observability API on http://{}:{}/".format(
+                            *runner.http_address
+                        )
+                    )
+                    return
+                time.sleep(0.1)
+
+        _threading.Thread(target=announce, daemon=True).start()
+    result = runner.run()
 
     for site in result.sites:
         verified = (

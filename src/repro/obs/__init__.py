@@ -1,0 +1,37 @@
+"""Observability subsystem: metrics, verdict historian, read-only HTTP API.
+
+Three independent pieces that the serving stack threads together:
+
+- :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
+  with snapshot + Prometheus text exposition;
+- :mod:`repro.obs.historian` — append-only segment-rotated on-disk log
+  of per-package verdicts, queryable after the fact;
+- :mod:`repro.obs.httpapi` — asyncio stdlib HTTP server exposing both
+  (plus gateway stats, model registry and recent alerts) read-only.
+"""
+
+from repro.obs.historian import Historian, HistorianError, HistorianRecord
+from repro.obs.httpapi import ObsServer, ObsServerHandle, start_obs_in_thread
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Historian",
+    "HistorianError",
+    "HistorianRecord",
+    "MetricsRegistry",
+    "ObsServer",
+    "ObsServerHandle",
+    "start_obs_in_thread",
+]

@@ -1,0 +1,499 @@
+"""Read-only fleet HTTP API and minimal dashboard (asyncio + stdlib).
+
+One tiny HTTP/1.1 server exposes a running gateway's observable state
+to browsers, scripts and Prometheus scrapers:
+
+====================  ==================================================
+``/``                 single-page HTML fleet overview (auto-refreshing)
+``/metrics``          Prometheus text exposition of the metrics registry
+``/stats``            the gateway's full ``stats()`` dict as JSON
+``/registry``         published model lineages (routed gateways; JSON)
+``/alerts/recent``    the newest alerts from the ring-buffer sink (JSON)
+``/historian/query``  verdict-historian range query (JSON)
+====================  ==================================================
+
+``/historian/query`` accepts ``stream``, ``scenario``, ``since``,
+``until`` (epoch seconds) and ``limit`` query parameters, mirroring
+:meth:`repro.obs.historian.Historian.query`; the live write buffer is
+flushed before the scan so a query always covers every verdict already
+delivered.
+
+The server is **strictly read-only** — every endpoint answers GET (and
+HEAD) only, mutating nothing, so exposing it on an ops network cannot
+influence detection.  It deliberately implements just enough HTTP for
+curl, browsers and scrapers: request line + headers in, one
+``Connection: close`` response out, no keep-alive, no TLS (front it
+with a real proxy if you need either).
+
+:class:`ObsServer` runs on whatever event loop calls
+:meth:`ObsServer.start` (the CLI starts it next to the gateway);
+:func:`start_obs_in_thread` gives it a private background loop for
+tests, notebooks and the fleet runner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import html
+import json
+import threading
+from typing import TYPE_CHECKING, Any
+from urllib.parse import parse_qs, unquote, urlsplit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.historian import Historian
+    from repro.obs.metrics import MetricsRegistry
+    from repro.registry.store import ModelRegistry
+    from repro.serve.alerts import RecentAlertsBuffer
+    from repro.serve.gateway import DetectionGateway
+
+__all__ = ["ObsServer", "ObsServerHandle", "start_obs_in_thread"]
+
+#: Hard cap on one request head (request line + headers).
+_MAX_REQUEST_BYTES = 16384
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _json_default(value: Any) -> Any:
+    """Last-resort JSON coercion for numpy scalars riding stats dicts."""
+    for attr in ("item",):
+        method = getattr(value, attr, None)
+        if callable(method):
+            return method()
+    return str(value)
+
+
+class ObsServer:
+    """Serve the observability surface of one gateway over HTTP."""
+
+    def __init__(
+        self,
+        *,
+        gateway: "DetectionGateway | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        historian: "Historian | None" = None,
+        recent_alerts: "RecentAlertsBuffer | None" = None,
+        registry: "ModelRegistry | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        title: str = "repro fleet",
+    ) -> None:
+        self._gateway = gateway
+        self._metrics = metrics
+        self._historian = historian
+        self._recent_alerts = recent_alerts
+        self._registry = registry
+        if registry is None and gateway is not None:
+            router = getattr(gateway, "_router", None)
+            self._registry = getattr(router, "registry", None)
+        self._host = host
+        self._port = port
+        self._title = title
+        self._server: asyncio.AbstractServer | None = None
+        self._requests = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("observability server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` — read after :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("observability server is not listening")
+        return self._server.sockets[0].getsockname()[:2]
+
+    # -- request plumbing ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=10.0
+                )
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                asyncio.TimeoutError,
+                TimeoutError,
+                ConnectionError,
+            ):
+                return
+            if len(head) > _MAX_REQUEST_BYTES:
+                status, content_type, body = 400, "text/plain", b"request too large"
+            else:
+                status, content_type, body = self._respond(head)
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
+                    f"Content-Type: {content_type}; charset=utf-8\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Cache-Control: no-store\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("ascii")
+            )
+            writer.write(body)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    def _respond(self, head: bytes) -> tuple[int, str, bytes]:
+        self._requests += 1
+        try:
+            request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            parts = request_line.split(" ")
+            if len(parts) != 3:
+                raise _HttpError(400, "malformed request line")
+            method, target, _version = parts
+            if method not in ("GET", "HEAD"):
+                raise _HttpError(405, "read-only API: GET/HEAD only")
+            split = urlsplit(target)
+            path = unquote(split.path)
+            params = {
+                key: values[-1]
+                for key, values in parse_qs(split.query).items()
+            }
+            content_type, body = self.handle(path, params)
+            if method == "HEAD":
+                body = b""
+            return 200, content_type, body
+        except _HttpError as exc:
+            return exc.status, "text/plain", exc.message.encode("utf-8")
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            return 500, "text/plain", f"internal error: {exc}".encode("utf-8")
+
+    # -- routing -------------------------------------------------------
+
+    def handle(
+        self, path: str, params: dict[str, str]
+    ) -> tuple[str, bytes]:
+        """Dispatch one request path; returns ``(content_type, body)``.
+
+        Exposed for in-process testing: drives the exact code the
+        socket path runs, minus the socket.
+        """
+        if path in ("/", "/index.html"):
+            return "text/html", self._page_overview().encode("utf-8")
+        if path == "/metrics":
+            if self._metrics is None:
+                raise _HttpError(404, "no metrics registry attached")
+            return (
+                "text/plain; version=0.0.4",
+                self._metrics.render_prometheus().encode("utf-8"),
+            )
+        if path == "/stats":
+            return "application/json", self._json(self._stats())
+        if path == "/registry":
+            return "application/json", self._json(self._registry_payload())
+        if path == "/alerts/recent":
+            if self._recent_alerts is None:
+                raise _HttpError(404, "no recent-alerts buffer attached")
+            limit = self._int_param(params, "limit")
+            alerts = self._recent_alerts.snapshot()
+            if limit is not None:
+                alerts = alerts[-limit:]
+            return "application/json", self._json({"alerts": alerts})
+        if path == "/historian/query":
+            return "application/json", self._json(
+                self._historian_query(params)
+            )
+        raise _HttpError(404, f"unknown path {path!r}")
+
+    @staticmethod
+    def _json(payload: Any) -> bytes:
+        return json.dumps(
+            payload, indent=2, sort_keys=True, default=_json_default
+        ).encode("utf-8")
+
+    @staticmethod
+    def _int_param(params: dict[str, str], name: str) -> int | None:
+        raw = params.get(name)
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise _HttpError(400, f"{name} must be an integer: {raw!r}") from exc
+
+    @staticmethod
+    def _float_param(params: dict[str, str], name: str) -> float | None:
+        raw = params.get(name)
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise _HttpError(400, f"{name} must be a number: {raw!r}") from exc
+
+    # -- endpoint bodies -----------------------------------------------
+
+    def _stats(self) -> dict[str, Any]:
+        if self._gateway is None:
+            raise _HttpError(404, "no gateway attached")
+        return self._gateway.stats()
+
+    def _registry_payload(self) -> dict[str, Any]:
+        if self._registry is None:
+            raise _HttpError(
+                404, "no model registry attached (homogeneous gateway?)"
+            )
+        return {
+            "root": str(getattr(self._registry, "root", "")),
+            "entries": [
+                {
+                    "scenario": entry.scenario,
+                    "version": entry.version,
+                    "active": entry.active,
+                    "path": entry.path,
+                    "meta": entry.meta,
+                }
+                for entry in self._registry.entries()
+            ],
+        }
+
+    def _historian_query(self, params: dict[str, str]) -> dict[str, Any]:
+        if self._historian is None:
+            raise _HttpError(404, "no historian attached")
+        unknown = set(params) - {"stream", "scenario", "since", "until", "limit"}
+        if unknown:
+            raise _HttpError(400, f"unknown parameters: {sorted(unknown)}")
+        limit = self._int_param(params, "limit")
+        if limit is None:
+            limit = 1000  # triage default; cap unbounded scans in JSON
+        from repro.obs.historian import HistorianError
+
+        self._historian.flush()
+        try:
+            records = self._historian.query(
+                stream_key=params.get("stream"),
+                scenario=params.get("scenario"),
+                since=self._float_param(params, "since"),
+                until=self._float_param(params, "until"),
+                limit=limit,
+            )
+        except HistorianError as exc:
+            raise _HttpError(400, str(exc)) from exc
+        return {
+            "count": len(records),
+            "records": [record.to_dict() for record in records],
+        }
+
+    # -- dashboard -----------------------------------------------------
+
+    def _page_overview(self) -> str:
+        """One self-contained HTML page: the fleet at a glance."""
+        sections: list[str] = []
+        stats: dict[str, Any] | None = None
+        if self._gateway is not None:
+            try:
+                stats = self._gateway.stats()
+            except Exception:  # noqa: BLE001 - page must render regardless
+                stats = None
+        if stats is not None:
+            alerts = stats.get("alerts", {})
+            tiles = [
+                ("mode", stats.get("mode", "?")),
+                ("packages", stats.get("processed", 0)),
+                ("streams", stats.get("streams", 0)),
+                ("live sessions", stats.get("live_sessions", 0)),
+                ("alerts emitted", alerts.get("emitted", 0)),
+                ("alerts suppressed", alerts.get("suppressed", 0)),
+                ("peak queue depth", stats.get("peak_queue_depth", 0)),
+                ("checkpoints", stats.get("checkpoints_written", 0)),
+            ]
+            if stats.get("mode") == "registry":
+                tiles += [
+                    ("identified", stats.get("identified", 0)),
+                    ("abstained", stats.get("abstained", 0)),
+                    ("hot-swaps", stats.get("swaps_applied", 0)),
+                ]
+            sections.append(
+                "<h2>Gateway</h2><table>"
+                + "".join(
+                    f"<tr><th>{html.escape(str(k))}</th>"
+                    f"<td>{html.escape(str(v))}</td></tr>"
+                    for k, v in tiles
+                )
+                + "</table>"
+            )
+            transport = stats.get("transport", {})
+            if transport:
+                head = (
+                    "<tr><th>dialect</th><th>connections</th>"
+                    "<th>frames</th><th>junk bytes</th><th>resyncs</th></tr>"
+                )
+                rows = "".join(
+                    f"<tr><td>{html.escape(name)}</td>"
+                    f"<td>{c.get('connections', 0)}</td>"
+                    f"<td>{c.get('frames_decoded', 0)}</td>"
+                    f"<td>{c.get('bytes_discarded', 0)}</td>"
+                    f"<td>{c.get('resyncs', 0)}</td></tr>"
+                    for name, c in sorted(transport.items())
+                )
+                sections.append(f"<h2>Transport</h2><table>{head}{rows}</table>")
+            routes = stats.get("routes", {})
+            if routes:
+                head = (
+                    "<tr><th>stream</th><th>model</th><th>protocol</th>"
+                    "<th>shard</th><th>packages</th></tr>"
+                )
+                rows = "".join(
+                    "<tr>"
+                    f"<td>{html.escape(str(key))}</td>"
+                    f"<td>{html.escape(str(route.get('scenario')))}"
+                    f"@{html.escape(str(route.get('version')))}</td>"
+                    f"<td>{html.escape(str(route.get('protocol')))}</td>"
+                    f"<td>{route.get('shard', '?')}</td>"
+                    f"<td>{route.get('packages', 0)}</td>"
+                    "</tr>"
+                    for key, route in sorted(routes.items())
+                )
+                sections.append(f"<h2>Streams</h2><table>{head}{rows}</table>")
+        if self._recent_alerts is not None:
+            recent = self._recent_alerts.snapshot()[-15:]
+            if recent:
+                head = (
+                    "<tr><th>t</th><th>stream</th><th>severity</th>"
+                    "<th>level</th><th>model</th><th>seq</th></tr>"
+                )
+                rows = "".join(
+                    "<tr>"
+                    f"<td>{alert.get('time', 0):.2f}</td>"
+                    f"<td>{html.escape(str(alert.get('stream')))}</td>"
+                    f"<td>{html.escape(str(alert.get('severity')))}</td>"
+                    f"<td>{html.escape(str(alert.get('level')))}</td>"
+                    f"<td>{html.escape(str(alert.get('scenario')))}"
+                    f"@{html.escape(str(alert.get('version')))}</td>"
+                    f"<td>{alert.get('seq', 0)}</td>"
+                    "</tr>"
+                    for alert in reversed(recent)
+                )
+                sections.append(
+                    f"<h2>Recent alerts</h2><table>{head}{rows}</table>"
+                )
+        if self._historian is not None:
+            hstats = self._historian.stats()
+            sections.append(
+                "<h2>Historian</h2><table>"
+                f"<tr><th>root</th><td>{html.escape(hstats['root'])}</td></tr>"
+                f"<tr><th>appended (this run)</th><td>{hstats['appended']}</td></tr>"
+                f"<tr><th>segments</th><td>{hstats['segments']}</td></tr>"
+                f"<tr><th>bytes</th><td>{hstats['bytes']}</td></tr>"
+                "</table>"
+            )
+        links = " · ".join(
+            f'<a href="{path}">{path}</a>'
+            for path in (
+                "/metrics",
+                "/stats",
+                "/registry",
+                "/alerts/recent",
+                "/historian/query?limit=50",
+            )
+        )
+        body = "".join(sections) or "<p>nothing attached yet</p>"
+        return (
+            "<!doctype html><html><head>"
+            f"<title>{html.escape(self._title)}</title>"
+            '<meta http-equiv="refresh" content="5">'
+            "<style>"
+            "body{font-family:monospace;margin:2em;background:#111;color:#ddd}"
+            "table{border-collapse:collapse;margin:0 0 1.5em}"
+            "td,th{border:1px solid #444;padding:2px 10px;text-align:left}"
+            "th{color:#9cf}h1,h2{color:#fff}a{color:#9cf}"
+            "</style></head><body>"
+            f"<h1>{html.escape(self._title)}</h1>"
+            f"<p>{links}</p>"
+            f"{body}"
+            "</body></html>"
+        )
+
+
+class ObsServerHandle:
+    """An :class:`ObsServer` running on its own background event loop."""
+
+    def __init__(
+        self,
+        server: ObsServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        )
+        future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+
+def start_obs_in_thread(server: ObsServer) -> ObsServerHandle:
+    """Run an observability server on a daemon thread (tests, fleets)."""
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-obs-http", daemon=True)
+    thread.start()
+    started.wait()
+    if failure:
+        raise failure[0]
+    return ObsServerHandle(server, loop, thread)

@@ -1,0 +1,349 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The serving stack's observable surface.  Every instrument is created
+through one :class:`MetricsRegistry` and identified by a metric name
+plus a frozen label set (``gateway_frames_decoded_total{protocol=
+"modbus"}``), Prometheus-style.  Two read paths come out the other end:
+
+- :meth:`MetricsRegistry.snapshot` — a point-in-time nested dict
+  (JSON-able), the programmatic API used by ``stats()`` consumers,
+  shutdown summaries and tests;
+- :meth:`MetricsRegistry.render_prometheus` — the standard
+  ``text/plain; version=0.0.4`` exposition format, served by the
+  read-only HTTP API at ``/metrics`` so any Prometheus-compatible
+  scraper can watch a fleet without bespoke glue.
+
+Design constraints, in order:
+
+1. **Hot-path cost.**  ``Counter.inc`` / ``Histogram.observe`` sit on
+   the per-package serving path; the historian benchmark gates total
+   instrumentation overhead at <= 5%.  Updates are therefore plain
+   int/float attribute writes and one :func:`bisect.bisect_left` — no
+   locks, no string formatting, no allocation.  Under the GIL a reader
+   may observe a histogram mid-update (count ahead of sum by one
+   observation); monitoring tolerates that, money counters would not.
+2. **Stdlib only.**  No prometheus_client dependency: the exposition
+   format is a page of string building.
+3. **Stable identity.**  Re-requesting an instrument with the same
+   name and labels returns the same object, so call sites never need
+   to cache handles (though hot paths should, to skip the dict probe).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Default histogram buckets for durations in seconds: 100 us .. 10 s,
+#: roughly logarithmic — wide enough for pipe round-trips and
+#: checkpoint writes alike.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
+)
+
+#: Default buckets for discrete sizes (batch rows, queue depths).
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting: integers without a trailing .0."""
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if as_int == value else repr(value)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...]) -> None:
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, live sessions)."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...]) -> None:
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def max(self, value: float) -> None:
+        """Ratchet: keep the high-water mark of ``value``."""
+        if value > self.value:
+            self.value = value
+
+
+class _Timer:
+    """Context manager feeding one duration into a histogram."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        from time import perf_counter
+
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        from time import perf_counter
+
+        self._histogram.observe(perf_counter() - self._started)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative on exposition, like Prometheus).
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]`` minus
+    those in earlier buckets (non-cumulative internally); the overflow
+    bucket (``+Inf``) is implicit in ``count``.
+    """
+
+    __slots__ = ("labels", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self,
+        labels: tuple[tuple[str, str], ...],
+        bounds: tuple[float, ...],
+    ) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must be sorted/unique: {bounds}")
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        if index < len(self.bucket_counts):
+            self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += value
+
+    def time(self) -> _Timer:
+        """``with histogram.time():`` — observe the block's duration."""
+        return _Timer(self)
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from bucket upper bounds (0 <= q <= 100).
+
+        Returns the upper bound of the bucket holding the q-th
+        observation (``inf`` if it landed in the overflow bucket) — the
+        usual histogram-quantile estimate, good enough for dashboards.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, round(q / 100.0 * self.count))
+        seen = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            seen += bucket
+            if seen >= rank:
+                return bound
+        return float("inf")
+
+
+class MetricsRegistry:
+    """Create-or-get instruments; snapshot and expose them.
+
+    Instrument creation takes a lock (rare); updates on the returned
+    objects are lock-free (hot).  One registry is typically shared by a
+    gateway, its alert pipeline, its worker handles and the fleet
+    driver, so ``/metrics`` shows the whole serving stack in one page.
+    """
+
+    def __init__(self, namespace: str = "") -> None:
+        self._namespace = namespace
+        self._lock = threading.Lock()
+        #: name -> ("counter"|"gauge"|"histogram", help, {labelkey: instrument})
+        self._families: dict[str, tuple[str, str, dict]] = {}
+
+    # -- creation ------------------------------------------------------
+
+    def _family(
+        self, kind: str, name: str, help_text: str
+    ) -> dict[Any, Any]:
+        if self._namespace:
+            name = f"{self._namespace}_{name}"
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, help_text, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family[0]}, "
+                    f"cannot re-register as {kind}"
+                )
+            return family[2]
+
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
+        instruments = self._family("counter", name, help_text)
+        key = _label_key(labels)
+        with self._lock:
+            instrument = instruments.get(key)
+            if instrument is None:
+                instrument = Counter(key)
+                instruments[key] = instrument
+            return instrument
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        instruments = self._family("gauge", name, help_text)
+        key = _label_key(labels)
+        with self._lock:
+            instrument = instruments.get(key)
+            if instrument is None:
+                instrument = Gauge(key)
+                instruments[key] = instrument
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        instruments = self._family("histogram", name, help_text)
+        key = _label_key(labels)
+        with self._lock:
+            instrument = instruments.get(key)
+            if instrument is None:
+                instrument = Histogram(key, tuple(buckets))
+            elif tuple(buckets) != instrument.bounds:
+                raise ValueError(
+                    f"histogram {name!r}{dict(key)} already registered with "
+                    f"buckets {instrument.bounds}"
+                )
+            instruments[key] = instrument
+            return instrument
+
+    # -- reading -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time view: ``{name: {kind, help, samples: [...]}}``.
+
+        Histogram samples carry count/sum/buckets (cumulative, keyed by
+        upper bound) so a JSON consumer can derive quantiles the same
+        way a Prometheus query would.
+        """
+        with self._lock:
+            families = {
+                name: (kind, help_text, dict(instruments))
+                for name, (kind, help_text, instruments) in self._families.items()
+            }
+        out: dict[str, Any] = {}
+        for name in sorted(families):
+            kind, help_text, instruments = families[name]
+            samples = []
+            for key in sorted(instruments):
+                instrument = instruments[key]
+                sample: dict[str, Any] = {"labels": dict(key)}
+                if kind == "histogram":
+                    cumulative = 0
+                    buckets = {}
+                    for bound, bucket in zip(
+                        instrument.bounds, instrument.bucket_counts
+                    ):
+                        cumulative += bucket
+                        buckets[_format_value(bound)] = cumulative
+                    buckets["+Inf"] = instrument.count
+                    sample.update(
+                        count=instrument.count,
+                        sum=instrument.sum,
+                        buckets=buckets,
+                    )
+                else:
+                    sample["value"] = instrument.value
+                samples.append(sample)
+            out[name] = {"kind": kind, "help": help_text, "samples": samples}
+        return out
+
+    def render_prometheus(self) -> str:
+        """The ``/metrics`` page: Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        snapshot = self.snapshot()
+        for name, family in snapshot.items():
+            kind, help_text = family["kind"], family["help"]
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for sample in family["samples"]:
+                labels = _label_key(sample["labels"])
+                if kind == "histogram":
+                    for bound, cumulative in sample["buckets"].items():
+                        bucket_labels = labels + (("le", bound),)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(bucket_labels)} "
+                            f"{cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_render_labels(labels)} "
+                        f"{_format_value(sample['sum'])}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(labels)} "
+                        f"{sample['count']}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(labels)} "
+                        f"{_format_value(sample['value'])}"
+                    )
+        return "\n".join(lines) + "\n"

@@ -27,6 +27,7 @@ from repro.serve.alerts import (
     AlertConfig,
     AlertPipeline,
     JsonlSink,
+    RecentAlertsBuffer,
     Severity,
     stdout_sink,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "AlertConfig",
     "AlertPipeline",
     "JsonlSink",
+    "RecentAlertsBuffer",
     "Severity",
     "stdout_sink",
     "DetectionGateway",

@@ -35,10 +35,13 @@ import sys
 from collections import deque
 from dataclasses import asdict, dataclass, field
 from enum import IntEnum
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.stream_engine import LEVEL_NAMES, LEVEL_PACKAGE, LEVEL_TIMESERIES
 from repro.ics.features import Package
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 class Severity(IntEnum):
@@ -73,6 +76,8 @@ class Alert:
     escalated: bool  # repeat-offender escalation applied
     repeats: int  # suppressed duplicates folded into this alert
     label: int  # ground-truth attack id when the capture carries one
+    scenario: str | None = None  # model lineage that judged the package...
+    version: int | None = None  # ...so alert storms correlate with rollouts
 
     @property
     def level_name(self) -> str:
@@ -114,6 +119,33 @@ class JsonlSink:
 
     def close(self) -> None:
         self._handle.close()
+
+
+class RecentAlertsBuffer:
+    """Sink keeping the newest ``capacity`` alerts for the HTTP API.
+
+    Stores JSON-able dicts (not :class:`Alert` objects) so a snapshot
+    can be serialized without touching the pipeline again.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buffer: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._total = 0
+
+    def __call__(self, alert: Alert) -> None:
+        self._buffer.append(alert.to_dict())
+        self._total += 1
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Oldest-to-newest copy of the retained alerts."""
+        return list(self._buffer)
+
+    @property
+    def total(self) -> int:
+        """Alerts seen over the buffer's lifetime (including evicted)."""
+        return self._total
 
 
 @dataclass(frozen=True)
@@ -165,23 +197,42 @@ class AlertPipeline:
         self,
         sinks: list[AlertSink] | None = None,
         config: AlertConfig | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.config = (config or AlertConfig()).validate()
         self._sinks: list[AlertSink] = list(sinks or [])
         self._streams: dict[str, _StreamAlertState] = {}
         self._sink_errors = 0
+        self._metrics = metrics
+        self._m_suppressed = (
+            None
+            if metrics is None
+            else metrics.counter(
+                "alerts_suppressed_total", "Verdicts deduplicated or rate-limited"
+            )
+        )
 
     def add_sink(self, sink: AlertSink) -> None:
         self._sinks.append(sink)
 
     # ------------------------------------------------------------------
 
-    def submit(self, stream: str, seq: int, package: Package, level: int) -> Alert | None:
+    def submit(
+        self,
+        stream: str,
+        seq: int,
+        package: Package,
+        level: int,
+        scenario: str | None = None,
+        version: int | None = None,
+    ) -> Alert | None:
         """Feed one anomalous verdict; returns the alert if one is emitted.
 
         ``level`` is the ``LEVEL_*`` tag of the detector stage that
-        fired.  Returns ``None`` when the verdict was deduplicated or
-        rate-limited (still counted in :meth:`stats`).
+        fired; ``scenario``/``version`` identify the model lineage that
+        judged the package (routed gateways).  Returns ``None`` when
+        the verdict was deduplicated or rate-limited (still counted in
+        :meth:`stats`).
         """
         cfg = self.config
         state = self._streams.setdefault(stream, _StreamAlertState())
@@ -191,6 +242,8 @@ class AlertPipeline:
         if last is not None and 0 <= now - last < cfg.dedup_window:
             state.pending_repeats[level] = state.pending_repeats.get(level, 0) + 1
             state.suppressed += 1
+            if self._m_suppressed is not None:
+                self._m_suppressed.inc()
             return None
 
         # Rate limit: cap emissions per stream per rate window.
@@ -200,6 +253,8 @@ class AlertPipeline:
         if len(times) >= cfg.max_alerts_per_window:
             state.pending_repeats[level] = state.pending_repeats.get(level, 0) + 1
             state.suppressed += 1
+            if self._m_suppressed is not None:
+                self._m_suppressed.inc()
             return None
 
         # Repeat offender: streams alerting repeatedly escalate a step.
@@ -218,10 +273,18 @@ class AlertPipeline:
             escalated=escalated,
             repeats=state.pending_repeats.pop(level, 0),
             label=package.label,
+            scenario=scenario,
+            version=version,
         )
         state.last_emitted_at[level] = now
         times.append(now)
         state.emitted += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "alerts_emitted_total",
+                "Alerts fanned out to sinks",
+                severity=alert.severity.name,
+            ).inc()
         self._dispatch(alert)
         return alert
 

@@ -41,7 +41,7 @@ import numpy as np
 from repro.core.combined import CombinedDetector
 from repro.core.metrics import DetectionMetrics, evaluate_detection
 from repro.ics.features import Package
-from repro.serve.alerts import AlertConfig, AlertPipeline
+from repro.serve.alerts import AlertConfig, AlertPipeline, RecentAlertsBuffer
 from repro.serve.gateway import DetectionGateway, GatewayConfig, start_in_thread
 from repro.serve.protocols import get_adapter
 from repro.serve.replay import AsyncReplayClient, ReplayClient, ReplayResult
@@ -52,6 +52,8 @@ from repro.serve.replay import AsyncReplayClient, ReplayClient, ReplayResult
 AUTO_ASYNC_THRESHOLD = 16
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.historian import Historian
+    from repro.obs.metrics import MetricsRegistry
     from repro.registry.store import ModelRegistry
 
 
@@ -260,6 +262,9 @@ class FleetRunner:
         detector: CombinedDetector | None = None,
         config: FleetConfig | None = None,
         registry: "ModelRegistry | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        historian: "Historian | None" = None,
+        http_port: int | None = None,
     ) -> None:
         if (detector is None) == (registry is None):
             raise ValueError(
@@ -269,6 +274,16 @@ class FleetRunner:
         self.detector = detector
         self.registry = registry
         self.config = (config or FleetConfig()).validate()
+        #: Optional observability: a shared metrics registry (gateway,
+        #: workers, alerts and the fleet's own send->verdict latency
+        #: histogram all land in it), a verdict historian, and an HTTP
+        #: port to serve both on for the duration of :meth:`run`.
+        self.metrics = metrics
+        self.historian = historian
+        self.http_port = http_port
+        #: Bound (host, port) of the observability server while a run
+        #: with ``http_port`` is live.
+        self.http_address: tuple[str, int] | None = None
 
     @property
     def heterogeneous(self) -> bool:
@@ -300,15 +315,51 @@ class FleetRunner:
             max_pending=max(256, 4 * config.window, 2 * config.num_sites),
             worker_mode=config.worker_mode,
         )
-        # Silent pipeline: alert bookkeeping runs, nothing prints.
-        alerts = AlertPipeline(config=AlertConfig())
+        # Silent pipeline: alert bookkeeping runs, nothing prints (the
+        # recent-alerts ring only feeds the HTTP API and metrics).
+        recent = RecentAlertsBuffer()
+        alerts = AlertPipeline(
+            sinks=[recent], config=AlertConfig(), metrics=self.metrics
+        )
         if self.registry is not None:
             gateway = DetectionGateway(
-                config=gateway_config, alerts=alerts, registry=self.registry
+                config=gateway_config,
+                alerts=alerts,
+                registry=self.registry,
+                metrics=self.metrics,
+                historian=self.historian,
             )
             handle = start_in_thread(None, gateway=gateway)
         else:
-            handle = start_in_thread(self.detector, gateway_config, alerts)
+            handle = start_in_thread(
+                self.detector,
+                gateway_config,
+                alerts,
+                metrics=self.metrics,
+                historian=self.historian,
+            )
+        obs_handle = None
+        if self.http_port is not None:
+            from repro.obs.httpapi import ObsServer, start_obs_in_thread
+
+            obs_handle = start_obs_in_thread(
+                ObsServer(
+                    gateway=handle.gateway,
+                    metrics=self.metrics,
+                    historian=self.historian,
+                    recent_alerts=recent,
+                    port=self.http_port,
+                )
+            )
+            self.http_address = obs_handle.address
+        latency_histogram = (
+            self.metrics.histogram(
+                "fleet_send_verdict_seconds",
+                "Per-package send-to-verdict latency across all sites",
+            )
+            if self.metrics is not None and config.record_latency
+            else None
+        )
         results: dict[str, SiteResult] = {}
         errors: list[BaseException] = []
 
@@ -320,6 +371,9 @@ class FleetRunner:
             )
 
         def collect(site: SiteSpec, replayed: ReplayResult) -> None:
+            if latency_histogram is not None and replayed.latencies is not None:
+                for sample in replayed.latencies:
+                    latency_histogram.observe(float(sample))
             labels = np.array([p.label for p in captures[site.name]])
             results[site.name] = SiteResult(
                 spec=site,
@@ -393,6 +447,9 @@ class FleetRunner:
             seconds = time.perf_counter() - started
             stats = handle.stats()
         finally:
+            if obs_handle is not None:
+                obs_handle.stop()
+                self.http_address = None
             handle.stop()
         if errors:
             raise errors[0]

@@ -74,6 +74,7 @@ import asyncio
 import threading
 from collections import deque
 from dataclasses import asdict, dataclass, replace
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 from repro.ics.modbus import CrcError
@@ -129,6 +130,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.combined import CombinedDetector
     from repro.core.stream_engine import StreamEngine
     from repro.ics.features import Package
+    from repro.obs.historian import Historian
+    from repro.obs.metrics import MetricsRegistry
     from repro.registry.store import ModelRegistry
 
 #: Route key of the lone engine pool slot in single-detector mode.
@@ -137,6 +140,25 @@ _SINGLE_ROUTE: tuple[str | None, int | None] = (None, None)
 #: Stream id placeholder acked to untagged streams awaiting
 #: auto-identification (no engine row is assigned yet).
 PENDING_STREAM_ID = 0xFFFFFFFF
+
+
+def _engine_stats_entry(raw: dict[str, Any]) -> dict[str, int]:
+    """Normalize one engine's stats to the canonical EngineStats shape.
+
+    Thread mode reads ``asdict(engine.stats)`` directly; process mode
+    gets the same dict JSON-round-tripped from the worker.  Pinning the
+    key set and value type here keeps ``stats()`` schema-identical
+    across worker modes (asserted by the cross-mode conformance test),
+    even for a pool slot the worker has not populated yet.
+    """
+    from dataclasses import fields as dataclass_fields
+
+    from repro.core.stream_engine import EngineStats
+
+    return {
+        field.name: int(raw.get(field.name, 0))
+        for field in dataclass_fields(EngineStats)
+    }
 
 
 class ProtocolViolation(Exception):
@@ -277,6 +299,31 @@ class _Shard:
                  max_pending: int) -> None:
         self.gateway = gateway
         self.index = index
+        metrics = gateway.metrics
+        if metrics is None:
+            self._t_tick = None
+            self._h_batch = None
+            self._g_depth = None
+        else:
+            from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+
+            label = str(index)
+            self._t_tick = metrics.histogram(
+                "gateway_tick_seconds",
+                "One batched engine step (compute + delivery)",
+                shard=label,
+            )
+            self._h_batch = metrics.histogram(
+                "gateway_tick_batch_size",
+                "Streams advanced per tick",
+                DEFAULT_SIZE_BUCKETS,
+                shard=label,
+            )
+            self._g_depth = metrics.gauge(
+                "gateway_queue_depth",
+                "Shard queue depth sampled at enqueue",
+                shard=label,
+            )
         #: model route -> engine; single-detector mode uses one pool
         #: slot keyed ``(None, None)``.
         self.engines: "dict[tuple[str | None, int | None], StreamEngine]" = {}
@@ -350,6 +397,7 @@ class _Shard:
 
     def _tick_inline(self, pending: deque) -> deque:
         """One tick on the in-process (thread-mode) engine pool."""
+        started = perf_counter() if self._t_tick is not None else 0.0
         tick, leftover = self._build_tick(pending)
         outputs = []
         for route_key, by_stream in self._group_tick(tick).items():
@@ -369,6 +417,9 @@ class _Shard:
         self.gateway._after_work(len(tick))
         for items_out, verdicts, levels in outputs:
             self.gateway._deliver(items_out, verdicts, levels)
+        if self._t_tick is not None:
+            self._t_tick.observe(perf_counter() - started)
+            self._h_batch.observe(len(tick))
         return leftover
 
     async def _tick_process(self, pending: deque) -> deque:
@@ -383,6 +434,7 @@ class _Shard:
         """
         client = self.client
         assert client is not None
+        started = perf_counter() if self._t_tick is not None else 0.0
         async with self.lock:
             tick, leftover = self._build_tick(pending)
             wire: list[tuple[str, list[tuple[int, bytes]]]] = []
@@ -406,6 +458,9 @@ class _Shard:
             [verdict for verdict, _ in results],
             [level for _, level in results],
         )
+        if self._t_tick is not None:
+            self._t_tick.observe(perf_counter() - started)
+            self._h_batch.observe(len(tick))
         return leftover
 
 
@@ -427,6 +482,8 @@ class DetectionGateway:
         registry: "ModelRegistry | None" = None,
         router: ScenarioRouter | None = None,
         model_info: dict[str, Any] | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        historian: "Historian | None" = None,
         _engines: "list[StreamEngine] | None" = None,
         _bindings: dict[str, tuple[int, int]] | None = None,
         _routed_shards: "list[dict[tuple[str, int], StreamEngine]] | None" = None,
@@ -444,6 +501,28 @@ class DetectionGateway:
         self._router = router
         self.alerts = alerts if alerts is not None else AlertPipeline()
         self._model_info = dict(model_info) if model_info else None
+        #: Optional observability hooks — both pure observers: neither
+        #: ever influences verdicts, routing or checkpoint contents.
+        self.metrics = metrics
+        self.historian = historian
+        if metrics is None:
+            self._m_packages = None
+            self._m_checkpoint_timer = None
+            self._m_queue_peak = None
+        else:
+            self._m_packages = metrics.counter(
+                "gateway_packages_total", "Packages judged by this gateway"
+            )
+            self._m_checkpoint_timer = metrics.histogram(
+                "gateway_checkpoint_seconds", "Checkpoint write duration"
+            )
+            self._m_queue_peak = metrics.gauge(
+                "gateway_queue_depth_peak",
+                "High-water mark over all shard queues",
+            )
+        #: Mirror of transport counters as metrics, keyed by dialect.
+        self._m_transport: dict[str, dict[str, Any]] = {}
+        self._peak_queue_depth = 0
         self._shards = [
             _Shard(self, i, self.config.max_pending)
             for i in range(self.config.num_shards)
@@ -531,6 +610,8 @@ class DetectionGateway:
         registry: "ModelRegistry | None" = None,
         router: ScenarioRouter | None = None,
         model_info: dict[str, Any] | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        historian: "Historian | None" = None,
     ) -> "DetectionGateway":
         """Rebuild a gateway from a checkpoint; streams resume bit-identically.
 
@@ -559,6 +640,8 @@ class DetectionGateway:
                 config=config,
                 alerts=alerts,
                 router=router,
+                metrics=metrics,
+                historian=historian,
                 _routed_shards=restored.shards,
                 _routed_bindings=restored.bindings,
             )
@@ -582,6 +665,8 @@ class DetectionGateway:
             config,
             alerts,
             model_info=model_info,
+            metrics=metrics,
+            historian=historian,
             _engines=restored.engines,
             _bindings=restored.bindings,
         )
@@ -598,9 +683,13 @@ class DetectionGateway:
         """Carry per-dialect edge counters across a fail-over."""
         for name, counters in (meta.get("transport") or {}).items():
             if name in PROTOCOL_NAMES:
-                self._transport_counters(name).update(
-                    {k: int(v) for k, v in counters.items()}
-                )
+                restored = {k: int(v) for k, v in counters.items()}
+                self._transport_counters(name).update(restored)
+                mirrors = self._transport_metrics(name)
+                if mirrors is not None:
+                    for field, value in restored.items():
+                        if field in mirrors:
+                            mirrors[field].inc(value)
 
     def _process_active(self) -> bool:
         """True once shard compute lives in worker processes."""
@@ -647,7 +736,7 @@ class DetectionGateway:
         handles: list[WorkerHandle] = []
         try:
             for shard in self._shards:
-                handles.append(WorkerHandle(shard.index))
+                handles.append(WorkerHandle(shard.index, metrics=self.metrics))
             await asyncio.gather(
                 *(
                     handle.call(payload)
@@ -732,6 +821,10 @@ class DetectionGateway:
         elif checkpoint and self.config.checkpoint_path:
             self._write_checkpoint()
         self.alerts.close()
+        if self.historian is not None:
+            # Flush (not close): the verdict log must be durable once
+            # the gateway is down, but the owner may keep querying it.
+            self.historian.flush()
 
     async def _gather_worker_stats(self) -> list[dict[str, Any]]:
         futures = [shard.client.submit(OP_STATS) for shard in self._shards]
@@ -762,6 +855,26 @@ class DetectionGateway:
             self._transport_stats[protocol] = counters
         return counters
 
+    def _transport_metrics(self, protocol: str) -> "dict[str, Any] | None":
+        """Metric mirrors of one dialect's edge counters (lazily built)."""
+        if self.metrics is None:
+            return None
+        mirrors = self._m_transport.get(protocol)
+        if mirrors is None:
+            mirrors = {
+                field: self.metrics.counter(
+                    f"gateway_transport_{field}_total",
+                    f"Per-dialect transport {field.replace('_', ' ')}",
+                    protocol=protocol,
+                )
+                for field in (
+                    "connections", "frames_decoded", "bytes_discarded",
+                    "resyncs",
+                )
+            }
+            self._m_transport[protocol] = mirrors
+        return mirrors
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -772,6 +885,7 @@ class DetectionGateway:
         sniffer = ProtocolSniffer(self.config.protocols)
         decoder = None
         counters: dict[str, int] | None = None
+        mirrors: dict[str, Any] | None = None
         marks = (0, 0, 0)  # decoder (frames, discarded, resyncs) seen so far
         try:
             while True:
@@ -784,18 +898,28 @@ class DetectionGateway:
                         continue  # dialect not determined yet
                     session.adapter = adapter
                     counters = self._transport_counters(adapter.name)
+                    mirrors = self._transport_metrics(adapter.name)
                     counters["connections"] += 1
                     counters["bytes_discarded"] += sniffer.bytes_discarded
                     self._bytes_discarded += sniffer.bytes_discarded
+                    if mirrors is not None:
+                        mirrors["connections"].inc()
+                        mirrors["bytes_discarded"].inc(sniffer.bytes_discarded)
                     decoder = adapter.decoder()
                     data = sniffer.pending
                 frames = decoder.feed(data)
                 assert counters is not None
-                counters["frames_decoded"] += decoder.frames_decoded - marks[0]
+                frames_delta = decoder.frames_decoded - marks[0]
+                counters["frames_decoded"] += frames_delta
                 discarded = decoder.bytes_discarded - marks[1]
                 counters["bytes_discarded"] += discarded
                 self._bytes_discarded += discarded
-                counters["resyncs"] += decoder.resyncs - marks[2]
+                resyncs_delta = decoder.resyncs - marks[2]
+                counters["resyncs"] += resyncs_delta
+                if mirrors is not None:
+                    mirrors["frames_decoded"].inc(frames_delta)
+                    mirrors["bytes_discarded"].inc(discarded)
+                    mirrors["resyncs"].inc(resyncs_delta)
                 marks = (
                     decoder.frames_decoded,
                     decoder.bytes_discarded,
@@ -985,6 +1109,7 @@ class DetectionGateway:
         # reaches the client as a zero TCP window.
         assert session.shard is not None
         await session.shard.queue.put((session, data.seq, data.package))
+        self._note_queued(session.shard)
 
     async def _identify_and_bind(self, session: _Session, final: bool) -> None:
         assert self._router is not None and session.key is not None
@@ -1013,6 +1138,7 @@ class DetectionGateway:
         probe, session.probe = session.probe, []
         for seq, package in probe:
             await session.shard.queue.put((session, seq, package))
+            self._note_queued(session.shard)
 
     # ------------------------------------------------------------------
     # model resolution & hot-swap
@@ -1146,8 +1272,19 @@ class DetectionGateway:
     # verdict delivery (called by shard workers)
     # ------------------------------------------------------------------
 
+    def _note_queued(self, shard: _Shard) -> None:
+        """Track queue depth at enqueue (peak rides stats() and metrics)."""
+        depth = shard.queue.qsize()
+        if depth > self._peak_queue_depth:
+            self._peak_queue_depth = depth
+        if shard._g_depth is not None:
+            shard._g_depth.set(depth)
+            self._m_queue_peak.max(depth)
+
     def _deliver(self, items, verdicts, levels) -> None:
         max_buffer = self.config.max_write_buffer
+        historian = self.historian
+        fallback = (self._model_info or {}).get("scenario")
         for (session, seq, package), verdict, level in zip(
             items, verdicts, levels
         ):
@@ -1158,12 +1295,34 @@ class DetectionGateway:
                 ),
                 max_buffer,
             )
+            route = session.route
+            scenario = (
+                route.scenario
+                if route is not None and route.scenario is not None
+                else fallback
+            )
+            version = route.version if route is not None else None
+            if historian is not None and session.key is not None:
+                historian.append(
+                    session.key,
+                    scenario,
+                    version,
+                    seq,
+                    int(level),
+                    bool(verdict),
+                    package.pressure_measurement,
+                )
             if verdict and session.key is not None:
-                self.alerts.submit(session.key, seq, package, int(level))
+                self.alerts.submit(
+                    session.key, seq, package, int(level),
+                    scenario=scenario, version=version,
+                )
 
     def _after_work(self, count: int, checkpoint: bool = True) -> None:
         self._processed += count
         self._since_checkpoint += count
+        if self._m_packages is not None:
+            self._m_packages.inc(count)
         cfg = self.config
         if checkpoint and self._checkpoint_due():
             self._write_checkpoint()
@@ -1201,6 +1360,7 @@ class DetectionGateway:
             return
         from contextlib import AsyncExitStack
 
+        started = perf_counter()
         async with AsyncExitStack() as stack:
             for shard in self._shards:
                 await stack.enter_async_context(shard.lock)
@@ -1266,6 +1426,8 @@ class DetectionGateway:
             )
         self._since_checkpoint = 0
         self._checkpoints_written += 1
+        if self._m_checkpoint_timer is not None:
+            self._m_checkpoint_timer.observe(perf_counter() - started)
 
     def _write_checkpoint(self) -> None:
         # Deliberately synchronous on the loop: the engine states being
@@ -1275,6 +1437,7 @@ class DetectionGateway:
         # checkpoint_every packages — size it accordingly.
         if not self.config.checkpoint_path:
             return
+        started = perf_counter()
         meta = {
             "processed": self._processed,
             "routes": self._route_meta(),
@@ -1315,6 +1478,8 @@ class DetectionGateway:
             )
         self._since_checkpoint = 0
         self._checkpoints_written += 1
+        if self._m_checkpoint_timer is not None:
+            self._m_checkpoint_timer.observe(perf_counter() - started)
 
     # ------------------------------------------------------------------
 
@@ -1374,18 +1539,19 @@ class DetectionGateway:
                 for name, counters in sorted(self._transport_stats.items())
             },
             "checkpoints_written": self._checkpoints_written,
+            "peak_queue_depth": self._peak_queue_depth,
             "routes": routes,
             "alerts": self.alerts.stats(),
         }
         if self._router is None:
             if worker_stats is None:
                 stats["shards"] = [
-                    asdict(shard.engines[_SINGLE_ROUTE].stats)
+                    _engine_stats_entry(asdict(shard.engines[_SINGLE_ROUTE].stats))
                     for shard in self._shards
                 ]
             else:
                 stats["shards"] = [
-                    dict(ws.get(SINGLE_LABEL, {}).get("stats", {}))
+                    _engine_stats_entry(ws.get(SINGLE_LABEL, {}).get("stats", {}))
                     for ws in worker_stats
                 ]
             if self._model_info:
@@ -1394,7 +1560,9 @@ class DetectionGateway:
             if worker_stats is None:
                 stats["shards"] = [
                     {
-                        route_label(scenario, version): asdict(engine.stats)
+                        route_label(scenario, version): _engine_stats_entry(
+                            asdict(engine.stats)
+                        )
                         for (scenario, version), engine in sorted(
                             shard.engines.items()
                         )
@@ -1404,7 +1572,7 @@ class DetectionGateway:
             else:
                 stats["shards"] = [
                     {
-                        label: dict(entry.get("stats", {}))
+                        label: _engine_stats_entry(entry.get("stats", {}))
                         for label, entry in sorted(ws.items())
                     }
                     for ws in worker_stats
@@ -1479,6 +1647,8 @@ def start_in_thread(
     config: GatewayConfig | None = None,
     alerts: AlertPipeline | None = None,
     gateway: DetectionGateway | None = None,
+    metrics: "MetricsRegistry | None" = None,
+    historian: "Historian | None" = None,
 ) -> GatewayHandle:
     """Run a gateway on a daemon thread; returns once it is listening.
 
@@ -1487,7 +1657,9 @@ def start_in_thread(
     heterogeneous gateway).
     """
     if gateway is None:
-        gateway = DetectionGateway(detector, config, alerts)
+        gateway = DetectionGateway(
+            detector, config, alerts, metrics=metrics, historian=historian
+        )
     loop = asyncio.new_event_loop()
     started = threading.Event()
     failure: list[BaseException] = []

@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.combined import CombinedDetector
     from repro.core.stream_engine import StreamEngine
+    from repro.obs.metrics import MetricsRegistry
 
 #: Pool label of the lone engine slot in single-detector mode.  Routed
 #: labels are ``scenario@version`` (always contain ``@``), so the bare
@@ -75,6 +76,19 @@ OP_ERROR = b"!"
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
+
+#: Opcode -> metric label for pipe round-trip histograms.
+_OP_NAMES = {
+    OP_INIT: "init",
+    OP_ATTACH: "attach",
+    OP_DETACH: "detach",
+    OP_SEEN: "seen",
+    OP_OBSERVE: "observe",
+    OP_SWAP: "swap",
+    OP_SNAPSHOT: "snapshot",
+    OP_STATS: "stats",
+    OP_QUIT: "quit",
+}
 
 
 class WorkerError(RuntimeError):
@@ -413,7 +427,29 @@ class WorkerHandle:
     (the pipe is FIFO, the worker single-threaded).
     """
 
-    def __init__(self, index: int, start_method: str = "spawn") -> None:
+    def __init__(
+        self,
+        index: int,
+        start_method: str = "spawn",
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        # Pre-resolve per-opcode round-trip histograms so the I/O loop
+        # pays one dict probe per request, not a registry lookup.
+        # OBSERVE round-trips are the per-worker batch latency; SNAPSHOT
+        # round-trips are the snapshot duration.
+        self._timers = (
+            None
+            if metrics is None
+            else {
+                op: metrics.histogram(
+                    "worker_pipe_roundtrip_seconds",
+                    "Pipe send->recv round-trip per worker op",
+                    op=name,
+                    worker=str(index),
+                )
+                for op, name in _OP_NAMES.items()
+            }
+        )
         ctx = multiprocessing.get_context(start_method)
         self._conn, child = ctx.Pipe(duplex=True)
         self._process = ctx.Process(
@@ -470,9 +506,17 @@ class WorkerHandle:
             if failure is not None:
                 future.set_exception(WorkerError(failure))
                 continue
+            timer = (
+                self._timers.get(payload[:1]) if self._timers else None
+            )
             try:
-                self._conn.send_bytes(payload)
-                resp = self._conn.recv_bytes()
+                if timer is not None:
+                    with timer.time():
+                        self._conn.send_bytes(payload)
+                        resp = self._conn.recv_bytes()
+                else:
+                    self._conn.send_bytes(payload)
+                    resp = self._conn.recv_bytes()
             except (EOFError, OSError, ValueError) as exc:
                 failure = (
                     f"shard worker (pid {self._process.pid}) channel "

@@ -1,0 +1,163 @@
+"""Verdict-historian tests: round-trip, rotation, queries, crash safety."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.historian import Historian, HistorianError, HistorianRecord
+from repro.obs.metrics import MetricsRegistry
+
+
+def _fill(historian: Historian, n: int, stream="plant-1", scenario="gas"):
+    for seq in range(n):
+        historian.append(
+            stream, scenario, 1, seq, seq % 3, seq % 2 == 0,
+            float(seq), wall_time=100.0 + seq,
+        )
+
+
+class TestRoundTrip:
+    def test_append_flush_query(self, tmp_path):
+        with Historian(tmp_path / "h") as historian:
+            historian.append(
+                "plant-1", "gas_pipeline", 3, 17, 2, True, 12.5,
+                wall_time=1000.0,
+            )
+            historian.flush()
+            records = historian.query()
+        assert records == [
+            HistorianRecord(
+                stream_key="plant-1", scenario="gas_pipeline", version=3,
+                seq=17, level=2, verdict=True, process_value=12.5,
+                wall_time=1000.0,
+            )
+        ]
+
+    def test_none_fields_round_trip(self, tmp_path):
+        with Historian(tmp_path / "h") as historian:
+            historian.append("k", None, None, 0, 0, False, None)
+            historian.flush()
+            record = historian.query()[0]
+        assert record.scenario is None
+        assert record.version is None
+        assert math.isnan(record.process_value)
+        assert record.to_dict()["process_value"] is None
+        assert record.wall_time > 0  # defaulted to time.time()
+
+    def test_order_is_append_order(self, tmp_path):
+        with Historian(tmp_path / "h") as historian:
+            _fill(historian, 50)
+            historian.flush()
+            assert [r.seq for r in historian.query()] == list(range(50))
+
+    def test_append_after_close_raises(self, tmp_path):
+        historian = Historian(tmp_path / "h")
+        historian.close()
+        with pytest.raises(HistorianError, match="closed"):
+            historian.append("k", None, None, 0, 0, False, None)
+
+
+class TestSegments:
+    def test_rotation_by_record_count(self, tmp_path):
+        with Historian(tmp_path / "h", segment_records=10) as historian:
+            _fill(historian, 35)
+            historian.flush()
+            stats = historian.stats()
+            assert stats["segments"] == 4
+            assert stats["appended"] == 35
+            assert len(historian.query()) == 35
+
+    def test_retention_unlinks_oldest(self, tmp_path):
+        with Historian(
+            tmp_path / "h", segment_records=10, max_segments=2
+        ) as historian:
+            _fill(historian, 40)
+            historian.flush()
+            stats = historian.stats()
+            records = historian.query()
+        assert stats["segments"] == 2
+        # Only the newest segments' records remain, still in order.
+        assert [r.seq for r in records] == list(range(20, 40))
+
+    def test_resume_continues_in_fresh_segment(self, tmp_path):
+        root = tmp_path / "h"
+        with Historian(root) as historian:
+            _fill(historian, 5)
+        with Historian(root) as resumed:
+            _fill(resumed, 5, stream="plant-2")
+            resumed.flush()
+            records = resumed.query()
+            stats = resumed.stats()
+        assert stats["segments"] == 2  # old segment untouched, new one added
+        assert [r.stream_key for r in records] == ["plant-1"] * 5 + [
+            "plant-2"
+        ] * 5
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        root = tmp_path / "h"
+        with Historian(root) as historian:
+            _fill(historian, 10)
+        segment = next(root.glob("seg-*.hist"))
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[: len(raw) - 7])  # crash mid-record
+        with Historian(root) as resumed:
+            records = resumed.query()
+        assert [r.seq for r in records] == list(range(9))
+
+    def test_validates_construction_parameters(self, tmp_path):
+        with pytest.raises(HistorianError, match="segment_records"):
+            Historian(tmp_path / "a", segment_records=0)
+        with pytest.raises(HistorianError, match="buffer_records"):
+            Historian(tmp_path / "b", buffer_records=0)
+        with pytest.raises(HistorianError, match="max_segments"):
+            Historian(tmp_path / "c", max_segments=-1)
+
+
+class TestQuery:
+    @pytest.fixture()
+    def historian(self, tmp_path):
+        with Historian(tmp_path / "h") as historian:
+            _fill(historian, 20, stream="plant-1", scenario="gas")
+            _fill(historian, 10, stream="plant-2", scenario="water")
+            historian.flush()
+            yield historian
+
+    def test_filter_by_stream(self, historian):
+        records = historian.query(stream_key="plant-2")
+        assert len(records) == 10
+        assert all(r.stream_key == "plant-2" for r in records)
+
+    def test_filter_by_scenario(self, historian):
+        assert len(historian.query(scenario="gas")) == 20
+
+    def test_time_range_is_inclusive(self, historian):
+        records = historian.query(
+            stream_key="plant-1", since=105.0, until=107.0
+        )
+        assert [r.seq for r in records] == [5, 6, 7]
+
+    def test_limit_keeps_newest(self, historian):
+        records = historian.query(stream_key="plant-1", limit=3)
+        assert [r.seq for r in records] == [17, 18, 19]
+
+    def test_limit_must_be_positive(self, historian):
+        with pytest.raises(HistorianError, match="limit"):
+            historian.query(limit=0)
+
+
+class TestMetricsIntegration:
+    def test_appends_feed_the_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        with Historian(
+            tmp_path / "h", segment_records=5, metrics=registry
+        ) as historian:
+            _fill(historian, 12)
+            historian.flush()
+        snap = registry.snapshot()
+        assert snap["historian_records_total"]["samples"][0]["value"] == 12
+        assert (
+            snap["historian_segment_rotations_total"]["samples"][0]["value"]
+            == 3
+        )

@@ -1,0 +1,169 @@
+"""Read-only HTTP API tests: routing, serialization, real sockets."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.historian import Historian
+from repro.obs.httpapi import ObsServer, start_obs_in_thread
+from repro.obs.metrics import MetricsRegistry
+
+
+class _StubGateway:
+    """Just enough stats() surface for dashboard/stats endpoints."""
+
+    def stats(self):
+        return {
+            "mode": "single",
+            "processed": 42,
+            "streams": 2,
+            "live_sessions": 1,
+            "peak_queue_depth": 5,
+            "checkpoints_written": 0,
+            "alerts": {"emitted": 3, "suppressed": 1},
+            "transport": {
+                "modbus": {
+                    "connections": 2,
+                    "frames_decoded": 43,
+                    "bytes_discarded": 0,
+                    "resyncs": 0,
+                }
+            },
+            "routes": {
+                "plant-1": {
+                    "scenario": "gas_pipeline",
+                    "version": 1,
+                    "protocol": "modbus",
+                    "shard": 0,
+                    "packages": 42,
+                }
+            },
+        }
+
+
+def _get(server: ObsServer, path: str, params=None):
+    return server.handle(path, params or {})
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self):
+        server = ObsServer(gateway=_StubGateway())
+        with pytest.raises(Exception, match="unknown path"):
+            _get(server, "/nope")
+
+    def test_stats_json(self):
+        server = ObsServer(gateway=_StubGateway())
+        content_type, body = _get(server, "/stats")
+        assert content_type == "application/json"
+        assert json.loads(body)["processed"] == 42
+
+    def test_metrics_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("pkts_total").inc(9)
+        server = ObsServer(metrics=registry)
+        content_type, body = _get(server, "/metrics")
+        assert content_type.startswith("text/plain")
+        assert b"pkts_total 9" in body
+
+    def test_endpoints_404_when_component_missing(self):
+        server = ObsServer(gateway=_StubGateway())
+        for path in ("/metrics", "/alerts/recent", "/registry"):
+            with pytest.raises(Exception, match="404|no "):
+                _get(server, path)
+        with pytest.raises(Exception, match="no historian"):
+            _get(server, "/historian/query")
+
+    def test_alerts_recent_respects_limit(self):
+        from repro.serve.alerts import RecentAlertsBuffer
+
+        buffer = RecentAlertsBuffer(capacity=8)
+        for i in range(5):
+            buffer(_FakeAlert(i))
+        server = ObsServer(recent_alerts=buffer)
+        _, body = _get(server, "/alerts/recent", {"limit": "2"})
+        alerts = json.loads(body)["alerts"]
+        assert [a["seq"] for a in alerts] == [3, 4]
+
+    def test_historian_query_params(self, tmp_path):
+        historian = Historian(tmp_path / "h")
+        for seq in range(6):
+            historian.append(
+                "k", "gas", 1, seq, 0, False, None, wall_time=100.0 + seq
+            )
+        server = ObsServer(historian=historian)
+        try:
+            _, body = _get(
+                server,
+                "/historian/query",
+                {"stream": "k", "since": "102", "limit": "2"},
+            )
+            payload = json.loads(body)
+            assert payload["count"] == 2
+            assert [r["seq"] for r in payload["records"]] == [4, 5]
+            with pytest.raises(Exception, match="unknown parameters"):
+                _get(server, "/historian/query", {"bogus": "1"})
+            with pytest.raises(Exception, match="must be a number"):
+                _get(server, "/historian/query", {"since": "abc"})
+            with pytest.raises(Exception, match="must be an integer"):
+                _get(server, "/historian/query", {"limit": "two"})
+        finally:
+            historian.close()
+
+    def test_dashboard_renders_html(self, tmp_path):
+        historian = Historian(tmp_path / "h")
+        try:
+            server = ObsServer(
+                gateway=_StubGateway(), historian=historian, title="t&t"
+            )
+            content_type, body = _get(server, "/")
+            page = body.decode("utf-8")
+        finally:
+            historian.close()
+        assert content_type == "text/html"
+        assert "t&amp;t" in page  # titles are escaped
+        assert "modbus" in page
+        assert "gas_pipeline" in page
+        assert "Historian" in page
+
+
+class _FakeAlert:
+    def __init__(self, seq):
+        self.seq = seq
+
+    def to_dict(self):
+        return {"seq": self.seq}
+
+
+class TestOverSockets:
+    def test_real_http_round_trip(self):
+        registry = MetricsRegistry()
+        registry.gauge("up").set(1)
+        handle = start_obs_in_thread(
+            ObsServer(gateway=_StubGateway(), metrics=registry)
+        )
+        try:
+            host, port = handle.address
+            base = f"http://{host}:{port}"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5) as resp:
+                assert resp.status == 200
+                assert b"up 1" in resp.read()
+            with urllib.request.urlopen(f"{base}/stats", timeout=5) as resp:
+                assert json.loads(resp.read())["streams"] == 2
+            with urllib.request.urlopen(f"{base}/", timeout=5) as resp:
+                assert resp.headers["Content-Type"].startswith("text/html")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/nothing", timeout=5)
+            assert excinfo.value.code == 404
+            # Read-only: non-GET methods are refused.
+            request = urllib.request.Request(
+                f"{base}/stats", data=b"x", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            assert excinfo.value.code == 405
+        finally:
+            handle.stop()

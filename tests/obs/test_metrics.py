@@ -1,0 +1,155 @@
+"""Metrics registry unit tests: instruments, snapshot, exposition."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pkts_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("pkts_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways_and_ratchets(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.dec(3)
+        assert gauge.value == 7
+        gauge.max(5)  # lower: no effect
+        assert gauge.value == 7
+        gauge.max(12)
+        assert gauge.value == 12
+
+    def test_histogram_buckets_and_percentile(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(5.56)
+        # 2 in <=0.01, 1 in <=0.1, 1 in <=1.0, 1 overflow
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.percentile(50) == 0.01  # rank 2 of 5 -> first bucket
+        assert hist.percentile(60) == 0.1
+        assert hist.percentile(100) == float("inf")
+        assert MetricsRegistry().histogram("empty").percentile(99) == 0.0
+
+    def test_histogram_timer_observes_duration(self):
+        hist = MetricsRegistry().histogram("t")
+        with hist.time():
+            pass
+        assert hist.count == 1
+        assert 0 <= hist.sum < 1.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("bad", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError, match="at least one"):
+            registry.histogram("worse", buckets=())
+
+
+class TestRegistry:
+    def test_same_name_and_labels_is_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("frames_total", protocol="modbus")
+        b = registry.counter("frames_total", protocol="modbus")
+        c = registry.counter("frames_total", protocol="dnp3")
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("x")
+
+    def test_histogram_bucket_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered with"):
+            registry.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_namespace_prefixes_every_family(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("pkts_total").inc()
+        assert "repro_pkts_total" in registry.snapshot()
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help me", protocol="modbus").inc(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c_total"]["kind"] == "counter"
+        assert snap["c_total"]["help"] == "help me"
+        assert snap["c_total"]["samples"] == [
+            {"labels": {"protocol": "modbus"}, "value": 2}
+        ]
+        hist_sample = snap["h"]["samples"][0]
+        assert hist_sample["count"] == 1
+        assert hist_sample["buckets"] == {"1": 1, "+Inf": 1}
+
+    def test_concurrent_create_or_get_is_safe(self):
+        registry = MetricsRegistry()
+        instruments = []
+
+        def grab():
+            instruments.append(registry.counter("shared_total", w="1"))
+
+        threads = [threading.Thread(target=grab) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(i is instruments[0] for i in instruments)
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_total", "Frames", protocol="modbus").inc(7)
+        registry.gauge("depth").set(3)
+        text = registry.render_prometheus()
+        assert "# HELP frames_total Frames" in text
+        assert "# TYPE frames_total counter" in text
+        assert 'frames_total{protocol="modbus"} 7' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 3" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = registry.render_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 5.55" in text
+        assert "lat_seconds_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", label='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert 'label="a\\"b\\\\c\\nd"' in text
+
+    def test_default_bucket_ladders_are_sane(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert list(DEFAULT_SIZE_BUCKETS) == sorted(DEFAULT_SIZE_BUCKETS)

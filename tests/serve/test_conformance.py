@@ -69,12 +69,14 @@ class TestProtocolConformance:
         assert stats["bytes_discarded"] == counters["bytes_discarded"]
 
 
-class TestNonModbusFailover:
-    def test_kill_and_resume_over_dnp3(self, tmp_path, detector, capture):
+class TestFailoverEveryDialect:
+    @pytest.mark.parametrize("protocol", PROTOCOL_NAMES)
+    def test_kill_and_resume(self, protocol, tmp_path, detector, capture):
         # The fail-over contract must not be a Modbus-only property:
-        # crash a gateway mid-stream on the DNP3-lite dialect, restore
-        # from the periodic checkpoint, finish the replay, and require
-        # the stitched verdicts to equal one uninterrupted offline run.
+        # crash a gateway mid-stream on each dialect, restore from the
+        # periodic checkpoint, finish the replay, and require the
+        # stitched verdicts to equal one uninterrupted offline run —
+        # with the per-dialect transport counters surviving too.
         checkpoint = tmp_path / "gw.npz"
         handle = start_in_thread(
             detector,
@@ -87,20 +89,24 @@ class TestNonModbusFailover:
         host, port = handle.address
         half = len(capture) // 2
         first = ReplayClient(
-            host, port, stream_key="plant", protocol="dnp3"
+            host, port, stream_key="plant", protocol=protocol
         ).replay(capture[:half])
         assert first.complete
+        pre_crash = handle.stats()["transport"][protocol]
         handle.stop(checkpoint=True)
 
         restored = DetectionGateway.from_checkpoint(str(checkpoint), detector=detector)
-        # The per-stream dialect survives the crash in checkpoint meta.
-        assert restored.stats()["routes"]["plant"]["protocol"] == "dnp3"
-        assert restored.stats()["transport"]["dnp3"]["connections"] == 1
+        # The per-stream dialect and its transport counters survive the
+        # crash in checkpoint meta — restored counts match pre-crash.
+        assert restored.stats()["routes"]["plant"]["protocol"] == protocol
+        assert restored.stats()["transport"][protocol] == pre_crash
+        assert pre_crash["connections"] == 1
+        assert pre_crash["frames_decoded"] == half + 1
         handle2 = start_in_thread(None, gateway=restored)
         try:
             host, port = handle2.address
             second = ReplayClient(
-                host, port, stream_key="plant", protocol="dnp3"
+                host, port, stream_key="plant", protocol=protocol
             ).replay(capture)
         finally:
             handle2.stop()
