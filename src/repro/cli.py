@@ -64,10 +64,17 @@ from repro.persistence import (
     save_detector,
 )
 from repro.ics.arff import read_arff
-from repro.obs import Historian, MetricsRegistry, ObsServer
+from repro.obs import (
+    CorrelatorConfig,
+    Historian,
+    IncidentCorrelator,
+    MetricsRegistry,
+    ObsServer,
+)
 from repro.registry import ModelRegistry, RegistryError
 from repro.scenarios import get_scenario, scenario_names
 from repro.serve.alerts import (
+    AlertConfig,
     AlertPipeline,
     JsonlSink,
     RecentAlertsBuffer,
@@ -201,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="append per-package verdict records to this historian "
         "directory (queryable over --http-port and `repro` tooling)",
     )
+    serve.add_argument(
+        "--alerts-buffer",
+        type=int,
+        default=256,
+        help="recent-alerts ring capacity served over /alerts/recent",
+    )
 
     replay_cmd = commands.add_parser(
         "replay", help="stream a capture at a live gateway over real sockets"
@@ -322,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the read-only observability HTTP API for the duration "
         "of the run (0 = ephemeral)",
     )
+    fleet.add_argument(
+        "--alerts-buffer",
+        type=int,
+        default=256,
+        help="recent-alerts ring capacity served over /alerts/recent",
+    )
     fleet.add_argument("--json", dest="json_out", default=None)
 
     registry_cmd = commands.add_parser(
@@ -358,6 +377,44 @@ def build_parser() -> argparse.ArgumentParser:
     promote.add_argument("--registry", required=True, help="registry directory")
     promote.add_argument("--scenario", required=True)
     promote.add_argument("--version", type=int, required=True)
+
+    incidents_cmd = commands.add_parser(
+        "incidents",
+        help="reconstruct incidents offline from a JSONL alert log "
+        "(post-mortem: same correlator the live gateway runs, replayed)",
+    )
+    incidents_cmd.add_argument(
+        "--alerts-jsonl",
+        required=True,
+        help="JSONL alert log written by `repro serve --alerts-jsonl`",
+    )
+    incidents_cmd.add_argument(
+        "--historian",
+        default=None,
+        help="historian directory: enrich each incident with per-stream "
+        "package/anomaly counts over its time span",
+    )
+    incidents_cmd.add_argument(
+        "--window",
+        type=float,
+        default=30.0,
+        help="sliding join window in stream-clock seconds "
+        "(must match the live correlator for identical incident sets)",
+    )
+    incidents_cmd.add_argument(
+        "--resolve-after",
+        type=float,
+        default=60.0,
+        help="quiet stream-clock seconds before an incident resolves",
+    )
+    incidents_cmd.add_argument(
+        "--group-prefix-parts",
+        type=int,
+        default=0,
+        help="leading '-'-separated stream-key tokens in the correlation "
+        "key (0 = correlate all streams of one scenario@version)",
+    )
+    incidents_cmd.add_argument("--json", dest="json_out", default=None)
 
     info = commands.add_parser("info", help="inspect an artifact header")
     info.add_argument("path")
@@ -623,11 +680,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     historian = (
         Historian(args.historian, metrics=metrics) if args.historian else None
     )
-    recent = RecentAlertsBuffer()
+    try:
+        alert_config = AlertConfig(recent_capacity=args.alerts_buffer).validate()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    recent = RecentAlertsBuffer(alert_config.recent_capacity)
     sinks = [recent] if args.quiet else [recent, stdout_sink]
     if args.alerts_jsonl:
         sinks.append(JsonlSink(args.alerts_jsonl))
-    pipeline = AlertPipeline(sinks, metrics=metrics)
+    pipeline = AlertPipeline(sinks, config=alert_config, metrics=metrics)
 
     registry = ModelRegistry(args.registry) if args.registry else None
     detector = load_detector(args.model) if args.model else None
@@ -735,6 +796,15 @@ def _print_serve_summary(stats: dict[str, Any]) -> None:
         f"checkpoints {stats['checkpoints_written']}, "
         f"peak queue depth {stats['peak_queue_depth']}"
     )
+    incidents = stats.get("incidents")
+    if incidents is not None:
+        drift = stats.get("drift", {})
+        print(
+            f"incidents: {incidents['open']} open, "
+            f"{incidents['resolved_total']} resolved "
+            f"({incidents['alerts_absorbed']} alerts absorbed), "
+            f"drift alerts {drift.get('drift_alerts', 0)}"
+        )
     for name, counters in sorted(stats["transport"].items()):
         print(
             f"  {name:<8} {counters['connections']} connection(s), "
@@ -883,6 +953,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 if args.protocols
                 else ()
             ),
+            alerts_buffer=args.alerts_buffer,
         ).validate()
     except (KeyError, ValueError) as exc:
         raise SystemExit(f"error: {exc.args[0]}") from exc
@@ -941,6 +1012,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"  streamed {result.total_packages} packages in "
         f"{result.seconds:.2f}s ({result.packages_per_second:.0f} pkg/s)"
     )
+    incident_counts = result.incident_counts
+    if incident_counts:
+        print(
+            f"  incidents: {incident_counts.get('open', 0)} open, "
+            f"{incident_counts.get('resolved_total', 0)} resolved "
+            f"({incident_counts.get('alerts_absorbed', 0)} alerts absorbed)"
+        )
     if not args.no_verify:
         print(
             "  per-stream verdicts bit-identical to offline detect(): "
@@ -973,6 +1051,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             "total_packages": result.total_packages,
             "seconds": result.seconds,
             "packages_per_second": result.packages_per_second,
+            "incidents": result.incident_counts,
             # null when verification was skipped — a vacuous true would
             # let CI gates "pass" a drill that never ran.
             "all_match_offline": (
@@ -1038,6 +1117,98 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    """Offline incident reconstruction: replay a JSONL alert log through
+    the same correlator the live gateway runs (same config => identical
+    incident set), optionally enriched from historian segments."""
+    from repro.serve.alerts import alert_from_dict
+
+    try:
+        correlator = IncidentCorrelator(
+            CorrelatorConfig(
+                window=args.window,
+                resolve_after=args.resolve_after,
+                group_prefix_parts=args.group_prefix_parts,
+            )
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    replayed = 0
+    with open(args.alerts_jsonl, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                alert = alert_from_dict(json.loads(line))
+            except (ValueError, KeyError) as exc:
+                raise SystemExit(
+                    f"error: {args.alerts_jsonl}:{line_number}: "
+                    f"not an alert record ({exc})"
+                ) from exc
+            correlator.observe(alert)
+            replayed += 1
+
+    snapshot = correlator.snapshot()
+    incidents = sorted(
+        snapshot["open"] + snapshot["resolved"], key=lambda inc: inc["id"]
+    )
+
+    if args.historian:
+        # Context an alert log cannot give: how much traffic (and how
+        # much of it anomalous) each involved stream logged overall —
+        # one storm-struck stream among thousands of clean packages
+        # reads very differently from one that is anomalous throughout.
+        historian = Historian(args.historian)
+        try:
+            for incident in incidents:
+                context: dict[str, dict[str, int]] = {}
+                for stream in incident["streams"]:
+                    records = historian.query(stream_key=stream)
+                    context[stream] = {
+                        "packages": len(records),
+                        "anomalous": sum(1 for r in records if r.verdict),
+                    }
+                incident["historian"] = context
+        finally:
+            historian.close()
+
+    counts = snapshot["counts"]
+    print(
+        f"replayed {replayed} alert(s) -> {counts['opened_total']} "
+        f"incident(s): {counts['open']} open, "
+        f"{counts['resolved_total']} resolved"
+    )
+    for incident in incidents:
+        span = incident["last_seen"] - incident["first_seen"]
+        line = (
+            f"  #{incident['id']} {incident['status']:<8} "
+            f"{incident['scenario']}@{incident['version']} "
+            f"sev={incident['severity']} streams={len(incident['streams'])} "
+            f"alerts={incident['alerts']} "
+            f"t=[{incident['first_seen']:.2f}..{incident['last_seen']:.2f}] "
+            f"({span:.2f}s)"
+        )
+        print(line)
+        for stream, ctx in sorted(incident.get("historian", {}).items()):
+            print(
+                f"      {stream:<24} {ctx['packages']} pkgs logged, "
+                f"{ctx['anomalous']} anomalous"
+            )
+    if args.json_out:
+        payload = {
+            "alerts_replayed": replayed,
+            "config": correlator.config.to_dict(),
+            "counts": counts,
+            "incidents": incidents,
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "detect": _cmd_detect,
@@ -1047,6 +1218,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "fleet": _cmd_fleet,
     "registry": _cmd_registry,
+    "incidents": _cmd_incidents,
     "info": _cmd_info,
 }
 

@@ -1,17 +1,23 @@
-"""Observability subsystem: metrics, verdict historian, read-only HTTP API.
+"""Observability subsystem: metrics, historian, incidents, HTTP API.
 
-Three independent pieces that the serving stack threads together:
+Independent pieces that the serving stack threads together:
 
 - :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
   with snapshot + Prometheus text exposition;
 - :mod:`repro.obs.historian` — append-only segment-rotated on-disk log
   of per-package verdicts, queryable after the fact;
-- :mod:`repro.obs.httpapi` — asyncio stdlib HTTP server exposing both
-  (plus gateway stats, model registry and recent alerts) read-only.
+- :mod:`repro.obs.incidents` — cross-stream alert correlation folding
+  alert storms into open/resolved incidents;
+- :mod:`repro.obs.monitors` — per-stream drift monitors (EWMA verdict
+  rates vs. attach-time baseline) emitting synthetic drift alerts;
+- :mod:`repro.obs.httpapi` — asyncio stdlib HTTP server exposing all of
+  the above (plus gateway stats, model registry and recent alerts)
+  read-only.
 """
 
 from repro.obs.historian import Historian, HistorianError, HistorianRecord
 from repro.obs.httpapi import ObsServer, ObsServerHandle, start_obs_in_thread
+from repro.obs.incidents import CorrelatorConfig, Incident, IncidentCorrelator
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -20,16 +26,22 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.monitors import DriftMonitorBank, DriftMonitorConfig
 
 __all__ = [
+    "CorrelatorConfig",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "DriftMonitorBank",
+    "DriftMonitorConfig",
     "Gauge",
     "Histogram",
     "Historian",
     "HistorianError",
     "HistorianRecord",
+    "Incident",
+    "IncidentCorrelator",
     "MetricsRegistry",
     "ObsServer",
     "ObsServerHandle",

@@ -5,10 +5,13 @@ to browsers, scripts and Prometheus scrapers:
 
 ====================  ==================================================
 ``/``                 single-page HTML fleet overview (auto-refreshing)
+``/healthz``          liveness probe: status, uptime and version (JSON)
 ``/metrics``          Prometheus text exposition of the metrics registry
 ``/stats``            the gateway's full ``stats()`` dict as JSON
 ``/registry``         published model lineages (routed gateways; JSON)
 ``/alerts/recent``    the newest alerts from the ring-buffer sink (JSON)
+``/incidents``        correlated incidents, open + recently resolved (JSON)
+``/drift``            per-stream drift-monitor rates vs. baseline (JSON)
 ``/historian/query``  verdict-historian range query (JSON)
 ====================  ==================================================
 
@@ -37,12 +40,15 @@ import asyncio
 import html
 import json
 import threading
+import time
 from typing import TYPE_CHECKING, Any
 from urllib.parse import parse_qs, unquote, urlsplit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.historian import Historian
+    from repro.obs.incidents import IncidentCorrelator
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.monitors import DriftMonitorBank
     from repro.registry.store import ModelRegistry
     from repro.serve.alerts import RecentAlertsBuffer
     from repro.serve.gateway import DetectionGateway
@@ -62,10 +68,16 @@ _STATUS_TEXT = {
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or {}
 
 
 def _json_default(value: Any) -> Any:
@@ -88,6 +100,8 @@ class ObsServer:
         historian: "Historian | None" = None,
         recent_alerts: "RecentAlertsBuffer | None" = None,
         registry: "ModelRegistry | None" = None,
+        incidents: "IncidentCorrelator | None" = None,
+        monitors: "DriftMonitorBank | None" = None,
         host: str = "127.0.0.1",
         port: int = 0,
         title: str = "repro fleet",
@@ -100,11 +114,20 @@ class ObsServer:
         if registry is None and gateway is not None:
             router = getattr(gateway, "_router", None)
             self._registry = getattr(router, "registry", None)
+        # Incident correlator / drift monitors ride the gateway unless
+        # attached explicitly (offline post-mortem servers).
+        self._incidents = incidents
+        if incidents is None and gateway is not None:
+            self._incidents = getattr(gateway, "incidents", None)
+        self._monitors = monitors
+        if monitors is None and gateway is not None:
+            self._monitors = getattr(gateway, "monitors", None)
         self._host = host
         self._port = port
         self._title = title
         self._server: asyncio.AbstractServer | None = None
         self._requests = 0
+        self._started_at = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -148,18 +171,19 @@ class ObsServer:
                 return
             if len(head) > _MAX_REQUEST_BYTES:
                 status, content_type, body = 400, "text/plain", b"request too large"
+                extra: dict[str, str] = {}
             else:
-                status, content_type, body = self._respond(head)
-            writer.write(
-                (
-                    f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
-                    f"Content-Type: {content_type}; charset=utf-8\r\n"
-                    f"Content-Length: {len(body)}\r\n"
-                    "Cache-Control: no-store\r\n"
-                    "Connection: close\r\n"
-                    "\r\n"
-                ).encode("ascii")
+                status, content_type, body, extra = self._respond(head)
+            head_lines = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
+                f"Content-Type: {content_type}; charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Cache-Control: no-store\r\n"
             )
+            for name, value in extra.items():
+                head_lines += f"{name}: {value}\r\n"
+            head_lines += "Connection: close\r\n\r\n"
+            writer.write(head_lines.encode("ascii"))
             writer.write(body)
             try:
                 await writer.drain()
@@ -172,7 +196,7 @@ class ObsServer:
             except (ConnectionError, RuntimeError):
                 pass
 
-    def _respond(self, head: bytes) -> tuple[int, str, bytes]:
+    def _respond(self, head: bytes) -> tuple[int, str, bytes, dict[str, str]]:
         self._requests += 1
         try:
             request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
@@ -181,7 +205,11 @@ class ObsServer:
                 raise _HttpError(400, "malformed request line")
             method, target, _version = parts
             if method not in ("GET", "HEAD"):
-                raise _HttpError(405, "read-only API: GET/HEAD only")
+                raise _HttpError(
+                    405,
+                    "read-only API: GET/HEAD only",
+                    headers={"Allow": "GET, HEAD"},
+                )
             split = urlsplit(target)
             path = unquote(split.path)
             params = {
@@ -191,11 +219,11 @@ class ObsServer:
             content_type, body = self.handle(path, params)
             if method == "HEAD":
                 body = b""
-            return 200, content_type, body
+            return 200, content_type, body, {}
         except _HttpError as exc:
-            return exc.status, "text/plain", exc.message.encode("utf-8")
+            return exc.status, "text/plain", exc.message.encode("utf-8"), exc.headers
         except Exception as exc:  # noqa: BLE001 - must answer, not crash
-            return 500, "text/plain", f"internal error: {exc}".encode("utf-8")
+            return 500, "text/plain", f"internal error: {exc}".encode("utf-8"), {}
 
     # -- routing -------------------------------------------------------
 
@@ -209,6 +237,21 @@ class ObsServer:
         """
         if path in ("/", "/index.html"):
             return "text/html", self._page_overview().encode("utf-8")
+        if path == "/healthz":
+            return "application/json", self._json(self._healthz())
+        if path == "/incidents":
+            if self._incidents is None:
+                raise _HttpError(404, "no incident correlator attached")
+            payload = self._incidents.snapshot()
+            limit = self._int_param(params, "limit")
+            if limit is not None:
+                payload["open"] = payload["open"][-limit:]
+                payload["resolved"] = payload["resolved"][-limit:]
+            return "application/json", self._json(payload)
+        if path == "/drift":
+            if self._monitors is None:
+                raise _HttpError(404, "no drift monitors attached")
+            return "application/json", self._json(self._monitors.stats())
         if path == "/metrics":
             if self._metrics is None:
                 raise _HttpError(404, "no metrics registry attached")
@@ -261,6 +304,16 @@ class ObsServer:
             raise _HttpError(400, f"{name} must be a number: {raw!r}") from exc
 
     # -- endpoint bodies -----------------------------------------------
+
+    def _healthz(self) -> dict[str, Any]:
+        from repro import __version__
+
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "version": __version__,
+            "requests": self._requests,
+        }
 
     def _stats(self) -> dict[str, Any]:
         if self._gateway is None:
@@ -384,6 +437,36 @@ class ObsServer:
                     for key, route in sorted(routes.items())
                 )
                 sections.append(f"<h2>Streams</h2><table>{head}{rows}</table>")
+        if self._incidents is not None:
+            snap = self._incidents.snapshot()
+            counts = snap["counts"]
+            head = (
+                "<tr><th>id</th><th>status</th><th>model</th>"
+                "<th>severity</th><th>streams</th><th>alerts</th>"
+                "<th>first seen</th><th>last seen</th></tr>"
+            )
+            shown = snap["open"] + snap["resolved"][-5:]
+            rows = "".join(
+                "<tr>"
+                f"<td>{inc['id']}</td>"
+                f"<td>{html.escape(str(inc['status']))}</td>"
+                f"<td>{html.escape(str(inc['scenario']))}"
+                f"@{html.escape(str(inc['version']))}</td>"
+                f"<td>{html.escape(str(inc['severity']))}</td>"
+                f"<td>{len(inc['streams'])}</td>"
+                f"<td>{inc['alerts']}</td>"
+                f"<td>{inc['first_seen']:.2f}</td>"
+                f"<td>{inc['last_seen']:.2f}</td>"
+                "</tr>"
+                for inc in shown
+            )
+            if not rows:
+                rows = '<tr><td colspan="8">no incidents</td></tr>'
+            sections.append(
+                f"<h2>Incidents ({counts['open']} open, "
+                f"{counts['resolved_total']} resolved)</h2>"
+                f"<table>{head}{rows}</table>"
+            )
         if self._recent_alerts is not None:
             recent = self._recent_alerts.snapshot()[-15:]
             if recent:
@@ -419,10 +502,13 @@ class ObsServer:
         links = " · ".join(
             f'<a href="{path}">{path}</a>'
             for path in (
+                "/healthz",
                 "/metrics",
                 "/stats",
                 "/registry",
                 "/alerts/recent",
+                "/incidents",
+                "/drift",
                 "/historian/query?limit=50",
             )
         )

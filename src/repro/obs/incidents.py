@@ -1,0 +1,337 @@
+"""Cross-stream alert correlation: fold alert storms into incidents.
+
+A scan attack against a fleet raises one alert per offending package
+per stream — an operator watching 100 sites sees a *storm*, not a
+cause.  The :class:`IncidentCorrelator` consumes :class:`Alert` objects
+(already carrying the ``(scenario, version)`` route since PR 8) and
+folds them into :class:`Incident` objects:
+
+- **Correlation key** — ``(scenario, version, group)`` where ``group``
+  is an optional stream-key prefix (``group_prefix_parts`` leading
+  ``"-"``-separated tokens, e.g. ``site3`` out of ``site3-line2``).
+  With the default of 0 parts, all streams judged by one model lineage
+  correlate together — an attack burst hitting several streams of a
+  scenario becomes *one* incident.
+- **Sliding window** — an incident stays open while alerts keep
+  arriving within ``window`` seconds of its newest member; after
+  ``resolve_after`` quiet seconds it resolves.  All arithmetic runs on
+  the *stream clock* (package capture timestamps), never wall time, so
+  a replayed capture produces byte-identical incident state run after
+  run — and the same correlator replayed over a JSONL alert log
+  offline reconstructs exactly the live incident set.
+- **Lifecycle** — open → (update)* → resolved.  Severity is the max of
+  members; per-incident counters track streams involved, alerts
+  absorbed by kind, and first/last seen times.
+- **Bounded store** — at most ``max_open`` open incidents (oldest are
+  force-resolved) and ``max_resolved`` retained resolved ones.
+
+The correlator is a plain alert sink (``__call__(alert)``), so it plugs
+into :class:`~repro.serve.alerts.AlertPipeline` like any other sink and
+sees exactly the post-dedup operator-facing alert stream.  Its full
+state round-trips through JSON (:meth:`state_dict` /
+:meth:`load_state`) so incident state rides gateway checkpoint metadata
+bit-identically through kill + resume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve.alerts import Alert
+
+
+@dataclass(frozen=True)
+class CorrelatorConfig:
+    """Correlation tuning, all times in stream-clock seconds."""
+
+    window: float = 30.0  # new alert joins an incident within this of its tail
+    resolve_after: float = 60.0  # quiet time before an open incident resolves
+    group_prefix_parts: int = 0  # leading "-"-separated stream-key tokens
+    max_open: int = 256  # bound on simultaneously open incidents
+    max_resolved: int = 256  # retained resolved incidents
+
+    def validate(self) -> "CorrelatorConfig":
+        if self.window <= 0:
+            raise ValueError(f"window must be > 0, got {self.window}")
+        if self.resolve_after < self.window:
+            raise ValueError(
+                "resolve_after must be >= window, got "
+                f"{self.resolve_after} < {self.window}"
+            )
+        if self.group_prefix_parts < 0:
+            raise ValueError(
+                f"group_prefix_parts must be >= 0, got {self.group_prefix_parts}"
+            )
+        if self.max_open < 1:
+            raise ValueError(f"max_open must be >= 1, got {self.max_open}")
+        if self.max_resolved < 0:
+            raise ValueError(
+                f"max_resolved must be >= 0, got {self.max_resolved}"
+            )
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "window": self.window,
+            "resolve_after": self.resolve_after,
+            "group_prefix_parts": self.group_prefix_parts,
+            "max_open": self.max_open,
+            "max_resolved": self.max_resolved,
+        }
+
+
+class Incident:
+    """One correlated group of alerts with an open/resolved lifecycle."""
+
+    __slots__ = (
+        "id",
+        "scenario",
+        "version",
+        "group",
+        "status",
+        "severity",
+        "first_seen",
+        "last_seen",
+        "alerts",
+        "streams",
+        "kinds",
+    )
+
+    def __init__(
+        self,
+        id: int,
+        scenario: str | None,
+        version: int | None,
+        group: str,
+        first_seen: float,
+    ) -> None:
+        self.id = id
+        self.scenario = scenario
+        self.version = version
+        self.group = group
+        self.status = "open"
+        self.severity = 0  # Severity int value; max over members
+        self.first_seen = first_seen
+        self.last_seen = first_seen
+        self.alerts = 0  # alerts absorbed
+        self.streams: dict[str, int] = {}  # stream key -> alerts from it
+        self.kinds: dict[str, int] = {}  # alert kind -> count
+
+    def absorb(self, alert: "Alert") -> None:
+        self.first_seen = min(self.first_seen, alert.time)
+        self.last_seen = max(self.last_seen, alert.time)
+        self.severity = max(self.severity, int(alert.severity))
+        self.alerts += 1
+        self.streams[alert.stream] = self.streams.get(alert.stream, 0) + 1
+        kind = getattr(alert, "kind", "verdict")
+        self.kinds[kind] = self.kinds.get(kind, 0) + 1
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form; dict members sorted so output is canonical."""
+        from repro.serve.alerts import Severity
+
+        return {
+            "id": self.id,
+            "scenario": self.scenario,
+            "version": self.version,
+            "group": self.group,
+            "status": self.status,
+            "severity": Severity(self.severity).name,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "alerts": self.alerts,
+            "streams": dict(sorted(self.streams.items())),
+            "kinds": dict(sorted(self.kinds.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Incident":
+        from repro.serve.alerts import Severity
+
+        incident = cls(
+            id=int(payload["id"]),
+            scenario=payload["scenario"],
+            version=payload["version"],
+            group=str(payload["group"]),
+            first_seen=float(payload["first_seen"]),
+        )
+        incident.status = str(payload["status"])
+        incident.severity = int(Severity[payload["severity"]])
+        incident.last_seen = float(payload["last_seen"])
+        incident.alerts = int(payload["alerts"])
+        incident.streams = {str(k): int(v) for k, v in payload["streams"].items()}
+        incident.kinds = {str(k): int(v) for k, v in payload["kinds"].items()}
+        return incident
+
+
+class IncidentCorrelator:
+    """Fold an alert stream into incidents; usable as an alert sink."""
+
+    def __init__(
+        self,
+        config: CorrelatorConfig | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.config = (config or CorrelatorConfig()).validate()
+        self._open: dict[tuple[str, int, str], Incident] = {}
+        self._resolved: deque[Incident] = deque(maxlen=self.config.max_resolved)
+        self._now = float("-inf")  # newest alert time seen (stream clock)
+        self._next_id = 1
+        self._total_opened = 0
+        self._total_resolved = 0
+        self._total_alerts = 0
+        self._metrics = metrics
+        self._m_open = (
+            None
+            if metrics is None
+            else metrics.gauge("incidents_open", "Currently open incidents")
+        )
+
+    # ------------------------------------------------------------------
+
+    def _group(self, stream: str) -> str:
+        parts = self.config.group_prefix_parts
+        if parts <= 0:
+            return ""
+        return "-".join(stream.split("-")[:parts])
+
+    def _key(self, alert: "Alert") -> tuple[str, int, str]:
+        # None scenario/version normalized so the key is hashable and
+        # JSON-independent; -1 never collides with a registry version.
+        scenario = alert.scenario if alert.scenario is not None else ""
+        version = alert.version if alert.version is not None else -1
+        return (scenario, version, self._group(alert.stream))
+
+    def observe(self, alert: "Alert") -> Incident:
+        """Fold one alert in; returns the incident it joined or opened."""
+        cfg = self.config
+        if alert.time > self._now:
+            self._now = alert.time
+            self._sweep()
+
+        key = self._key(alert)
+        incident = self._open.get(key)
+        if incident is not None and alert.time - incident.last_seen > cfg.window:
+            # Same key but the storm went quiet past the join window:
+            # that incident is over even if resolve_after has not yet
+            # elapsed on the global clock — close it and open fresh.
+            self._resolve(key)
+            incident = None
+        if incident is None:
+            incident = Incident(
+                id=self._next_id,
+                scenario=alert.scenario,
+                version=alert.version,
+                group=key[2],
+                first_seen=alert.time,
+            )
+            self._next_id += 1
+            self._total_opened += 1
+            self._open[key] = incident
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "incidents_total",
+                    "Incidents opened",
+                    scenario=key[0] or "unknown",
+                ).inc()
+            if len(self._open) > cfg.max_open:
+                oldest = min(self._open, key=lambda k: self._open[k].last_seen)
+                self._resolve(oldest)
+        incident.absorb(alert)
+        self._total_alerts += 1
+        if self._m_open is not None:
+            self._m_open.set(len(self._open))
+        return incident
+
+    __call__ = observe  # plugs straight into AlertPipeline sinks
+
+    def _resolve(self, key: tuple[str, int, str]) -> None:
+        incident = self._open.pop(key)
+        incident.status = "resolved"
+        self._total_resolved += 1
+        if self.config.max_resolved > 0:
+            self._resolved.append(incident)
+
+    def _sweep(self) -> None:
+        """Resolve incidents quiet for longer than ``resolve_after``."""
+        cutoff = self._now - self.config.resolve_after
+        for key in [k for k, inc in self._open.items() if inc.last_seen < cutoff]:
+            self._resolve(key)
+        if self._m_open is not None:
+            self._m_open.set(len(self._open))
+
+    # ------------------------------------------------------------------
+
+    def open_incidents(self) -> list[Incident]:
+        """Open incidents, oldest first."""
+        return sorted(self._open.values(), key=lambda inc: inc.id)
+
+    def resolved_incidents(self) -> list[Incident]:
+        """Retained resolved incidents, oldest first."""
+        return list(self._resolved)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able view for the HTTP API / CLI."""
+        return {
+            "open": [inc.to_dict() for inc in self.open_incidents()],
+            "resolved": [inc.to_dict() for inc in self.resolved_incidents()],
+            "counts": self.stats(),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "open": len(self._open),
+            "opened_total": self._total_opened,
+            "resolved_total": self._total_resolved,
+            "alerts_absorbed": self._total_alerts,
+        }
+
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Full JSON-able state: rides gateway checkpoint metadata."""
+        return {
+            "config": self.config.to_dict(),
+            "now": self._now if self._now != float("-inf") else None,
+            "next_id": self._next_id,
+            "opened_total": self._total_opened,
+            "resolved_total": self._total_resolved,
+            "alerts_absorbed": self._total_alerts,
+            "open": [inc.to_dict() for inc in self.open_incidents()],
+            "resolved": [inc.to_dict() for inc in self.resolved_incidents()],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore from :meth:`state_dict` output (config included)."""
+        self.config = CorrelatorConfig(**state["config"]).validate()
+        self._now = float(state["now"]) if state["now"] is not None else float("-inf")
+        self._next_id = int(state["next_id"])
+        self._total_opened = int(state["opened_total"])
+        self._total_resolved = int(state["resolved_total"])
+        self._total_alerts = int(state["alerts_absorbed"])
+        self._open = {}
+        for payload in state["open"]:
+            incident = Incident.from_dict(payload)
+            scenario = incident.scenario if incident.scenario is not None else ""
+            version = incident.version if incident.version is not None else -1
+            self._open[(scenario, version, incident.group)] = incident
+        self._resolved = deque(
+            (Incident.from_dict(p) for p in state["resolved"]),
+            maxlen=self.config.max_resolved,
+        )
+        if self._m_open is not None:
+            self._m_open.set(len(self._open))
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict[str, Any],
+        metrics: "MetricsRegistry | None" = None,
+    ) -> "IncidentCorrelator":
+        correlator = cls(CorrelatorConfig(**state["config"]), metrics=metrics)
+        correlator.load_state(state)
+        return correlator

@@ -1,0 +1,274 @@
+"""Online drift monitors: per-stream verdict-rate EWMA vs. baseline.
+
+The closed-loop retrain story (ROADMAP) needs a cheap, always-on
+signal that a stream's signature database is aging — a *rising*
+package-level false-positive rate — before any retrain policy can act
+on it.  :class:`DriftMonitorBank` watches every judged package on the
+serve path:
+
+- For each stream it tracks three verdict rates: ``package`` (level-1
+  Bloom-filter mismatches), ``timeseries`` (level-2 LSTM misses) and
+  ``anomaly`` (either level).
+- The first ``baseline_packages`` packages after attach freeze a
+  per-stream **baseline** (plain mean); afterwards each rate is an
+  **EWMA** with step ``alpha``.
+- When an EWMA rises more than ``threshold`` above its baseline (and
+  at least ``min_packages`` have been judged), the bank emits one
+  synthetic ``drift:<rate>`` :class:`~repro.serve.alerts.Alert` for the
+  stream, then stays quiet for ``cooldown`` stream-clock seconds.
+
+Drift alerts are *injected* into the
+:class:`~repro.serve.alerts.AlertPipeline` (bypassing dedup state) so
+the verdict-alert stream remains bit-identical with or without
+monitors attached; downstream they correlate into incidents like any
+other alert.  All arithmetic uses package capture timestamps and plain
+Python floats, so monitor state is deterministic and rides gateway
+checkpoints bit-identically (:meth:`state_dict` / :meth:`load_state`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.stream_engine import LEVEL_PACKAGE, LEVEL_TIMESERIES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve.alerts import Alert
+
+#: Verdict rates tracked per stream, in emission-priority order.
+RATE_KINDS = ("package", "timeseries", "anomaly")
+
+
+@dataclass(frozen=True)
+class DriftMonitorConfig:
+    """Drift detection tuning; times in stream-clock seconds."""
+
+    baseline_packages: int = 200  # packages frozen into the attach baseline
+    min_packages: int = 300  # no drift verdicts before this many packages
+    alpha: float = 0.02  # EWMA step per package
+    threshold: float = 0.10  # ewma - baseline rise that fires
+    cooldown: float = 120.0  # per-stream quiet time between drift alerts
+
+    def validate(self) -> "DriftMonitorConfig":
+        if self.baseline_packages < 1:
+            raise ValueError(
+                f"baseline_packages must be >= 1, got {self.baseline_packages}"
+            )
+        if self.min_packages < self.baseline_packages:
+            raise ValueError(
+                "min_packages must be >= baseline_packages, got "
+                f"{self.min_packages} < {self.baseline_packages}"
+            )
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "baseline_packages": self.baseline_packages,
+            "min_packages": self.min_packages,
+            "alpha": self.alpha,
+            "threshold": self.threshold,
+            "cooldown": self.cooldown,
+        }
+
+
+class _StreamDrift:
+    """Per-stream baseline + EWMA state."""
+
+    __slots__ = ("packages", "sums", "baseline", "ewma", "last_fired_at", "fired")
+
+    def __init__(self) -> None:
+        self.packages = 0
+        self.sums = {kind: 0.0 for kind in RATE_KINDS}  # baseline accumulation
+        self.baseline: dict[str, float] | None = None  # frozen after warmup
+        self.ewma = {kind: 0.0 for kind in RATE_KINDS}
+        self.last_fired_at: float | None = None  # stream clock
+        self.fired = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "packages": self.packages,
+            "sums": dict(self.sums),
+            "baseline": None if self.baseline is None else dict(self.baseline),
+            "ewma": dict(self.ewma),
+            "last_fired_at": self.last_fired_at,
+            "fired": self.fired,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "_StreamDrift":
+        state = cls()
+        state.packages = int(payload["packages"])
+        state.sums = {str(k): float(v) for k, v in payload["sums"].items()}
+        baseline = payload["baseline"]
+        state.baseline = (
+            None
+            if baseline is None
+            else {str(k): float(v) for k, v in baseline.items()}
+        )
+        state.ewma = {str(k): float(v) for k, v in payload["ewma"].items()}
+        last = payload["last_fired_at"]
+        state.last_fired_at = None if last is None else float(last)
+        state.fired = int(payload["fired"])
+        return state
+
+
+class DriftMonitorBank:
+    """Per-stream drift monitors over the live verdict stream."""
+
+    def __init__(
+        self,
+        config: DriftMonitorConfig | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.config = (config or DriftMonitorConfig()).validate()
+        self._streams: dict[str, _StreamDrift] = {}
+        self._metrics = metrics
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        stream: str,
+        seq: int,
+        time: float,
+        level: int,
+        scenario: str | None = None,
+        version: int | None = None,
+    ) -> "Alert | None":
+        """Feed one judged package; returns a drift alert if one fires.
+
+        ``level`` is the ``LEVEL_*`` verdict tag (0 = normal).  The
+        caller is responsible for routing a returned alert into its
+        pipeline via :meth:`AlertPipeline.inject`.
+        """
+        cfg = self.config
+        state = self._streams.get(stream)
+        if state is None:
+            state = self._streams[stream] = _StreamDrift()
+        state.packages += 1
+
+        x_package = 1.0 if level == LEVEL_PACKAGE else 0.0
+        x_timeseries = 1.0 if level == LEVEL_TIMESERIES else 0.0
+        x_anomaly = 1.0 if level != 0 else 0.0
+        xs = {
+            "package": x_package,
+            "timeseries": x_timeseries,
+            "anomaly": x_anomaly,
+        }
+
+        if state.baseline is None:
+            for kind in RATE_KINDS:
+                state.sums[kind] += xs[kind]
+            if state.packages >= cfg.baseline_packages:
+                state.baseline = {
+                    kind: state.sums[kind] / state.packages for kind in RATE_KINDS
+                }
+                # Seed the EWMA at the baseline so the trip signal
+                # measures the post-attach *rise*, not absolute rate.
+                state.ewma = dict(state.baseline)
+            return None
+
+        alpha = cfg.alpha
+        for kind in RATE_KINDS:
+            state.ewma[kind] += alpha * (xs[kind] - state.ewma[kind])
+
+        if state.packages < cfg.min_packages:
+            return None
+        if state.last_fired_at is not None and time - state.last_fired_at < cfg.cooldown:
+            return None
+
+        for kind in RATE_KINDS:
+            if state.ewma[kind] - state.baseline[kind] > cfg.threshold:
+                return self._fire(
+                    state, stream, seq, time, kind, scenario, version
+                )
+        return None
+
+    def _fire(
+        self,
+        state: _StreamDrift,
+        stream: str,
+        seq: int,
+        time: float,
+        kind: str,
+        scenario: str | None,
+        version: int | None,
+    ) -> "Alert":
+        from repro.serve.alerts import Alert, Severity
+
+        state.last_fired_at = time
+        state.fired += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "drift_alerts_total", "Synthetic drift alerts emitted", kind=kind
+            ).inc()
+        return Alert(
+            stream=stream,
+            seq=seq,
+            time=time,
+            level=0,
+            severity=Severity.MEDIUM,
+            escalated=False,
+            repeats=0,
+            label=0,
+            scenario=scenario,
+            version=version,
+            kind=f"drift:{kind}",
+        )
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Per-stream rate snapshot for the ``/drift`` endpoint."""
+        streams: dict[str, Any] = {}
+        for key in sorted(self._streams):
+            state = self._streams[key]
+            streams[key] = {
+                "packages": state.packages,
+                "baseline": (
+                    {} if state.baseline is None else dict(state.baseline)
+                ),
+                "ewma": dict(state.ewma) if state.baseline is not None else {},
+                "warmed_up": state.baseline is not None,
+                "drift_alerts": state.fired,
+            }
+        return {
+            "streams": streams,
+            "drift_alerts": sum(s.fired for s in self._streams.values()),
+        }
+
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Full JSON-able state: rides gateway checkpoint metadata."""
+        return {
+            "config": self.config.to_dict(),
+            "streams": {
+                key: self._streams[key].to_dict() for key in sorted(self._streams)
+            },
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        self.config = DriftMonitorConfig(**state["config"]).validate()
+        self._streams = {
+            str(key): _StreamDrift.from_dict(payload)
+            for key, payload in state["streams"].items()
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict[str, Any],
+        metrics: "MetricsRegistry | None" = None,
+    ) -> "DriftMonitorBank":
+        bank = cls(DriftMonitorConfig(**state["config"]), metrics=metrics)
+        bank.load_state(state)
+        return bank

@@ -78,6 +78,7 @@ class Alert:
     label: int  # ground-truth attack id when the capture carries one
     scenario: str | None = None  # model lineage that judged the package...
     version: int | None = None  # ...so alert storms correlate with rollouts
+    kind: str = "verdict"  # "verdict" | "drift:<rate>" for synthetic alerts
 
     @property
     def level_name(self) -> str:
@@ -89,6 +90,34 @@ class Alert:
         payload["severity"] = self.severity.name
         payload["level"] = self.level_name
         return payload
+
+
+def alert_from_dict(payload: dict[str, Any]) -> Alert:
+    """Inverse of :meth:`Alert.to_dict` — JSONL replay / post-mortem."""
+    raw_level = payload["level"]
+    if isinstance(raw_level, str):
+        for lvl, name in LEVEL_NAMES.items():
+            if name == raw_level:
+                level = lvl
+                break
+        else:
+            level = int(raw_level)
+    else:
+        level = int(raw_level)
+    version = payload.get("version")
+    return Alert(
+        stream=str(payload["stream"]),
+        seq=int(payload["seq"]),
+        time=float(payload["time"]),
+        level=level,
+        severity=Severity[payload["severity"]],
+        escalated=bool(payload["escalated"]),
+        repeats=int(payload["repeats"]),
+        label=int(payload["label"]),
+        scenario=payload.get("scenario"),
+        version=None if version is None else int(version),
+        kind=str(payload.get("kind", "verdict")),
+    )
 
 
 #: An alert sink: any callable consuming one :class:`Alert`.
@@ -157,6 +186,7 @@ class AlertConfig:
     max_alerts_per_window: int = 20  # per-stream emission cap per rate window
     escalate_threshold: int = 3  # emissions within escalate_window => escalate
     escalate_window: float = 30.0
+    recent_capacity: int = 256  # ring size for RecentAlertsBuffer sinks
 
     def validate(self) -> "AlertConfig":
         if self.dedup_window < 0:
@@ -175,6 +205,10 @@ class AlertConfig:
         if self.escalate_window <= 0:
             raise ValueError(
                 f"escalate_window must be > 0, got {self.escalate_window}"
+            )
+        if self.recent_capacity < 1:
+            raise ValueError(
+                f"recent_capacity must be >= 1, got {self.recent_capacity}"
             )
         return self
 
@@ -203,6 +237,7 @@ class AlertPipeline:
         self._sinks: list[AlertSink] = list(sinks or [])
         self._streams: dict[str, _StreamAlertState] = {}
         self._sink_errors = 0
+        self._injected = 0
         self._metrics = metrics
         self._m_suppressed = (
             None
@@ -288,6 +323,23 @@ class AlertPipeline:
         self._dispatch(alert)
         return alert
 
+    def inject(self, alert: Alert) -> Alert:
+        """Fan a pre-built synthetic alert (e.g. drift) out to sinks.
+
+        Bypasses dedup / rate-limit / escalation bookkeeping entirely so
+        the verdict-alert stream stays bit-identical whether or not
+        monitors are attached — injection is a pure observer path.
+        """
+        self._injected += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "alerts_emitted_total",
+                "Alerts fanned out to sinks",
+                severity=alert.severity.name,
+            ).inc()
+        self._dispatch(alert)
+        return alert
+
     def _dispatch(self, alert: Alert) -> None:
         for sink in self._sinks:
             try:
@@ -312,6 +364,7 @@ class AlertPipeline:
             },
             "emitted": sum(s.emitted for _, s in streams),
             "suppressed": sum(s.suppressed for _, s in streams),
+            "injected": self._injected,
             "sink_errors": self._sink_errors,
         }
 

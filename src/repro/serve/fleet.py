@@ -126,10 +126,16 @@ class FleetConfig:
     worker_mode: str = "thread"
     #: Time every package from send to verdict on every site.
     record_latency: bool = False
+    #: Ring size of the recent-alerts buffer feeding the HTTP API.
+    alerts_buffer: int = 256
 
     def validate(self) -> "FleetConfig":
         if self.num_sites < 1:
             raise ValueError(f"num_sites must be >= 1, got {self.num_sites}")
+        if self.alerts_buffer < 1:
+            raise ValueError(
+                f"alerts_buffer must be >= 1, got {self.alerts_buffer}"
+            )
         if self.driver not in ("threads", "async", "auto"):
             raise ValueError(
                 f"driver must be 'threads', 'async' or 'auto', got "
@@ -222,6 +228,11 @@ class FleetResult:
     @property
     def all_complete(self) -> bool:
         return all(site.complete for site in self.sites)
+
+    @property
+    def incident_counts(self) -> dict:
+        """Correlator counters from the gateway (empty when disabled)."""
+        return dict(self.gateway_stats.get("incidents", {}))
 
     @property
     def all_match_offline(self) -> bool:
@@ -317,9 +328,10 @@ class FleetRunner:
         )
         # Silent pipeline: alert bookkeeping runs, nothing prints (the
         # recent-alerts ring only feeds the HTTP API and metrics).
-        recent = RecentAlertsBuffer()
+        alert_config = AlertConfig(recent_capacity=config.alerts_buffer)
+        recent = RecentAlertsBuffer(alert_config.recent_capacity)
         alerts = AlertPipeline(
-            sinks=[recent], config=AlertConfig(), metrics=self.metrics
+            sinks=[recent], config=alert_config, metrics=self.metrics
         )
         if self.registry is not None:
             gateway = DetectionGateway(

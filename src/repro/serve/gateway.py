@@ -78,6 +78,8 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 from repro.ics.modbus import CrcError
+from repro.obs.incidents import IncidentCorrelator
+from repro.obs.monitors import DriftMonitorBank
 from repro.persistence import (
     ROUTED_GATEWAY_KIND,
     EngineStateView,
@@ -484,6 +486,8 @@ class DetectionGateway:
         model_info: dict[str, Any] | None = None,
         metrics: "MetricsRegistry | None" = None,
         historian: "Historian | None" = None,
+        incidents: "IncidentCorrelator | bool | None" = None,
+        monitors: "DriftMonitorBank | bool | None" = None,
         _engines: "list[StreamEngine] | None" = None,
         _bindings: dict[str, tuple[int, int]] | None = None,
         _routed_shards: "list[dict[tuple[str, int], StreamEngine]] | None" = None,
@@ -501,10 +505,29 @@ class DetectionGateway:
         self._router = router
         self.alerts = alerts if alerts is not None else AlertPipeline()
         self._model_info = dict(model_info) if model_info else None
-        #: Optional observability hooks — both pure observers: neither
-        #: ever influences verdicts, routing or checkpoint contents.
+        #: Optional observability hooks — all pure observers: none of
+        #: them ever influences verdicts or routing.
         self.metrics = metrics
         self.historian = historian
+        #: Incident correlation + drift monitors: on by default (pass
+        #: ``False`` to disable, or a prebuilt instance to share one).
+        #: Their state rides checkpoint meta bit-identically.
+        self.incidents: IncidentCorrelator | None
+        if incidents is False:
+            self.incidents = None
+        elif incidents is None or incidents is True:
+            self.incidents = IncidentCorrelator(metrics=metrics)
+        else:
+            self.incidents = incidents
+        self.monitors: DriftMonitorBank | None
+        if monitors is False:
+            self.monitors = None
+        elif monitors is None or monitors is True:
+            self.monitors = DriftMonitorBank(metrics=metrics)
+        else:
+            self.monitors = monitors
+        if self.incidents is not None:
+            self.alerts.add_sink(self.incidents)
         if metrics is None:
             self._m_packages = None
             self._m_checkpoint_timer = None
@@ -646,6 +669,7 @@ class DetectionGateway:
                 _routed_bindings=restored.bindings,
             )
             gateway._restore_transport_stats(restored.meta)
+            gateway._restore_obs_state(restored.meta)
             return gateway
         if registry is not None or router is not None:
             # A single-detector checkpoint cannot come up as a routed
@@ -677,7 +701,24 @@ class DetectionGateway:
             if route is not None and entry.get("protocol"):
                 route.protocol = str(entry["protocol"])
         gateway._restore_transport_stats(restored.meta)
+        gateway._restore_obs_state(restored.meta)
         return gateway
+
+    def _obs_state_meta(self) -> dict[str, Any]:
+        """Correlator + monitor state for checkpoint metadata."""
+        meta: dict[str, Any] = {}
+        if self.incidents is not None:
+            meta["incidents"] = self.incidents.state_dict()
+        if self.monitors is not None:
+            meta["monitors"] = self.monitors.state_dict()
+        return meta
+
+    def _restore_obs_state(self, meta: dict[str, Any]) -> None:
+        """Resume incident + drift state saved by :meth:`_obs_state_meta`."""
+        if self.incidents is not None and meta.get("incidents"):
+            self.incidents.load_state(meta["incidents"])
+        if self.monitors is not None and meta.get("monitors"):
+            self.monitors.load_state(meta["monitors"])
 
     def _restore_transport_stats(self, meta: dict[str, Any]) -> None:
         """Carry per-dialect edge counters across a fail-over."""
@@ -1284,6 +1325,7 @@ class DetectionGateway:
     def _deliver(self, items, verdicts, levels) -> None:
         max_buffer = self.config.max_write_buffer
         historian = self.historian
+        monitors = self.monitors
         fallback = (self._model_info or {}).get("scenario")
         for (session, seq, package), verdict, level in zip(
             items, verdicts, levels
@@ -1317,6 +1359,13 @@ class DetectionGateway:
                     session.key, seq, package, int(level),
                     scenario=scenario, version=version,
                 )
+            if monitors is not None and session.key is not None:
+                drift = monitors.observe(
+                    session.key, seq, package.time, int(level),
+                    scenario=scenario, version=version,
+                )
+                if drift is not None:
+                    self.alerts.inject(drift)
 
     def _after_work(self, count: int, checkpoint: bool = True) -> None:
         self._processed += count
@@ -1371,6 +1420,7 @@ class DetectionGateway:
                     name: dict(counters)
                     for name, counters in sorted(self._transport_stats.items())
                 },
+                **self._obs_state_meta(),
             }
             if self._router is None:
                 single_bindings = {
@@ -1445,6 +1495,7 @@ class DetectionGateway:
                 name: dict(counters)
                 for name, counters in sorted(self._transport_stats.items())
             },
+            **self._obs_state_meta(),
         }
         if self._router is None:
             assert self.detector is not None
@@ -1543,6 +1594,10 @@ class DetectionGateway:
             "routes": routes,
             "alerts": self.alerts.stats(),
         }
+        if self.incidents is not None:
+            stats["incidents"] = self.incidents.stats()
+        if self.monitors is not None:
+            stats["drift"] = self.monitors.stats()
         if self._router is None:
             if worker_stats is None:
                 stats["shards"] = [

@@ -113,6 +113,68 @@ class TestRouting:
         finally:
             historian.close()
 
+    def test_healthz_reports_uptime_and_version(self):
+        from repro import __version__
+
+        server = ObsServer()
+        content_type, body = _get(server, "/healthz")
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["version"] == __version__
+        assert payload["uptime_seconds"] >= 0
+
+    def test_incidents_endpoint_serves_correlator_snapshot(self):
+        from repro.obs.incidents import CorrelatorConfig, IncidentCorrelator
+        from repro.serve.alerts import Alert, Severity
+
+        correlator = IncidentCorrelator(
+            CorrelatorConfig(window=10.0, resolve_after=30.0)
+        )
+        for i, scenario in enumerate(["gas", "gas", "water"]):
+            correlator(
+                Alert(
+                    stream=f"s{i}",
+                    seq=i,
+                    time=float(i),
+                    level=1,
+                    severity=Severity.HIGH,
+                    escalated=False,
+                    repeats=0,
+                    label=1,
+                    scenario=scenario,
+                    version=1,
+                )
+            )
+        server = ObsServer(incidents=correlator)
+        _, body = _get(server, "/incidents")
+        payload = json.loads(body)
+        assert payload["counts"]["open"] == 2
+        assert len(payload["open"]) == 2
+        _, body = _get(server, "/incidents", {"limit": "1"})
+        assert len(json.loads(body)["open"]) == 1
+
+    def test_drift_endpoint_serves_monitor_stats(self):
+        from repro.obs.monitors import DriftMonitorBank, DriftMonitorConfig
+
+        bank = DriftMonitorBank(
+            DriftMonitorConfig(baseline_packages=2, min_packages=3)
+        )
+        for i in range(5):
+            bank.observe("s1", i, float(i), 0)
+        server = ObsServer(monitors=bank)
+        _, body = _get(server, "/drift")
+        payload = json.loads(body)
+        assert payload["streams"]["s1"]["warmed_up"] is True
+        assert payload["drift_alerts"] == 0
+
+    def test_incidents_and_drift_404_when_missing(self):
+        server = ObsServer()
+        with pytest.raises(Exception, match="no incident correlator"):
+            _get(server, "/incidents")
+        with pytest.raises(Exception, match="no drift monitors"):
+            _get(server, "/drift")
+
     def test_dashboard_renders_html(self, tmp_path):
         historian = Historian(tmp_path / "h")
         try:
@@ -165,5 +227,9 @@ class TestOverSockets:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(request, timeout=5)
             assert excinfo.value.code == 405
+            # ... and say what IS allowed, per RFC 9110.
+            assert excinfo.value.headers["Allow"] == "GET, HEAD"
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5) as resp:
+                assert json.loads(resp.read())["status"] == "ok"
         finally:
             handle.stop()

@@ -1,0 +1,205 @@
+"""Incident correlator unit tests: grouping, lifecycle, state round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.incidents import CorrelatorConfig, Incident, IncidentCorrelator
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.alerts import Alert, Severity
+
+
+def _alert(
+    stream: str = "site-00",
+    seq: int = 0,
+    time: float = 0.0,
+    level: int = 1,
+    severity: Severity = Severity.HIGH,
+    scenario: str | None = "gas_pipeline",
+    version: int | None = 1,
+    kind: str = "verdict",
+) -> Alert:
+    return Alert(
+        stream=stream,
+        seq=seq,
+        time=time,
+        level=level,
+        severity=severity,
+        escalated=False,
+        repeats=0,
+        label=1,
+        scenario=scenario,
+        version=version,
+        kind=kind,
+    )
+
+
+class TestConfig:
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="window"):
+            CorrelatorConfig(window=0).validate()
+        with pytest.raises(ValueError, match="resolve_after"):
+            CorrelatorConfig(window=30, resolve_after=10).validate()
+        with pytest.raises(ValueError, match="group_prefix_parts"):
+            CorrelatorConfig(group_prefix_parts=-1).validate()
+        with pytest.raises(ValueError, match="max_open"):
+            CorrelatorConfig(max_open=0).validate()
+
+
+class TestCorrelation:
+    def test_multi_stream_burst_folds_into_one_incident(self):
+        correlator = IncidentCorrelator()
+        for i, stream in enumerate(["a", "b", "c", "a", "b"]):
+            correlator(_alert(stream=stream, seq=i, time=float(i)))
+        open_incidents = correlator.open_incidents()
+        assert len(open_incidents) == 1
+        incident = open_incidents[0]
+        assert incident.alerts == 5
+        assert sorted(incident.streams) == ["a", "b", "c"]
+        assert incident.streams["a"] == 2
+        assert incident.first_seen == 0.0 and incident.last_seen == 4.0
+
+    def test_distinct_model_routes_open_distinct_incidents(self):
+        correlator = IncidentCorrelator()
+        correlator(_alert(scenario="gas_pipeline", version=1, time=0.0))
+        correlator(_alert(scenario="water_tank", version=1, time=1.0))
+        correlator(_alert(scenario="gas_pipeline", version=2, time=2.0))
+        assert len(correlator.open_incidents()) == 3
+
+    def test_group_prefix_splits_by_site(self):
+        correlator = IncidentCorrelator(CorrelatorConfig(group_prefix_parts=2))
+        correlator(_alert(stream="site-00-gas", time=0.0))
+        correlator(_alert(stream="site-00-aux", time=1.0))
+        correlator(_alert(stream="site-01-gas", time=2.0))
+        groups = {inc.group for inc in correlator.open_incidents()}
+        assert groups == {"site-00", "site-01"}
+
+    def test_severity_is_max_of_members(self):
+        correlator = IncidentCorrelator()
+        correlator(_alert(severity=Severity.MEDIUM, time=0.0))
+        correlator(_alert(severity=Severity.CRITICAL, time=1.0))
+        correlator(_alert(severity=Severity.LOW, time=2.0))
+        incident = correlator.open_incidents()[0]
+        assert incident.severity == int(Severity.CRITICAL)
+        assert incident.to_dict()["severity"] == "CRITICAL"
+
+    def test_kind_counters_track_drift_vs_verdict(self):
+        correlator = IncidentCorrelator()
+        correlator(_alert(time=0.0))
+        correlator(_alert(time=1.0, kind="drift:package"))
+        incident = correlator.open_incidents()[0]
+        assert incident.kinds == {"verdict": 1, "drift:package": 1}
+
+
+class TestLifecycle:
+    def test_quiet_gap_past_window_opens_a_fresh_incident(self):
+        correlator = IncidentCorrelator(
+            CorrelatorConfig(window=10.0, resolve_after=100.0)
+        )
+        correlator(_alert(time=0.0))
+        correlator(_alert(time=5.0))  # within window: same incident
+        correlator(_alert(time=50.0))  # past window: new incident
+        assert len(correlator.open_incidents()) == 1
+        resolved = correlator.resolved_incidents()
+        assert len(resolved) == 1
+        assert resolved[0].status == "resolved"
+        assert resolved[0].alerts == 2
+
+    def test_resolve_after_sweeps_idle_incidents(self):
+        correlator = IncidentCorrelator(
+            CorrelatorConfig(window=10.0, resolve_after=30.0)
+        )
+        correlator(_alert(scenario="gas_pipeline", time=0.0))
+        # A different key advances the global clock past resolve_after.
+        correlator(_alert(scenario="water_tank", time=100.0))
+        assert len(correlator.open_incidents()) == 1
+        assert correlator.open_incidents()[0].scenario == "water_tank"
+        assert len(correlator.resolved_incidents()) == 1
+
+    def test_open_store_is_bounded(self):
+        correlator = IncidentCorrelator(
+            CorrelatorConfig(window=10.0, resolve_after=1000.0, max_open=3)
+        )
+        for i in range(6):
+            correlator(_alert(scenario=f"s{i}", time=float(i)))
+        assert len(correlator.open_incidents()) == 3
+        stats = correlator.stats()
+        assert stats["opened_total"] == 6
+        assert stats["resolved_total"] == 3
+
+    def test_resolved_store_is_bounded(self):
+        correlator = IncidentCorrelator(
+            CorrelatorConfig(
+                window=1.0, resolve_after=1.0, max_open=1, max_resolved=2
+            )
+        )
+        for i in range(6):
+            correlator(_alert(time=float(i * 100)))
+        assert len(correlator.resolved_incidents()) == 2
+        assert correlator.stats()["resolved_total"] == 5
+
+    def test_incident_ids_are_sequential(self):
+        correlator = IncidentCorrelator()
+        correlator(_alert(scenario="a", time=0.0))
+        correlator(_alert(scenario="b", time=1.0))
+        assert [inc.id for inc in correlator.open_incidents()] == [1, 2]
+
+
+class TestStateRoundTrip:
+    def _populated(self) -> IncidentCorrelator:
+        correlator = IncidentCorrelator(
+            CorrelatorConfig(window=10.0, resolve_after=30.0)
+        )
+        for i, stream in enumerate(["a", "b", "c"]):
+            correlator(_alert(stream=stream, seq=i, time=float(i)))
+        correlator(_alert(scenario="water_tank", time=200.0))
+        return correlator
+
+    def test_state_dict_survives_json(self):
+        correlator = self._populated()
+        state = json.loads(json.dumps(correlator.state_dict()))
+        restored = IncidentCorrelator.from_state(state)
+        assert restored.state_dict() == correlator.state_dict()
+        assert restored.snapshot() == correlator.snapshot()
+
+    def test_restored_correlator_continues_identically(self):
+        correlator = self._populated()
+        restored = IncidentCorrelator.from_state(
+            json.loads(json.dumps(correlator.state_dict()))
+        )
+        tail = [
+            _alert(stream="d", seq=9, time=205.0, scenario="water_tank"),
+            _alert(stream="e", seq=10, time=400.0),
+        ]
+        for alert in tail:
+            correlator(alert)
+            restored(alert)
+        assert restored.state_dict() == correlator.state_dict()
+
+    def test_incident_dict_round_trip(self):
+        correlator = self._populated()
+        for incident in correlator.open_incidents():
+            clone = Incident.from_dict(
+                json.loads(json.dumps(incident.to_dict()))
+            )
+            assert clone.to_dict() == incident.to_dict()
+
+
+class TestMetricsInstrumentation:
+    def test_open_gauge_and_total_counter(self):
+        registry = MetricsRegistry()
+        correlator = IncidentCorrelator(
+            CorrelatorConfig(window=10.0, resolve_after=30.0), metrics=registry
+        )
+        correlator(_alert(scenario="gas_pipeline", time=0.0))
+        correlator(_alert(scenario="gas_pipeline", time=1.0))
+        correlator(_alert(scenario="water_tank", time=2.0))
+        snapshot = registry.snapshot()
+        assert snapshot["incidents_open"]["samples"][0]["value"] == 2
+        totals = {
+            sample["labels"]["scenario"]: sample["value"]
+            for sample in snapshot["incidents_total"]["samples"]
+        }
+        assert totals == {"gas_pipeline": 1, "water_tank": 1}

@@ -153,3 +153,89 @@ class TestPrometheusExposition:
     def test_default_bucket_ladders_are_sane(self):
         assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
         assert list(DEFAULT_SIZE_BUCKETS) == sorted(DEFAULT_SIZE_BUCKETS)
+
+
+def _unescape_label_value(escaped: str) -> str:
+    """Decode a Prometheus-escaped label value (what a scraper does)."""
+    out: list[str] = []
+    i = 0
+    while i < len(escaped):
+        ch = escaped[i]
+        if ch == "\\":
+            nxt = escaped[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class TestPrometheusConformance:
+    """Exposition-format conformance a real scraper would rely on."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "back\\slash",
+            'quo"te',
+            "new\nline",
+            'all\\of"them\ntogether',
+            "\\n is not a newline",  # literal backslash-n must survive
+        ],
+    )
+    def test_label_value_escaping_round_trips(self, value):
+        registry = MetricsRegistry()
+        registry.counter("rt_total", label=value).inc()
+        text = registry.render_prometheus()
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("rt_total{")
+        )
+        escaped = line[len('rt_total{label="') : line.rindex('"')]
+        assert "\n" not in escaped  # exposition stays one line per sample
+        assert _unescape_label_value(escaped) == value
+
+    def test_histogram_inf_bucket_equals_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0, 50.0, float("inf")):
+            hist.observe(value)
+        lines = registry.render_prometheus().splitlines()
+        inf_line = next(
+            ln for ln in lines if ln.startswith('lat_seconds_bucket{le="+Inf"}')
+        )
+        count_line = next(
+            ln for ln in lines if ln.startswith("lat_seconds_count")
+        )
+        assert inf_line.rsplit(" ", 1)[1] == count_line.rsplit(" ", 1)[1] == "5"
+
+    def test_histogram_count_and_sum_match_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sz_bytes", buckets=(10.0, 100.0))
+        samples = [3.0, 30.0, 300.0, 7.5]
+        for value in samples:
+            hist.observe(value)
+        lines = registry.render_prometheus().splitlines()
+        count = float(
+            next(ln for ln in lines if ln.startswith("sz_bytes_count"))
+            .rsplit(" ", 1)[1]
+        )
+        total = float(
+            next(ln for ln in lines if ln.startswith("sz_bytes_sum"))
+            .rsplit(" ", 1)[1]
+        )
+        assert count == len(samples)
+        assert total == pytest.approx(sum(samples))
+
+    def test_histogram_buckets_are_cumulative_and_monotone(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("m_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        counts = [
+            int(ln.rsplit(" ", 1)[1])
+            for ln in registry.render_prometheus().splitlines()
+            if ln.startswith("m_seconds_bucket{")
+        ]
+        assert counts == sorted(counts)  # cumulative => non-decreasing
+        assert counts[-1] == 4  # +Inf bucket last and == count

@@ -1,0 +1,153 @@
+"""Drift monitor unit tests: baseline, EWMA trip wire, state round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.stream_engine import LEVEL_PACKAGE, LEVEL_TIMESERIES
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitors import DriftMonitorBank, DriftMonitorConfig
+from repro.serve.alerts import AlertConfig, AlertPipeline, Severity
+
+FAST = DriftMonitorConfig(
+    baseline_packages=50,
+    min_packages=60,
+    alpha=0.05,
+    threshold=0.2,
+    cooldown=30.0,
+)
+
+
+def _feed(bank, stream, start, count, level, step=1.0):
+    """Feed ``count`` packages of one verdict level; collect fired alerts."""
+    fired = []
+    for i in range(count):
+        seq = start + i
+        alert = bank.observe(stream, seq, seq * step, level)
+        if alert is not None:
+            fired.append(alert)
+    return fired
+
+
+class TestConfig:
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="baseline_packages"):
+            DriftMonitorConfig(baseline_packages=0).validate()
+        with pytest.raises(ValueError, match="min_packages"):
+            DriftMonitorConfig(baseline_packages=10, min_packages=5).validate()
+        with pytest.raises(ValueError, match="alpha"):
+            DriftMonitorConfig(alpha=0.0).validate()
+        with pytest.raises(ValueError, match="threshold"):
+            DriftMonitorConfig(threshold=1.5).validate()
+
+
+class TestDriftDetection:
+    def test_rising_fp_rate_fires_a_package_drift_alert(self):
+        bank = DriftMonitorBank(FAST)
+        assert _feed(bank, "s1", 0, 50, 0) == []  # clean baseline
+        fired = _feed(bank, "s1", 50, 250, LEVEL_PACKAGE)
+        assert fired, "rising level-1 rate never fired"
+        first = fired[0]
+        assert first.kind == "drift:package"
+        assert first.stream == "s1"
+        assert first.level == 0
+        assert first.severity == Severity.MEDIUM
+
+    def test_rising_lstm_miss_rate_fires_timeseries_drift(self):
+        bank = DriftMonitorBank(FAST)
+        _feed(bank, "s1", 0, 50, 0)
+        fired = _feed(bank, "s1", 50, 250, LEVEL_TIMESERIES)
+        assert fired and fired[0].kind == "drift:timeseries"
+
+    def test_clean_stream_never_fires(self):
+        bank = DriftMonitorBank(FAST)
+        assert _feed(bank, "s1", 0, 1000, 0) == []
+
+    def test_anomalous_baseline_is_the_reference(self):
+        # A stream that was already 100% anomalous at attach time shows
+        # no *rise* — drift measures aging, not absolute badness.
+        bank = DriftMonitorBank(FAST)
+        assert _feed(bank, "s1", 0, 1000, LEVEL_PACKAGE) == []
+
+    def test_cooldown_spaces_repeat_alerts_on_the_stream_clock(self):
+        bank = DriftMonitorBank(FAST)
+        _feed(bank, "s1", 0, 50, 0)
+        fired = _feed(bank, "s1", 50, 550, LEVEL_PACKAGE)
+        assert len(fired) >= 2
+        for earlier, later in zip(fired, fired[1:]):
+            assert later.time - earlier.time >= FAST.cooldown
+
+    def test_streams_are_independent(self):
+        bank = DriftMonitorBank(FAST)
+        _feed(bank, "good", 0, 50, 0)
+        _feed(bank, "bad", 0, 50, 0)
+        fired_bad = _feed(bank, "bad", 50, 250, LEVEL_PACKAGE)
+        fired_good = _feed(bank, "good", 50, 250, 0)
+        assert fired_bad and not fired_good
+        stats = bank.stats()
+        assert stats["streams"]["bad"]["drift_alerts"] == len(fired_bad)
+        assert stats["streams"]["good"]["drift_alerts"] == 0
+
+    def test_route_rides_the_drift_alert(self):
+        bank = DriftMonitorBank(FAST)
+        for i in range(400):
+            alert = bank.observe(
+                "s1",
+                i,
+                float(i),
+                LEVEL_PACKAGE if i >= 50 else 0,
+                scenario="gas_pipeline",
+                version=3,
+            )
+            if alert is not None:
+                assert alert.scenario == "gas_pipeline"
+                assert alert.version == 3
+                return
+        raise AssertionError("no drift alert fired")
+
+
+class TestStateRoundTrip:
+    def test_state_survives_json_and_continues_identically(self):
+        bank = DriftMonitorBank(FAST)
+        _feed(bank, "s1", 0, 50, 0)
+        _feed(bank, "s1", 50, 100, LEVEL_PACKAGE)
+        restored = DriftMonitorBank.from_state(
+            json.loads(json.dumps(bank.state_dict()))
+        )
+        assert restored.state_dict() == bank.state_dict()
+        live_tail = _feed(bank, "s1", 150, 200, LEVEL_PACKAGE)
+        restored_tail = _feed(restored, "s1", 150, 200, LEVEL_PACKAGE)
+        assert [a.to_dict() for a in live_tail] == [
+            a.to_dict() for a in restored_tail
+        ]
+        assert restored.state_dict() == bank.state_dict()
+
+
+class TestPipelineInjection:
+    def test_inject_reaches_sinks_without_touching_dedup_state(self):
+        seen = []
+        pipeline = AlertPipeline([seen.append], config=AlertConfig())
+        baseline_stats = pipeline.stats()
+        bank = DriftMonitorBank(FAST)
+        _feed(bank, "s1", 0, 50, 0)
+        fired = _feed(bank, "s1", 50, 250, LEVEL_PACKAGE)
+        for alert in fired:
+            pipeline.inject(alert)
+        assert [a.kind for a in seen] == ["drift:package"] * len(fired)
+        stats = pipeline.stats()
+        assert stats["injected"] == len(fired)
+        # Verdict-side bookkeeping untouched: bit-identical alert stream.
+        assert stats["streams"] == baseline_stats["streams"]
+        assert stats["emitted"] == 0
+
+    def test_drift_metric_counts_by_kind(self):
+        registry = MetricsRegistry()
+        bank = DriftMonitorBank(FAST, metrics=registry)
+        _feed(bank, "s1", 0, 50, 0)
+        fired = _feed(bank, "s1", 50, 250, LEVEL_PACKAGE)
+        samples = registry.snapshot()["drift_alerts_total"]["samples"]
+        assert samples == [
+            {"labels": {"kind": "package"}, "value": len(fired)}
+        ]
