@@ -26,6 +26,9 @@ the gas-pipeline simulator:
   ``publish`` a trained artifact as a scenario's next version, ``list``
   the published lineages, ``promote`` (or roll back to) a version —
   a live ``repro serve --registry`` gateway hot-swaps on promotion,
+- ``trace``   — aggregate trace spans exported by ``serve``/``fleet``
+  (``--trace-sample``/``--trace-export``) into a per-stage latency
+  attribution table (p50/p99, critical-path share),
 - ``info``    — inspect any artifact's kind, schema version and
   provenance without loading its arrays.
 
@@ -70,7 +73,10 @@ from repro.obs import (
     IncidentCorrelator,
     MetricsRegistry,
     ObsServer,
+    TraceConfig,
+    Tracer,
 )
+from repro.obs.tracing import STAGE_ORDER, aggregate_spans, load_spans
 from repro.registry import ModelRegistry, RegistryError
 from repro.scenarios import get_scenario, scenario_names
 from repro.serve.alerts import (
@@ -214,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="recent-alerts ring capacity served over /alerts/recent",
     )
+    _add_trace_options(serve)
 
     replay_cmd = commands.add_parser(
         "replay", help="stream a capture at a live gateway over real sockets"
@@ -341,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="recent-alerts ring capacity served over /alerts/recent",
     )
+    _add_trace_options(fleet)
     fleet.add_argument("--json", dest="json_out", default=None)
 
     registry_cmd = commands.add_parser(
@@ -416,6 +424,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     incidents_cmd.add_argument("--json", dest="json_out", default=None)
 
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="aggregate exported trace spans offline into a per-stage "
+        "latency attribution table (p50/p99, critical-path share)",
+    )
+    trace_cmd.add_argument(
+        "--spans",
+        required=True,
+        help="JSONL span export written by `repro serve --trace-export`",
+    )
+    trace_cmd.add_argument(
+        "--scenario", default=None, help="only spans judged by this scenario"
+    )
+    trace_cmd.add_argument("--json", dest="json_out", default=None)
+
     info = commands.add_parser("info", help="inspect an artifact header")
     info.add_argument("path")
     return parser
@@ -448,6 +471,44 @@ def _add_profile_options(
     parser.add_argument(
         "--hidden", default=None, help="override LSTM widths, e.g. 64,64"
     )
+
+
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="trace every Nth package per stream through the serving "
+        "path (0 = tracing off); sampling is seeded from the stream "
+        "clock, so replays select the same packages",
+    )
+    parser.add_argument(
+        "--trace-export",
+        default=None,
+        metavar="PATH",
+        help="append finished spans to this JSONL file (aggregate "
+        "offline with `repro trace --spans PATH`)",
+    )
+
+
+def _build_tracer(
+    args: argparse.Namespace, metrics: MetricsRegistry | None
+) -> Tracer | None:
+    """Tracer from --trace-sample/--trace-export, or None when off."""
+    if args.trace_sample <= 0:
+        if args.trace_export:
+            raise SystemExit(
+                "error: --trace-export needs --trace-sample >= 1"
+            )
+        return None
+    try:
+        config = TraceConfig(
+            sample_every=args.trace_sample, export_path=args.trace_export
+        ).validate()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    return Tracer(config, metrics=metrics)
 
 
 def _resolve_profile(
@@ -677,6 +738,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
     metrics = MetricsRegistry()
+    tracer = _build_tracer(args, metrics)
     historian = (
         Historian(args.historian, metrics=metrics) if args.historian else None
     )
@@ -698,7 +760,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             gateway = DetectionGateway.from_checkpoint(
                 args.checkpoint, config, pipeline, detector,
                 registry=registry, model_info=model_info,
-                metrics=metrics, historian=historian,
+                metrics=metrics, historian=historian, tracer=tracer,
             )
         except ValueError as exc:
             # Checkpoint kind / serving mode mismatch (e.g. a routed
@@ -714,7 +776,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         gateway = DetectionGateway(
             config=config, alerts=pipeline, registry=registry,
-            metrics=metrics, historian=historian,
+            metrics=metrics, historian=historian, tracer=tracer,
         )
         print(
             f"serving heterogeneously from {args.registry} "
@@ -725,7 +787,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise SystemExit(f"no checkpoint at {args.checkpoint}; pass --model")
         gateway = DetectionGateway(
             detector, config, pipeline, model_info=model_info,
-            metrics=metrics, historian=historian,
+            metrics=metrics, historian=historian, tracer=tracer,
         )
 
     async def run() -> None:
@@ -777,6 +839,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     asyncio.run(run())
     stats = gateway.stats()
     _print_serve_summary(stats)
+    if tracer is not None:
+        tstats = tracer.stats()
+        tracer.close()
+        if args.trace_export:
+            print(
+                f"traces: exported {tstats['spans_exported']} span(s) "
+                f"to {args.trace_export}"
+            )
     if historian is not None:
         hstats = historian.stats()
         historian.close()
@@ -804,6 +874,18 @@ def _print_serve_summary(stats: dict[str, Any]) -> None:
             f"{incidents['resolved_total']} resolved "
             f"({incidents['alerts_absorbed']} alerts absorbed), "
             f"drift alerts {drift.get('drift_alerts', 0)}"
+        )
+    tracing = stats.get("tracing")
+    if tracing is not None:
+        stages = ", ".join(
+            f"{stage} p50 {tracing['stages'][stage]['p50_seconds'] * 1e3:.2f}ms"
+            for stage in STAGE_ORDER
+            if stage in tracing["stages"]
+        )
+        print(
+            f"tracing: {tracing['spans_finished']} span(s) at "
+            f"1/{tracing['sample_every']} sampling"
+            + (f" ({stages})" if stages else "")
         )
     for name, counters in sorted(stats["transport"].items()):
         print(
@@ -958,11 +1040,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         raise SystemExit(f"error: {exc.args[0]}") from exc
 
+    metrics = MetricsRegistry() if args.http_port is not None else None
+    tracer = _build_tracer(args, metrics)
     runner = FleetRunner(
         detector,
         config,
         registry=registry,
-        metrics=MetricsRegistry() if args.http_port is not None else None,
+        metrics=metrics,
+        tracer=tracer,
         http_port=args.http_port,
     )
     if args.http_port is not None:
@@ -1019,6 +1104,26 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"{incident_counts.get('resolved_total', 0)} resolved "
             f"({incident_counts.get('alerts_absorbed', 0)} alerts absorbed)"
         )
+    drift_counts = result.drift_counts
+    if drift_counts:
+        by_kind = ", ".join(
+            f"{kind} {count}" for kind, count in sorted(drift_counts.items())
+        )
+        print(
+            f"  drift alerts: {sum(drift_counts.values())} ({by_kind})"
+        )
+    if tracer is not None:
+        tstats = tracer.stats()
+        tracer.close()
+        print(
+            f"  traces: {tstats['spans_finished']} span(s) at "
+            f"1/{tstats['sample_every']} sampling"
+            + (
+                f", exported to {args.trace_export}"
+                if args.trace_export
+                else ""
+            )
+        )
     if not args.no_verify:
         print(
             "  per-stream verdicts bit-identical to offline detect(): "
@@ -1052,6 +1157,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             "seconds": result.seconds,
             "packages_per_second": result.packages_per_second,
             "incidents": result.incident_counts,
+            "drift": result.drift_counts,
             # null when verification was skipped — a vacuous true would
             # let CI gates "pass" a drill that never ran.
             "all_match_offline": (
@@ -1209,6 +1315,39 @@ def _cmd_incidents(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Offline stage-latency attribution from an exported span log."""
+    try:
+        records = load_spans(args.spans)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    summary = aggregate_spans(records, scenario=args.scenario)
+    scope = f" (scenario {args.scenario})" if args.scenario else ""
+    print(f"{summary['spans']} span(s) from {args.spans}{scope}")
+    if summary["spans"]:
+        print(
+            f"  total: p50 {summary['total_p50_seconds'] * 1e3:.3f}ms  "
+            f"p99 {summary['total_p99_seconds'] * 1e3:.3f}ms"
+        )
+        print(
+            f"  {'stage':<8} {'spans':>6} {'p50 ms':>9} {'p99 ms':>9} "
+            f"{'mean ms':>9} {'share':>7}"
+        )
+        for stage, row in summary["stages"].items():
+            print(
+                f"  {stage:<8} {row['count']:>6} "
+                f"{row['p50_seconds'] * 1e3:>9.3f} "
+                f"{row['p99_seconds'] * 1e3:>9.3f} "
+                f"{row['mean_seconds'] * 1e3:>9.3f} "
+                f"{row['share'] * 100:>6.1f}%"
+            )
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "detect": _cmd_detect,
@@ -1219,6 +1358,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "registry": _cmd_registry,
     "incidents": _cmd_incidents,
+    "trace": _cmd_trace,
     "info": _cmd_info,
 }
 

@@ -10,6 +10,9 @@ Independent pieces that the serving stack threads together:
   alert storms into open/resolved incidents;
 - :mod:`repro.obs.monitors` — per-stream drift monitors (EWMA verdict
   rates vs. attach-time baseline) emitting synthetic drift alerts;
+- :mod:`repro.obs.tracing` — per-package span pipeline with
+  deterministic stream-clock-seeded sampling, stage-latency
+  attribution and JSONL export for offline analysis;
 - :mod:`repro.obs.httpapi` — asyncio stdlib HTTP server exposing all of
   the above (plus gateway stats, model registry and recent alerts)
   read-only.
@@ -27,6 +30,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.monitors import DriftMonitorBank, DriftMonitorConfig
+from repro.obs.tracing import TraceConfig, Tracer, TraceSpan
 
 __all__ = [
     "CorrelatorConfig",
@@ -45,5 +49,8 @@ __all__ = [
     "MetricsRegistry",
     "ObsServer",
     "ObsServerHandle",
+    "TraceConfig",
+    "TraceSpan",
+    "Tracer",
     "start_obs_in_thread",
 ]

@@ -13,6 +13,8 @@ to browsers, scripts and Prometheus scrapers:
 ``/incidents``        correlated incidents, open + recently resolved (JSON)
 ``/drift``            per-stream drift-monitor rates vs. baseline (JSON)
 ``/historian/query``  verdict-historian range query (JSON)
+``/traces/recent``    newest sampled package traces with stage times (JSON)
+``/traces/slowest``   slowest exemplar traces per (scenario, stage) (JSON)
 ====================  ==================================================
 
 ``/historian/query`` accepts ``stream``, ``scenario``, ``since``,
@@ -20,6 +22,10 @@ to browsers, scripts and Prometheus scrapers:
 :meth:`repro.obs.historian.Historian.query`; the live write buffer is
 flushed before the scan so a query always covers every verdict already
 delivered.
+
+Errors come back as JSON bodies — ``{"error": ..., "status": ...}`` —
+with the matching status code (400 on malformed query parameters, 404
+on unknown paths or unattached subsystems), never an HTML traceback.
 
 The server is **strictly read-only** — every endpoint answers GET (and
 HEAD) only, mutating nothing, so exposing it on an ops network cannot
@@ -49,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.incidents import IncidentCorrelator
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.monitors import DriftMonitorBank
+    from repro.obs.tracing import Tracer
     from repro.registry.store import ModelRegistry
     from repro.serve.alerts import RecentAlertsBuffer
     from repro.serve.gateway import DetectionGateway
@@ -80,6 +87,10 @@ class _HttpError(Exception):
         self.headers = headers or {}
 
 
+def _error_body(status: int, message: str) -> bytes:
+    return json.dumps({"error": message, "status": status}).encode("utf-8")
+
+
 def _json_default(value: Any) -> Any:
     """Last-resort JSON coercion for numpy scalars riding stats dicts."""
     for attr in ("item",):
@@ -102,6 +113,7 @@ class ObsServer:
         registry: "ModelRegistry | None" = None,
         incidents: "IncidentCorrelator | None" = None,
         monitors: "DriftMonitorBank | None" = None,
+        tracer: "Tracer | None" = None,
         host: str = "127.0.0.1",
         port: int = 0,
         title: str = "repro fleet",
@@ -122,6 +134,9 @@ class ObsServer:
         self._monitors = monitors
         if monitors is None and gateway is not None:
             self._monitors = getattr(gateway, "monitors", None)
+        self._tracer = tracer
+        if tracer is None and gateway is not None:
+            self._tracer = getattr(gateway, "tracer", None)
         self._host = host
         self._port = port
         self._title = title
@@ -170,7 +185,8 @@ class ObsServer:
             ):
                 return
             if len(head) > _MAX_REQUEST_BYTES:
-                status, content_type, body = 400, "text/plain", b"request too large"
+                status, content_type = 400, "application/json"
+                body = _error_body(400, "request too large")
                 extra: dict[str, str] = {}
             else:
                 status, content_type, body, extra = self._respond(head)
@@ -221,9 +237,21 @@ class ObsServer:
                 body = b""
             return 200, content_type, body, {}
         except _HttpError as exc:
-            return exc.status, "text/plain", exc.message.encode("utf-8"), exc.headers
+            # Machine-readable errors: a malformed query parameter is a
+            # JSON 400 a client can parse, never an HTML traceback.
+            return (
+                exc.status,
+                "application/json",
+                _error_body(exc.status, exc.message),
+                exc.headers,
+            )
         except Exception as exc:  # noqa: BLE001 - must answer, not crash
-            return 500, "text/plain", f"internal error: {exc}".encode("utf-8"), {}
+            return (
+                500,
+                "application/json",
+                _error_body(500, f"internal error: {exc}"),
+                {},
+            )
 
     # -- routing -------------------------------------------------------
 
@@ -275,6 +303,23 @@ class ObsServer:
             return "application/json", self._json(
                 self._historian_query(params)
             )
+        if path == "/traces/recent":
+            if self._tracer is None:
+                raise _HttpError(404, "no tracer attached")
+            unknown = set(params) - {"limit"}
+            if unknown:
+                raise _HttpError(400, f"unknown parameters: {sorted(unknown)}")
+            limit = self._int_param(params, "limit")
+            spans = self._tracer.recent(50 if limit is None else limit)
+            return "application/json", self._json(
+                {"count": len(spans), "spans": spans}
+            )
+        if path == "/traces/slowest":
+            if self._tracer is None:
+                raise _HttpError(404, "no tracer attached")
+            return "application/json", self._json(
+                {"slowest": self._tracer.slowest()}
+            )
         raise _HttpError(404, f"unknown path {path!r}")
 
     @staticmethod
@@ -289,9 +334,13 @@ class ObsServer:
         if raw is None:
             return None
         try:
-            return int(raw)
+            value = int(raw)
         except ValueError as exc:
             raise _HttpError(400, f"{name} must be an integer: {raw!r}") from exc
+        if value < 0:
+            # A negative limit would silently flip python slicing.
+            raise _HttpError(400, f"{name} must be >= 0: {raw!r}")
+        return value
 
     @staticmethod
     def _float_param(params: dict[str, str], name: str) -> float | None:
@@ -489,6 +538,32 @@ class ObsServer:
                 sections.append(
                     f"<h2>Recent alerts</h2><table>{head}{rows}</table>"
                 )
+        if self._tracer is not None:
+            tstats = self._tracer.stats()
+            summary = tstats.get("stages", {})
+            head = (
+                "<tr><th>stage</th><th>spans</th><th>p50 ms</th>"
+                "<th>p99 ms</th><th>critical-path share</th></tr>"
+            )
+            rows = "".join(
+                "<tr>"
+                f"<td>{html.escape(stage)}</td>"
+                f"<td>{entry['count']}</td>"
+                f"<td>{entry['p50_seconds'] * 1e3:.3f}</td>"
+                f"<td>{entry['p99_seconds'] * 1e3:.3f}</td>"
+                "<td><div style=\"background:#9cf;height:10px;"
+                f"width:{max(1, round(entry['share'] * 200))}px\"></div>"
+                f"{entry['share'] * 100:.1f}%</td>"
+                "</tr>"
+                for stage, entry in summary.items()
+            )
+            if not rows:
+                rows = '<tr><td colspan="5">no spans sampled yet</td></tr>'
+            sections.append(
+                f"<h2>Tracing (1/{tstats['sample_every']} sampled, "
+                f"{tstats['spans_finished']} spans)</h2>"
+                f"<table>{head}{rows}</table>"
+            )
         if self._historian is not None:
             hstats = self._historian.stats()
             sections.append(
@@ -510,6 +585,8 @@ class ObsServer:
                 "/incidents",
                 "/drift",
                 "/historian/query?limit=50",
+                "/traces/recent",
+                "/traces/slowest",
             )
         )
         body = "".join(sections) or "<p>nothing attached yet</p>"

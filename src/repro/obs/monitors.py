@@ -82,7 +82,15 @@ class DriftMonitorConfig:
 class _StreamDrift:
     """Per-stream baseline + EWMA state."""
 
-    __slots__ = ("packages", "sums", "baseline", "ewma", "last_fired_at", "fired")
+    __slots__ = (
+        "packages",
+        "sums",
+        "baseline",
+        "ewma",
+        "last_fired_at",
+        "fired",
+        "fired_by_kind",
+    )
 
     def __init__(self) -> None:
         self.packages = 0
@@ -91,6 +99,7 @@ class _StreamDrift:
         self.ewma = {kind: 0.0 for kind in RATE_KINDS}
         self.last_fired_at: float | None = None  # stream clock
         self.fired = 0
+        self.fired_by_kind: dict[str, int] = {}
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -100,6 +109,7 @@ class _StreamDrift:
             "ewma": dict(self.ewma),
             "last_fired_at": self.last_fired_at,
             "fired": self.fired,
+            "fired_by_kind": dict(self.fired_by_kind),
         }
 
     @classmethod
@@ -117,6 +127,11 @@ class _StreamDrift:
         last = payload["last_fired_at"]
         state.last_fired_at = None if last is None else float(last)
         state.fired = int(payload["fired"])
+        # Pre-by-kind checkpoints carry no breakdown; start one empty.
+        state.fired_by_kind = {
+            str(k): int(v)
+            for k, v in payload.get("fired_by_kind", {}).items()
+        }
         return state
 
 
@@ -206,6 +221,7 @@ class DriftMonitorBank:
 
         state.last_fired_at = time
         state.fired += 1
+        state.fired_by_kind[kind] = state.fired_by_kind.get(kind, 0) + 1
         if self._metrics is not None:
             self._metrics.counter(
                 "drift_alerts_total", "Synthetic drift alerts emitted", kind=kind
@@ -240,9 +256,14 @@ class DriftMonitorBank:
                 "warmed_up": state.baseline is not None,
                 "drift_alerts": state.fired,
             }
+        by_kind = {kind: 0 for kind in RATE_KINDS}
+        for state in self._streams.values():
+            for kind, count in state.fired_by_kind.items():
+                by_kind[kind] = by_kind.get(kind, 0) + count
         return {
             "streams": streams,
             "drift_alerts": sum(s.fired for s in self._streams.values()),
+            "by_kind": by_kind,
         }
 
     # ------------------------------------------------------------------

@@ -54,6 +54,7 @@ AUTO_ASYNC_THRESHOLD = 16
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.historian import Historian
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Tracer
     from repro.registry.store import ModelRegistry
 
 
@@ -235,6 +236,15 @@ class FleetResult:
         return dict(self.gateway_stats.get("incidents", {}))
 
     @property
+    def drift_counts(self) -> dict:
+        """Drift alerts fired by kind (empty when monitors disabled)."""
+        drift = self.gateway_stats.get("drift", {})
+        return {
+            str(kind): int(count)
+            for kind, count in drift.get("by_kind", {}).items()
+        }
+
+    @property
     def all_match_offline(self) -> bool:
         """True when every verified site matched offline detection."""
         return all(site.matches_offline is not False for site in self.sites)
@@ -275,6 +285,7 @@ class FleetRunner:
         registry: "ModelRegistry | None" = None,
         metrics: "MetricsRegistry | None" = None,
         historian: "Historian | None" = None,
+        tracer: "Tracer | None" = None,
         http_port: int | None = None,
     ) -> None:
         if (detector is None) == (registry is None):
@@ -291,6 +302,7 @@ class FleetRunner:
         #: port to serve both on for the duration of :meth:`run`.
         self.metrics = metrics
         self.historian = historian
+        self.tracer = tracer
         self.http_port = http_port
         #: Bound (host, port) of the observability server while a run
         #: with ``http_port`` is live.
@@ -340,6 +352,7 @@ class FleetRunner:
                 registry=self.registry,
                 metrics=self.metrics,
                 historian=self.historian,
+                tracer=self.tracer,
             )
             handle = start_in_thread(None, gateway=gateway)
         else:
@@ -349,6 +362,7 @@ class FleetRunner:
                 alerts,
                 metrics=self.metrics,
                 historian=self.historian,
+                tracer=self.tracer,
             )
         obs_handle = None
         if self.http_port is not None:

@@ -134,6 +134,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ics.features import Package
     from repro.obs.historian import Historian
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Tracer
     from repro.registry.store import ModelRegistry
 
 #: Route key of the lone engine pool slot in single-detector mode.
@@ -401,6 +402,12 @@ class _Shard:
         """One tick on the in-process (thread-mode) engine pool."""
         started = perf_counter() if self._t_tick is not None else 0.0
         tick, leftover = self._build_tick(pending)
+        tracing = self.gateway.tracer is not None
+        if tracing:
+            now = perf_counter()
+            for item in tick.values():
+                if item[3] is not None:
+                    item[3].stages["queue"] = now - item[3].mark
         outputs = []
         for route_key, by_stream in self._group_tick(tick).items():
             engine = self.engines[route_key]
@@ -408,7 +415,15 @@ class _Shard:
                 stream_id: item[2]
                 for stream_id, item in by_stream.items()
             }
-            verdicts, levels = engine.observe_batch(batch)
+            if tracing:
+                group_started = perf_counter()
+                verdicts, levels = engine.observe_batch(batch)
+                group_seconds = perf_counter() - group_started
+                for item in by_stream.values():
+                    if item[3] is not None:
+                        item[3].stages["tick"] = group_seconds
+            else:
+                verdicts, levels = engine.observe_batch(batch)
             outputs.append((list(by_stream.values()), verdicts, levels))
         # Account (and maybe checkpoint) before delivery: a write can
         # flush to the socket synchronously, so this ordering
@@ -437,19 +452,44 @@ class _Shard:
         client = self.client
         assert client is not None
         started = perf_counter() if self._t_tick is not None else 0.0
+        tracing = self.gateway.tracer is not None
         async with self.lock:
             tick, leftover = self._build_tick(pending)
             wire: list[tuple[str, list[tuple[int, bytes]]]] = []
             flat_items: list[tuple] = []
+            group_sizes: list[int] = []
             for route_key, by_stream in self._group_tick(tick).items():
                 rows = []
                 for stream_id, item in by_stream.items():
                     rows.append((stream_id, encode_stream_data(item[2], 0)))
                     flat_items.append(item)
+                group_sizes.append(len(rows))
                 wire.append((pool_label(*route_key), rows))
+            submitted = 0.0
+            if tracing:
+                submitted = perf_counter()
+                for item in flat_items:
+                    if item[3] is not None:
+                        item[3].stages["queue"] = submitted - item[3].mark
             future = client.submit(encode_observe(wire))
-        results = decode_verdicts(await asyncio.wrap_future(future),
-                                  len(flat_items))
+        results, group_seconds = decode_verdicts(
+            await asyncio.wrap_future(future), len(flat_items)
+        )
+        if tracing:
+            # The worker reports its per-group engine seconds; whatever
+            # the round-trip spent beyond total compute is pipe/framing
+            # overhead, shared by every row of this request.
+            pipe = max(
+                0.0, perf_counter() - submitted - sum(group_seconds)
+            )
+            index = 0
+            for group, size in enumerate(group_sizes):
+                for _ in range(size):
+                    span = flat_items[index][3]
+                    if span is not None:
+                        span.stages["worker"] = group_seconds[group]
+                        span.stages["pipe"] = pipe
+                    index += 1
         # Same account-then-deliver ordering as the inline tick;
         # periodic checkpoints gather worker snapshots between ticks.
         self.gateway._after_work(len(tick), checkpoint=False)
@@ -488,6 +528,7 @@ class DetectionGateway:
         historian: "Historian | None" = None,
         incidents: "IncidentCorrelator | bool | None" = None,
         monitors: "DriftMonitorBank | bool | None" = None,
+        tracer: "Tracer | None" = None,
         _engines: "list[StreamEngine] | None" = None,
         _bindings: dict[str, tuple[int, int]] | None = None,
         _routed_shards: "list[dict[tuple[str, int], StreamEngine]] | None" = None,
@@ -528,6 +569,11 @@ class DetectionGateway:
             self.monitors = monitors
         if self.incidents is not None:
             self.alerts.add_sink(self.incidents)
+        #: Tracing plane: off unless a Tracer is attached.  Sampling is
+        #: seeded by ``(stream key, seq)`` — never wall clock — so it
+        #: needs no checkpoint state: a resumed replay re-selects
+        #: exactly the same packages with the same trace ids.
+        self.tracer = tracer
         if metrics is None:
             self._m_packages = None
             self._m_checkpoint_timer = None
@@ -635,6 +681,9 @@ class DetectionGateway:
         model_info: dict[str, Any] | None = None,
         metrics: "MetricsRegistry | None" = None,
         historian: "Historian | None" = None,
+        incidents: "IncidentCorrelator | bool | None" = None,
+        monitors: "DriftMonitorBank | bool | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> "DetectionGateway":
         """Rebuild a gateway from a checkpoint; streams resume bit-identically.
 
@@ -643,7 +692,9 @@ class DetectionGateway:
         optionally take ``detector`` to skip the embedded copy; routed
         checkpoints *require* ``registry=`` (or a prebuilt ``router=``)
         to resolve the exact ``(scenario, version)`` artifacts their
-        engine pools reference.
+        engine pools reference.  ``incidents``/``monitors`` mirror the
+        constructor (pass ``False`` to keep a plane disabled on resume —
+        checkpoint meta for a disabled plane is ignored, not lost).
         """
         meta = read_meta(path)
         kind = meta["kind"]
@@ -665,6 +716,9 @@ class DetectionGateway:
                 router=router,
                 metrics=metrics,
                 historian=historian,
+                incidents=incidents,
+                monitors=monitors,
+                tracer=tracer,
                 _routed_shards=restored.shards,
                 _routed_bindings=restored.bindings,
             )
@@ -691,6 +745,9 @@ class DetectionGateway:
             model_info=model_info,
             metrics=metrics,
             historian=historian,
+            incidents=incidents,
+            monitors=monitors,
+            tracer=tracer,
             _engines=restored.engines,
             _bindings=restored.bindings,
         )
@@ -1111,6 +1168,10 @@ class DetectionGateway:
     async def _on_data(self, session: _Session, frame) -> None:
         if session.key is None:
             raise ProtocolViolation("DATA before OPEN")
+        tracer = self.tracer
+        received = decoded = 0.0
+        if tracer is not None:
+            received = perf_counter()
         try:
             data = session.adapter.decode_data(frame.pdu)
         except CrcError:
@@ -1125,6 +1186,8 @@ class DetectionGateway:
         except (TransportError, ValueError):
             self._malformed += 1
             return
+        if tracer is not None:
+            decoded = perf_counter()
         if data.seq != session.next_seq:
             raise ProtocolViolation(
                 f"stream {session.key!r}: expected seq {session.next_seq}, "
@@ -1149,7 +1212,17 @@ class DetectionGateway:
         # the reader, which stops draining the socket — backpressure
         # reaches the client as a zero TCP window.
         assert session.shard is not None
-        await session.shard.queue.put((session, data.seq, data.package))
+        span = None
+        if tracer is not None:
+            span = tracer.start(session.key, data.seq, received)
+            if span is not None:
+                now = perf_counter()
+                span.stages["decode"] = decoded - received
+                span.stages["route"] = now - decoded
+                # "queue" runs from here to tick pickup, so a put() that
+                # parks on a full shard counts as queueing, not routing.
+                span.mark = now
+        await session.shard.queue.put((session, data.seq, data.package, span))
         self._note_queued(session.shard)
 
     async def _identify_and_bind(self, session: _Session, final: bool) -> None:
@@ -1176,9 +1249,12 @@ class DetectionGateway:
         )
         session.route = route
         session.shard = self._shards[route.shard]
+        # Probe packages were buffered before a route existed; they are
+        # re-enqueued untraced (deterministically — a replay buffers the
+        # exact same probe window).
         probe, session.probe = session.probe, []
         for seq, package in probe:
-            await session.shard.queue.put((session, seq, package))
+            await session.shard.queue.put((session, seq, package, None))
             self._note_queued(session.shard)
 
     # ------------------------------------------------------------------
@@ -1326,10 +1402,12 @@ class DetectionGateway:
         max_buffer = self.config.max_write_buffer
         historian = self.historian
         monitors = self.monitors
+        tracer = self.tracer
         fallback = (self._model_info or {}).get("scenario")
-        for (session, seq, package), verdict, level in zip(
+        for (session, seq, package, span), verdict, level in zip(
             items, verdicts, levels
         ):
+            deliver_started = perf_counter() if span is not None else 0.0
             session.send(
                 session.adapter.frame_verdict(
                     seq, bool(verdict), int(level),
@@ -1366,6 +1444,14 @@ class DetectionGateway:
                 )
                 if drift is not None:
                     self.alerts.inject(drift)
+            if span is not None and tracer is not None:
+                span.stages["deliver"] = perf_counter() - deliver_started
+                tracer.finish(
+                    span,
+                    scenario=scenario,
+                    version=version,
+                    time=package.time,
+                )
 
     def _after_work(self, count: int, checkpoint: bool = True) -> None:
         self._processed += count
@@ -1598,6 +1684,8 @@ class DetectionGateway:
             stats["incidents"] = self.incidents.stats()
         if self.monitors is not None:
             stats["drift"] = self.monitors.stats()
+        if self.tracer is not None:
+            stats["tracing"] = self.tracer.stats()
         if self._router is None:
             if worker_stats is None:
                 stats["shards"] = [
@@ -1704,6 +1792,7 @@ def start_in_thread(
     gateway: DetectionGateway | None = None,
     metrics: "MetricsRegistry | None" = None,
     historian: "Historian | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> GatewayHandle:
     """Run a gateway on a daemon thread; returns once it is listening.
 
@@ -1713,7 +1802,12 @@ def start_in_thread(
     """
     if gateway is None:
         gateway = DetectionGateway(
-            detector, config, alerts, metrics=metrics, historian=historian
+            detector,
+            config,
+            alerts,
+            metrics=metrics,
+            historian=historian,
+            tracer=tracer,
         )
     loop = asyncio.new_event_loop()
     started = threading.Event()

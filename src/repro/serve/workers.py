@@ -208,14 +208,29 @@ def encode_observe(groups: "list[tuple[str, list[tuple[int, bytes]]]]") -> bytes
     return bytes(buf)
 
 
-def decode_verdicts(resp: bytes, count: int) -> list[tuple[bool, int]]:
-    """Per-row ``(verdict, level)`` pairs in request order."""
+def decode_verdicts(
+    resp: bytes, count: int
+) -> tuple[list[tuple[bool, int]], list[float]]:
+    """Per-row ``(verdict, level)`` pairs in request order, plus the
+    worker-side seconds each engine group spent in ``observe_batch`` —
+    the tracing plane subtracts these from the pipe round-trip to
+    attribute worker compute separately from IPC."""
     body = memoryview(resp)[1:]
-    if len(body) != 2 * count:
+    rows_end = 2 * count
+    if len(body) < rows_end + _U16.size:
         raise WorkerError(
             f"verdict response holds {len(body) // 2} rows, expected {count}"
         )
-    return [(bool(body[2 * i]), int(body[2 * i + 1])) for i in range(count)]
+    (n_groups,) = _U16.unpack_from(body, rows_end)
+    timings_at = rows_end + _U16.size
+    if len(body) != timings_at + 8 * n_groups:
+        raise WorkerError(
+            f"verdict response length mismatch ({len(body)} bytes for "
+            f"{n_groups} groups), expected {count} rows"
+        )
+    verdicts = [(bool(body[2 * i]), int(body[2 * i + 1])) for i in range(count)]
+    seconds = list(struct.unpack_from(f">{n_groups}d", body, timings_at))
+    return verdicts, seconds
 
 
 def encode_swap(
@@ -342,11 +357,14 @@ class _EnginePool:
         raise WorkerError(f"unknown opcode {bytes(op)!r}")
 
     def _observe(self, msg: memoryview) -> bytes:
+        from time import perf_counter
+
         from repro.serve.transport import decode_stream_data
 
         (n_groups,) = _U16.unpack_from(msg, 1)
         offset = 1 + _U16.size
         out = bytearray(OP_OBSERVE.lower())
+        timings: list[float] = []
         for _ in range(n_groups):
             label, offset = _get_str(msg, offset)
             (n_items,) = _U32.unpack_from(msg, offset)
@@ -357,9 +375,15 @@ class _EnginePool:
                 offset += _U32.size
                 record, offset = _get_block(msg, offset)
                 batch[stream_id] = decode_stream_data(record).package
+            started = perf_counter()
             verdicts, levels = self.engines[label].observe_batch(batch)
+            timings.append(perf_counter() - started)
             for verdict, level in zip(verdicts, levels):
                 out += bytes((1 if verdict else 0, int(level) & 0xFF))
+        # Trailer: per-group engine seconds, so the gateway can split
+        # worker compute from pipe round-trip in sampled traces.
+        out += _U16.pack(len(timings))
+        out += struct.pack(f">{len(timings)}d", *timings)
         return bytes(out)
 
     def _swap(self, msg: memoryview) -> bytes:

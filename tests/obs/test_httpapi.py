@@ -110,8 +110,47 @@ class TestRouting:
                 _get(server, "/historian/query", {"since": "abc"})
             with pytest.raises(Exception, match="must be an integer"):
                 _get(server, "/historian/query", {"limit": "two"})
+            with pytest.raises(Exception, match="must be >= 0"):
+                _get(server, "/historian/query", {"limit": "-3"})
         finally:
             historian.close()
+
+    def test_traces_endpoints_serve_tracer_state(self):
+        from repro.obs.tracing import TraceConfig, Tracer
+
+        tracer = Tracer(TraceConfig(sample_every=1))
+        for seq in range(4):
+            span = tracer.start("plant", seq, 0.0)
+            span.stages["decode"] = 0.001 * (seq + 1)
+            tracer.finish(span, scenario="gas")
+        server = ObsServer(tracer=tracer)
+        _, body = _get(server, "/traces/recent", {"limit": "2"})
+        payload = json.loads(body)
+        assert payload["count"] == 2
+        assert [s["seq"] for s in payload["spans"]] == [3, 2]
+        _, body = _get(server, "/traces/slowest")
+        rows = json.loads(body)["slowest"]
+        assert rows[0]["seconds"] == pytest.approx(0.004)
+        assert rows[0]["scenario"] == "gas"
+        with pytest.raises(Exception, match="must be an integer"):
+            _get(server, "/traces/recent", {"limit": "abc"})
+        with pytest.raises(Exception, match="unknown parameters"):
+            _get(server, "/traces/recent", {"bogus": "1"})
+
+    def test_traces_endpoints_404_without_tracer(self):
+        server = ObsServer(gateway=_StubGateway())
+        for path in ("/traces/recent", "/traces/slowest"):
+            with pytest.raises(Exception, match="no tracer"):
+                _get(server, path)
+
+    def test_tracer_adopted_from_gateway(self):
+        from repro.obs.tracing import TraceConfig, Tracer
+
+        gateway = _StubGateway()
+        gateway.tracer = Tracer(TraceConfig(sample_every=1))
+        server = ObsServer(gateway=gateway)
+        _, body = _get(server, "/traces/recent")
+        assert json.loads(body) == {"count": 0, "spans": []}
 
     def test_healthz_reports_uptime_and_version(self):
         from repro import __version__
@@ -176,10 +215,19 @@ class TestRouting:
             _get(server, "/drift")
 
     def test_dashboard_renders_html(self, tmp_path):
+        from repro.obs.tracing import TraceConfig, Tracer
+
+        tracer = Tracer(TraceConfig(sample_every=1))
+        span = tracer.start("plant-1", 0, 0.0)
+        span.stages.update({"decode": 0.001, "queue": 0.004})
+        tracer.finish(span, scenario="gas_pipeline")
         historian = Historian(tmp_path / "h")
         try:
             server = ObsServer(
-                gateway=_StubGateway(), historian=historian, title="t&t"
+                gateway=_StubGateway(),
+                historian=historian,
+                tracer=tracer,
+                title="t&t",
             )
             content_type, body = _get(server, "/")
             page = body.decode("utf-8")
@@ -190,6 +238,8 @@ class TestRouting:
         assert "modbus" in page
         assert "gas_pipeline" in page
         assert "Historian" in page
+        assert "Tracing" in page  # the stage waterfall panel
+        assert "queue" in page
 
 
 class _FakeAlert:
@@ -233,3 +283,37 @@ class TestOverSockets:
                 assert json.loads(resp.read())["status"] == "ok"
         finally:
             handle.stop()
+
+    def test_malformed_params_are_json_400s_not_tracebacks(self, tmp_path):
+        """Satellite: a bad query param is a 400 with a machine-readable
+        JSON error body — the server never answers 500 for client junk."""
+        from repro.obs.incidents import IncidentCorrelator
+
+        historian = Historian(tmp_path / "h")
+        handle = start_obs_in_thread(
+            ObsServer(historian=historian, incidents=IncidentCorrelator())
+        )
+        try:
+            host, port = handle.address
+            base = f"http://{host}:{port}"
+            for path in (
+                "/incidents?limit=abc",
+                "/incidents?limit=-1",
+                "/historian/query?since=noon",
+                "/historian/query?limit=two",
+                "/alerts/recent?limit=1",  # 404 (no buffer), still JSON
+            ):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(f"{base}{path}", timeout=5)
+                assert excinfo.value.code in (400, 404), path
+                assert excinfo.value.code == (
+                    404 if path.startswith("/alerts") else 400
+                ), path
+                content_type = excinfo.value.headers["Content-Type"]
+                assert content_type.startswith("application/json"), path
+                body = json.loads(excinfo.value.read())
+                assert body["status"] == excinfo.value.code, path
+                assert body["error"], path
+        finally:
+            handle.stop()
+            historian.close()

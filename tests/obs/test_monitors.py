@@ -151,3 +151,44 @@ class TestPipelineInjection:
         assert samples == [
             {"labels": {"kind": "package"}, "value": len(fired)}
         ]
+
+
+class TestByKindCounts:
+    def test_stats_aggregate_fired_counts_by_kind_across_streams(self):
+        bank = DriftMonitorBank(FAST)
+        _feed(bank, "s1", 0, 50, 0)
+        package_fired = _feed(bank, "s1", 50, 250, LEVEL_PACKAGE)
+        _feed(bank, "s2", 0, 50, 0)
+        ts_fired = _feed(bank, "s2", 50, 250, LEVEL_TIMESERIES)
+        assert package_fired and ts_fired
+        stats = bank.stats()
+        assert stats["by_kind"] == {
+            "package": len(package_fired),
+            "timeseries": len(ts_fired),
+            "anomaly": 0,
+        }
+        assert stats["drift_alerts"] == sum(stats["by_kind"].values())
+
+    def test_by_kind_rides_the_state_round_trip(self):
+        bank = DriftMonitorBank(FAST)
+        _feed(bank, "s1", 0, 50, 0)
+        fired = _feed(bank, "s1", 50, 250, LEVEL_PACKAGE)
+        assert fired
+        restored = DriftMonitorBank.from_state(
+            json.loads(json.dumps(bank.state_dict()))
+        )
+        assert restored.stats()["by_kind"] == bank.stats()["by_kind"]
+
+    def test_pre_by_kind_checkpoints_load_with_empty_breakdown(self):
+        bank = DriftMonitorBank(FAST)
+        _feed(bank, "s1", 0, 50, 0)
+        assert _feed(bank, "s1", 50, 250, LEVEL_PACKAGE)
+        state = json.loads(json.dumps(bank.state_dict()))
+        for payload in state["streams"].values():
+            del payload["fired_by_kind"]  # a checkpoint from before PR 10
+        restored = DriftMonitorBank.from_state(state)
+        # Totals survive; the breakdown restarts empty rather than failing.
+        assert restored.stats()["drift_alerts"] == bank.stats()["drift_alerts"]
+        assert restored.stats()["by_kind"] == {
+            "package": 0, "timeseries": 0, "anomaly": 0,
+        }

@@ -1,0 +1,208 @@
+"""Tracing plane unit tests: deterministic sampling, the bounded span
+store, slowest-exemplar retention, JSONL export and offline analysis.
+
+The serving-path integration (spans through a live gateway, both
+worker backends, kill+resume id stability) lives in
+``tests/serve/test_tracing_e2e.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.tracing import (
+    STAGE_ORDER,
+    TraceConfig,
+    Tracer,
+    aggregate_spans,
+    load_spans,
+)
+
+
+def _finish(tracer, stream, seq, stages, scenario=None, time=None):
+    span = tracer.start(stream, seq, 0.0)
+    assert span is not None, f"({stream}, {seq}) must be sampled"
+    span.stages.update(stages)
+    return tracer.finish(span, scenario=scenario, time=time)
+
+
+class TestConfig:
+    def test_validate_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            TraceConfig(sample_every=0).validate()
+        with pytest.raises(ValueError, match="store_capacity"):
+            TraceConfig(store_capacity=0).validate()
+        with pytest.raises(ValueError, match="slowest_per_key"):
+            TraceConfig(slowest_per_key=0).validate()
+
+    def test_stage_vocabulary_is_fixed(self):
+        assert STAGE_ORDER == (
+            "decode", "route", "queue", "tick", "worker", "pipe", "deliver",
+        )
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_in_stream_and_seq(self):
+        a = Tracer(TraceConfig(sample_every=8))
+        b = Tracer(TraceConfig(sample_every=8))
+        decisions = [a.should_sample("plant", seq) for seq in range(512)]
+        assert decisions == [b.should_sample("plant", seq) for seq in range(512)]
+        # Roughly one in sample_every, and never all-or-nothing.
+        assert 512 // 16 < sum(decisions) < 512 // 4
+
+    def test_sample_every_one_traces_everything(self):
+        tracer = Tracer(TraceConfig(sample_every=1))
+        assert all(tracer.should_sample("s", seq) for seq in range(64))
+
+    def test_streams_sample_independently(self):
+        tracer = Tracer(TraceConfig(sample_every=8))
+        per_stream = {
+            key: [seq for seq in range(256) if tracer.should_sample(key, seq)]
+            for key in ("site-a", "site-b")
+        }
+        assert per_stream["site-a"] != per_stream["site-b"]
+
+    def test_trace_ids_are_stable_and_distinct(self):
+        assert Tracer.trace_id("plant", 7) == Tracer.trace_id("plant", 7)
+        assert Tracer.trace_id("plant", 7) != Tracer.trace_id("plant", 8)
+        assert Tracer.trace_id("plant", 7) != Tracer.trace_id("plan", 7)
+
+    def test_start_returns_none_for_unsampled(self):
+        tracer = Tracer(TraceConfig(sample_every=8))
+        sampled = [seq for seq in range(64) if tracer.should_sample("s", seq)]
+        skipped = [seq for seq in range(64) if seq not in sampled]
+        assert tracer.start("s", skipped[0], 0.0) is None
+        span = tracer.start("s", sampled[0], 0.0)
+        assert span is not None
+        assert span.trace_id == Tracer.trace_id("s", sampled[0])
+        assert tracer.stats()["spans_started"] == 1
+
+
+class TestStore:
+    def test_finish_builds_the_record_and_recent_is_newest_first(self):
+        tracer = Tracer(TraceConfig(sample_every=1))
+        record = _finish(
+            tracer, "plant", 3,
+            {"decode": 0.001, "queue": 0.004},
+            scenario="gas_pipeline", time=12.5,
+        )
+        assert record["trace_id"] == Tracer.trace_id("plant", 3)
+        assert record["total_seconds"] == pytest.approx(0.005)
+        assert record["scenario"] == "gas_pipeline"
+        _finish(tracer, "plant", 4, {"decode": 0.002})
+        recent = tracer.recent()
+        assert [r["seq"] for r in recent] == [4, 3]
+        assert [r["seq"] for r in tracer.recent(limit=1)] == [4]
+
+    def test_store_is_bounded(self):
+        tracer = Tracer(TraceConfig(sample_every=1, store_capacity=4))
+        for seq in range(16):
+            _finish(tracer, "plant", seq, {"decode": 0.001})
+        stats = tracer.stats()
+        assert stats["spans_finished"] == 16
+        assert stats["spans_stored"] == 4
+        assert [r["seq"] for r in tracer.recent()] == [15, 14, 13, 12]
+
+    def test_slowest_keeps_trimmed_exemplars_per_scenario_and_stage(self):
+        tracer = Tracer(TraceConfig(sample_every=1, slowest_per_key=2))
+        for seq in range(8):
+            _finish(
+                tracer, "plant", seq,
+                {"queue": 0.001 * (seq + 1)}, scenario="gas_pipeline",
+            )
+        _finish(tracer, "tank", 0, {"queue": 0.5}, scenario="water_tank")
+        rows = tracer.slowest()
+        assert [row["seconds"] for row in rows] == sorted(
+            (row["seconds"] for row in rows), reverse=True
+        )
+        gas = [row for row in rows if row["scenario"] == "gas_pipeline"]
+        assert [row["trace"]["seq"] for row in gas] == [7, 6]  # trimmed to 2
+        assert rows[0]["scenario"] == "water_tank"
+        assert rows[0]["stage"] == "queue"
+
+    def test_stage_summary_shares_sum_to_one(self):
+        tracer = Tracer(TraceConfig(sample_every=1))
+        for seq in range(10):
+            _finish(
+                tracer, "plant", seq,
+                {"decode": 0.001, "queue": 0.003, "deliver": 0.001},
+            )
+        summary = tracer.stage_summary()
+        assert list(summary) == ["decode", "queue", "deliver"]  # STAGE_ORDER
+        assert sum(row["share"] for row in summary.values()) == pytest.approx(1.0)
+        assert summary["queue"]["share"] == pytest.approx(0.6)
+        assert summary["queue"]["p50_seconds"] == pytest.approx(0.003)
+
+    def test_histograms_reach_the_metrics_registry(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer(TraceConfig(sample_every=1), metrics=metrics)
+        _finish(tracer, "plant", 0, {"decode": 0.001}, scenario="gas_pipeline")
+        _finish(tracer, "plant", 1, {"decode": 0.002}, scenario="gas_pipeline")
+        exposition = metrics.render_prometheus()
+        assert "trace_stage_seconds" in exposition
+        assert 'stage="decode"' in exposition
+        assert 'scenario="gas_pipeline"' in exposition
+
+
+class TestExportAndOfflineAnalysis:
+    def test_export_round_trips_through_load_spans(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with Tracer(TraceConfig(sample_every=1, export_path=str(path))) as tracer:
+            for seq in range(6):
+                _finish(
+                    tracer, "plant", seq,
+                    {"decode": 0.001, "queue": 0.002 * (seq + 1)},
+                    scenario="gas_pipeline",
+                )
+            assert tracer.stats()["spans_exported"] == 6
+        records = load_spans(path)
+        assert [r["seq"] for r in records] == list(range(6))
+        assert all(r["trace_id"] for r in records)
+
+    def test_load_spans_rejects_garbage_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"stages": {"decode": 0.1}}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2: not JSON"):
+            load_spans(path)
+        path.write_text('{"stages": {"decode": 0.1}}\n{"no": "stages"}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2: not a span record"):
+            load_spans(path)
+
+    def test_aggregate_spans_attributes_and_filters(self):
+        records = [
+            {
+                "scenario": "gas_pipeline",
+                "total_seconds": 0.004,
+                "stages": {"decode": 0.001, "queue": 0.003},
+            }
+            for _ in range(4)
+        ] + [
+            {
+                "scenario": "water_tank",
+                "total_seconds": 0.1,
+                "stages": {"queue": 0.1},
+            }
+        ]
+        everything = aggregate_spans(records)
+        assert everything["spans"] == 5
+        gas = aggregate_spans(records, scenario="gas_pipeline")
+        assert gas["spans"] == 4
+        assert gas["total_p50_seconds"] == pytest.approx(0.004)
+        assert gas["stages"]["decode"]["share"] == pytest.approx(0.25)
+        assert gas["stages"]["queue"]["share"] == pytest.approx(0.75)
+        assert aggregate_spans(records, scenario="hvac")["spans"] == 0
+        assert aggregate_spans([])["total_p99_seconds"] == 0.0
+
+
+def test_export_appends_as_json_lines(tmp_path):
+    """The export is plain JSONL — consumable by any log tooling."""
+    path = tmp_path / "spans.jsonl"
+    tracer = Tracer(TraceConfig(sample_every=1, export_path=str(path)))
+    _finish(tracer, "plant", 0, {"decode": 0.001})
+    tracer.flush()
+    line = path.read_text().strip()
+    assert json.loads(line)["stream"] == "plant"
+    tracer.close()

@@ -68,10 +68,19 @@ class TestChannelCodec:
             encode_init(b"blob", "/tmp/registry", pool)
 
     def test_verdict_row_count_mismatch_is_fatal(self):
-        resp = b"o" + bytes((1, 2, 0, 0))  # two rows
-        assert decode_verdicts(resp, 2) == [(True, 2), (False, 0)]
+        import struct
+
+        # Two rows plus the per-group timing trailer (one group).
+        resp = b"o" + bytes((1, 2, 0, 0)) + struct.pack(">H", 1)
+        resp += struct.pack(">d", 0.25)
+        verdicts, timings = decode_verdicts(resp, 2)
+        assert verdicts == [(True, 2), (False, 0)]
+        assert timings == [0.25]
         with pytest.raises(WorkerError, match="expected 3"):
             decode_verdicts(resp, 3)
+        # A response truncated mid-trailer is fatal too.
+        with pytest.raises(WorkerError, match="expected 2"):
+            decode_verdicts(resp[:-4], 2)
 
     def test_engine_state_blob_round_trips(self, detector):
         engine = detector.engine(2)
@@ -117,9 +126,10 @@ class TestWorkerHandle:
                 wire = encode_observe(
                     [(SINGLE_LABEL, [(sid, encode_stream_data(package, 0))])]
                 )
-                (verdict,) = decode_verdicts(handle.call_sync(wire), 1)
+                (verdict,), timings = decode_verdicts(handle.call_sync(wire), 1)
                 expected, levels = reference.observe_batch({ref_sid: package})
                 assert verdict == (bool(expected[0]), int(levels[0]))
+                assert len(timings) == 1 and timings[0] >= 0.0
 
             seen = decode_seen(handle.call_sync(encode_seen(SINGLE_LABEL, sid)))
             assert seen == 8

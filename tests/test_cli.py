@@ -97,6 +97,7 @@ class TestServeAndReplay:
         port_file = tmp_path / "port"
         checkpoint = tmp_path / "gateway.npz"
         report = tmp_path / "replay.json"
+        spans = tmp_path / "spans.jsonl"
         limit = 60
 
         serve_rc: list[int] = []
@@ -107,6 +108,7 @@ class TestServeAndReplay:
                     ["serve", "--model", str(model_path), "--port", "0",
                      "--shards", "2", "--checkpoint", str(checkpoint),
                      "--quiet", "--port-file", str(port_file),
+                     "--trace-sample", "2", "--trace-export", str(spans),
                      "--max-packages", str(limit)]
                 )
             )
@@ -134,6 +136,18 @@ class TestServeAndReplay:
         # Graceful shutdown wrote the fail-over checkpoint.
         assert checkpoint.exists()
         assert main(["info", str(checkpoint)]) == 0
+        # ... and the tracer exported spans `repro trace` can aggregate.
+        trace_report = tmp_path / "trace.json"
+        assert main(["trace", "--spans", str(spans),
+                     "--json", str(trace_report)]) == 0
+        trace_payload = json.loads(trace_report.read_text())
+        assert trace_payload["spans"] > 0
+        assert "queue" in trace_payload["stages"]
+
+    def test_trace_export_without_sampling_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace-sample"):
+            main(["serve", "--model", "whatever.npz",
+                  "--trace-export", str(tmp_path / "s.jsonl")])
 
     def test_serve_requires_model_or_resumable_checkpoint(self):
         with pytest.raises(SystemExit):
@@ -276,6 +290,33 @@ class TestFleetCommand:
     def test_fleet_rejects_unknown_driver(self, model_path):
         with pytest.raises(SystemExit):
             main(["fleet", "--model", str(model_path), "--driver", "fibers"])
+
+    def test_fleet_reports_drift_counts_and_traces(
+        self, model_path, tmp_path, capsys
+    ):
+        """Satellite: the end-of-run summary and --json carry drift-alert
+        counts by kind, and --trace-sample/--trace-export ride along."""
+        report = tmp_path / "fleet.json"
+        spans = tmp_path / "spans.jsonl"
+        rc = main(
+            ["fleet", "--model", str(model_path), "--sites", "2",
+             "--scenarios", "gas_pipeline", "--cycles", "10",
+             "--trace-sample", "2", "--trace-export", str(spans),
+             "--json", str(report)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drift alerts:" in out
+        assert "traces:" in out
+        payload = json.loads(report.read_text())
+        assert set(payload["drift"]) == {"package", "timeseries", "anomaly"}
+        assert all(
+            isinstance(count, int) for count in payload["drift"].values()
+        )
+        trace_report = tmp_path / "trace.json"
+        assert main(["trace", "--spans", str(spans),
+                     "--json", str(trace_report)]) == 0
+        assert json.loads(trace_report.read_text())["spans"] > 0
 
 
 class TestRegistryCommand:
